@@ -1,0 +1,47 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test test-short cover bench figures examples vet fmt clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+	$(GO) build -o bin/awgen ./cmd/awgen
+	$(GO) build -o bin/awquery ./cmd/awquery
+	$(GO) build -o bin/awbench ./cmd/awbench
+
+test:
+	$(GO) test ./...
+
+test-short:
+	$(GO) test -short ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# One benchmark per paper figure (plus ablations and micro-benchmarks).
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Full-scale figure regeneration (see EXPERIMENTS.md).
+figures: build
+	./bin/awbench -dir ./benchdata
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/netescalation
+	$(GO) run ./examples/multirecon
+	$(GO) run ./examples/trafficreport
+	$(GO) run ./examples/airquality
+	$(GO) run ./examples/livemonitor
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+clean:
+	rm -rf bin benchdata

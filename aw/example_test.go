@@ -1,0 +1,92 @@
+package aw_test
+
+import (
+	"fmt"
+
+	"awra/aw"
+)
+
+// ExampleQuery computes the paper's Example 1 and 2 measures (per-hour
+// per-source counts, then the number of busy sources per hour) over a
+// tiny hand-built attack log.
+func ExampleQuery() {
+	schema := aw.MustSchema([]*aw.Dimension{
+		aw.TimeDimension("t"),
+		aw.IPv4Dimension("U"),
+	})
+	rec := func(hour, minute, a, b, c, d int) aw.Record {
+		return aw.Record{Dims: []int64{
+			aw.SecondCode(2004, 3, 1, hour, minute, 0),
+			aw.IPCode(a, b, c, d),
+		}, Ms: []float64{}}
+	}
+	// Source 1.2.3.4 sends three packets in hour 9; 1.2.3.5 sends one.
+	recs := []aw.Record{
+		rec(9, 0, 1, 2, 3, 4), rec(9, 5, 1, 2, 3, 4), rec(9, 10, 1, 2, 3, 4),
+		rec(9, 20, 1, 2, 3, 5),
+		rec(10, 0, 1, 2, 3, 5), rec(10, 1, 1, 2, 3, 5),
+	}
+
+	gHourSrc, _ := schema.MakeGran(map[string]string{"t": "Hour", "U": "IP"})
+	gHour, _ := schema.MakeGran(map[string]string{"t": "Hour"})
+	wf := aw.NewWorkflow(schema).
+		Basic("Count", gHourSrc, aw.Count, -1).
+		Rollup("busy", gHour, "Count", aw.Count, aw.Where(aw.MWhere(0, aw.Ge, 2)))
+
+	res, _ := aw.Query(wf, aw.FromRecords(recs))
+	busy := res["busy"]
+	for _, k := range busy.SortedKeys() {
+		fmt.Printf("%s: %g busy sources\n", busy.Codec.Format(k), busy.Rows[k])
+	}
+	// Output:
+	// t:2004-03-01 09h: 1 busy sources
+	// t:2004-03-01 10h: 1 busy sources
+}
+
+// ExampleWorkflow_Sliding shows a sibling match join: a trailing
+// two-hour sum over hourly counts.
+func ExampleWorkflow_Sliding() {
+	schema := aw.MustSchema([]*aw.Dimension{aw.TimeDimension("t")})
+	var recs []aw.Record
+	for hour, n := range []int{1, 2, 4} {
+		for i := 0; i < n; i++ {
+			recs = append(recs, aw.Record{
+				Dims: []int64{aw.SecondCode(2004, 3, 1, 9+hour, i, 0)},
+				Ms:   []float64{},
+			})
+		}
+	}
+	gHour, _ := schema.MakeGran(map[string]string{"t": "Hour"})
+	wf := aw.NewWorkflow(schema).
+		Basic("cnt", gHour, aw.Count, -1).
+		Sliding("sum2h", "cnt", aw.Sum, []aw.Window{{Dim: 0, Lo: -1, Hi: 0}})
+
+	res, _ := aw.Query(wf, aw.FromRecords(recs))
+	tbl := res["sum2h"]
+	for _, k := range tbl.SortedKeys() {
+		fmt.Printf("%s: %g\n", tbl.Codec.Format(k), tbl.Rows[k])
+	}
+	// Output:
+	// t:2004-03-01 09h: 1
+	// t:2004-03-01 10h: 3
+	// t:2004-03-01 11h: 6
+}
+
+// ExampleTranslate renders a workflow measure as its AW-RA algebra
+// expression (Theorem 2 of the paper).
+func ExampleTranslate() {
+	schema := aw.MustSchema([]*aw.Dimension{
+		aw.TimeDimension("t"),
+		aw.IPv4Dimension("U"),
+	})
+	gHourSrc, _ := schema.MakeGran(map[string]string{"t": "Hour", "U": "IP"})
+	gHour, _ := schema.MakeGran(map[string]string{"t": "Hour"})
+	c, _ := aw.NewWorkflow(schema).
+		Basic("Count", gHourSrc, aw.Count, -1).
+		Rollup("busy", gHour, "Count", aw.Count, aw.Where(aw.MWhere(0, aw.Gt, 5))).
+		Compile()
+	e, _ := aw.Translate(c, "busy")
+	fmt.Println(e)
+	// Output:
+	// g_(t:Hour),count(sigma_[M0 > 5](g_(t:Hour, U:IP),count(D)))
+}

@@ -1,0 +1,228 @@
+package aw_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"awra/aw"
+)
+
+func TestStreamMatchesQuery(t *testing.T) {
+	s := attackSchema(t)
+	recs := attackRecords(2500, 11)
+	want, err := aw.Query(busyWorkflow(t, s, 1), aw.FromRecords(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var emitted int
+	stream, err := aw.OpenStream(busyWorkflow(t, s, 1), aw.StreamOptions{
+		ValidateOrder: true,
+		Emit:          func(string, aw.Key, float64) { emitted++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := stream.SortKey()
+	sorted := append([]aw.Record{}, recs...)
+	// Sort by the stream's expected arrival order.
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && key.RecordLess(s, &sorted[j], &sorted[j-1]); j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	for i := range sorted {
+		if err := stream.Push(&sorted[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := stream.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for name, tbl := range want {
+		if !tbl.Equal(got[name], 1e-9) {
+			t.Errorf("measure %s differs between stream and query", name)
+		}
+		total += len(tbl.Rows)
+	}
+	if emitted != total {
+		t.Errorf("emitted %d values for %d regions", emitted, total)
+	}
+	if stream.Records() != int64(len(recs)) {
+		t.Errorf("stream records = %d", stream.Records())
+	}
+}
+
+func TestSaveLoadResultsThroughFacade(t *testing.T) {
+	s := attackSchema(t)
+	recs := attackRecords(1500, 13)
+	res, err := aw.Query(busyWorkflow(t, s, 1), aw.FromRecords(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "store")
+	if err := aw.SaveResults(dir, s, res); err != nil {
+		t.Fatal(err)
+	}
+	back, err := aw.LoadResults(dir, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tbl := range res {
+		if !tbl.Equal(back[name], 0) {
+			t.Errorf("measure %s changed in store round trip", name)
+		}
+	}
+	one, err := aw.LoadResult(dir, s, "sCount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res["sCount"].Equal(one, 0) {
+		t.Error("single-measure load differs")
+	}
+}
+
+func TestAutoStatsAndWorkers(t *testing.T) {
+	s := attackSchema(t)
+	recs := attackRecords(3000, 17)
+	dir := t.TempDir()
+	fact := filepath.Join(dir, "fact.rec")
+	if err := aw.WriteRecords(fact, 4, 0, recs); err != nil {
+		t.Fatal(err)
+	}
+	want, err := aw.Query(busyWorkflow(t, s, 1), aw.FromRecords(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// AutoStats + parallel sort on sortscan.
+	got, err := aw.Query(busyWorkflow(t, s, 1), aw.FromFile(fact), aw.QueryOptions{
+		AutoStats: true, Workers: 4, TempDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tbl := range want {
+		if !tbl.Equal(got[name], 1e-9) {
+			t.Errorf("measure %s differs with AutoStats+Workers", name)
+		}
+	}
+	// Parallel single-scan.
+	got, err = aw.Query(busyWorkflow(t, s, 1), aw.FromFile(fact), aw.QueryOptions{
+		Engine: aw.EngineSingleScan, Workers: 3, TempDir: dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tbl := range want {
+		if !tbl.Equal(got[name], 1e-9) {
+			t.Errorf("measure %s differs with parallel single-scan", name)
+		}
+	}
+	// AutoStats over in-memory input is an error.
+	if _, err := aw.Query(busyWorkflow(t, s, 1), aw.FromRecords(recs), aw.QueryOptions{AutoStats: true}); err == nil {
+		t.Error("AutoStats over records accepted")
+	}
+	// CollectStats sanity.
+	cards, err := aw.CollectStats(fact, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cards) != 4 || cards[0] < 100 {
+		t.Errorf("cards = %v", cards)
+	}
+}
+
+func TestTableHelpers(t *testing.T) {
+	s := attackSchema(t)
+	recs := attackRecords(800, 19)
+	res, err := aw.Query(busyWorkflow(t, s, 1), aw.FromRecords(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res["Count"]
+	top := aw.TopK(tbl, 5)
+	if len(top) != 5 {
+		t.Fatalf("TopK returned %d rows", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Value > top[i-1].Value {
+			t.Fatal("TopK not descending")
+		}
+	}
+	if top[0].Label == "" || len(top[0].Region.Codes) != 4 {
+		t.Errorf("row decoration missing: %+v", top[0])
+	}
+	all := aw.TopK(tbl, 0)
+	if len(all) != len(tbl.Rows) {
+		t.Errorf("TopK(0) returned %d of %d rows", len(all), len(tbl.Rows))
+	}
+	heavy := aw.FilterRows(tbl, func(_ aw.Region, v float64) bool { return v >= top[0].Value })
+	if len(heavy) == 0 || heavy[0].Value != top[0].Value {
+		t.Errorf("FilterRows missed the max: %+v", heavy)
+	}
+	if got := aw.SumValues(tbl); got != float64(len(recs)) {
+		t.Errorf("SumValues = %v, want %d (every record counted once)", got, len(recs))
+	}
+}
+
+func TestOpenStreamAutoKey(t *testing.T) {
+	s := attackSchema(t)
+	stream, err := aw.OpenStream(busyWorkflow(t, s, 1), aw.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stream.SortKey()) == 0 {
+		t.Fatal("optimizer returned empty stream key")
+	}
+	if stream.Workflow() == nil {
+		t.Fatal("compiled workflow not exposed")
+	}
+	if _, err := stream.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineAuto(t *testing.T) {
+	s := attackSchema(t)
+	recs := attackRecords(2500, 29)
+	dir := t.TempDir()
+	fact := filepath.Join(dir, "fact.rec")
+	if err := aw.WriteRecords(fact, 4, 0, recs); err != nil {
+		t.Fatal(err)
+	}
+	want, err := aw.Query(busyWorkflow(t, s, 1), aw.FromRecords(recs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{0, 1 << 30, 10_000} {
+		got, err := aw.Query(busyWorkflow(t, s, 1), aw.FromFile(fact), aw.QueryOptions{
+			Engine: aw.EngineAuto, MemoryBudget: budget, TempDir: dir,
+			BaseCards: []float64{200000, 1000, 2000, 1024},
+		})
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		for name, tbl := range want {
+			if !tbl.Equal(got[name], 1e-9) {
+				t.Fatalf("budget %d: measure %s differs", budget, name)
+			}
+		}
+	}
+	if e, err := aw.ParseEngine("auto"); err != nil || e != aw.EngineAuto {
+		t.Errorf("ParseEngine(auto) = %v, %v", e, err)
+	}
+	if aw.EngineAuto.String() != "auto" {
+		t.Errorf("EngineAuto.String = %q", aw.EngineAuto.String())
+	}
+}
+
+func TestStreamBadSortKey(t *testing.T) {
+	s := attackSchema(t)
+	if _, err := aw.OpenStream(busyWorkflow(t, s, 1), aw.StreamOptions{
+		SortKey: aw.SortKey{{Dim: 99, Lvl: 0}},
+	}); err == nil {
+		t.Fatal("bad stream sort key accepted")
+	}
+}

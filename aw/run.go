@@ -1,0 +1,305 @@
+package aw
+
+import (
+	"fmt"
+
+	"awra/internal/exec/multipass"
+	"awra/internal/exec/singlescan"
+	"awra/internal/exec/sortscan"
+	"awra/internal/opt"
+	"awra/internal/plan"
+	"awra/internal/relbaseline"
+	"awra/internal/resultstore"
+	"awra/internal/stats"
+	"awra/internal/storage"
+)
+
+// Engine selects an evaluation strategy.
+type Engine int
+
+const (
+	// EngineSortScan is the paper's one-pass sort/scan algorithm
+	// (default): sort once by an optimizer-chosen key, stream all
+	// measures with watermark-based early flushing.
+	EngineSortScan Engine = iota
+	// EngineSingleScan evaluates without sorting: one hash table per
+	// measure, optionally spilling under a memory budget.
+	EngineSingleScan
+	// EngineMultiPass partitions measures across several sort/scan
+	// passes when one pass's footprint exceeds the budget.
+	EngineMultiPass
+	// EngineRelational is the materializing SQL-style baseline; it is
+	// intended for comparison, not production use.
+	EngineRelational
+	// EngineAuto applies the paper's Section 6 decision procedure:
+	// simple scan when every hash table fits the budget, otherwise the
+	// best-key sort/scan, otherwise multi-pass.
+	EngineAuto
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EngineSortScan:
+		return "sortscan"
+	case EngineSingleScan:
+		return "singlescan"
+	case EngineMultiPass:
+		return "multipass"
+	case EngineRelational:
+		return "relational"
+	case EngineAuto:
+		return "auto"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine resolves an engine name.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "sortscan", "":
+		return EngineSortScan, nil
+	case "singlescan", "scan":
+		return EngineSingleScan, nil
+	case "multipass":
+		return EngineMultiPass, nil
+	case "relational", "db":
+		return EngineRelational, nil
+	case "auto":
+		return EngineAuto, nil
+	}
+	return 0, fmt.Errorf("aw: unknown engine %q (auto, sortscan, singlescan, multipass, relational)", name)
+}
+
+// QueryOptions configures Query.
+type QueryOptions struct {
+	// Engine selects the evaluation strategy (default EngineSortScan).
+	Engine Engine
+	// SortKey overrides the optimizer's choice (sortscan only).
+	SortKey SortKey
+	// MemoryBudget bounds memory: spill threshold for single-scan,
+	// per-pass footprint for multi-pass. 0 = unlimited / one pass.
+	MemoryBudget int64
+	// TempDir receives sort runs and spills.
+	TempDir string
+	// BaseCards estimates per-dimension base cardinalities for the
+	// optimizer; nil uses defaults.
+	BaseCards []float64
+	// Workers enables parallel evaluation: a sharded scan for the
+	// single-scan engine, and parallel run-sorting for the sort/scan
+	// engine. 0 or 1 means sequential. Single-scan memory budgets are
+	// a sequential feature and cannot be combined with Workers.
+	Workers int
+	// AutoStats collects per-dimension cardinality estimates from the
+	// fact file (one extra sampling scan) before planning, instead of
+	// relying on BaseCards or defaults. File inputs only.
+	AutoStats bool
+}
+
+// Input is a fact-table source for Query.
+type Input struct {
+	path string
+	recs []Record
+	n    int
+}
+
+// FromFile reads the fact table from a binary record file.
+func FromFile(path string) Input { return Input{path: path} }
+
+// FromRecords evaluates over an in-memory record slice.
+func FromRecords(recs []Record) Input { return Input{recs: recs, n: len(recs)} }
+
+// Results maps measure names to their computed tables.
+type Results map[string]*Table
+
+// Query compiles the workflow (if needed) and evaluates it.
+func Query(w *Workflow, in Input, opts ...QueryOptions) (Results, error) {
+	c, err := w.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return QueryCompiled(c, in, opts...)
+}
+
+// QueryCompiled evaluates a compiled workflow.
+func QueryCompiled(c *Compiled, in Input, opts ...QueryOptions) (Results, error) {
+	var o QueryOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.AutoStats {
+		if in.path == "" {
+			return nil, fmt.Errorf("aw: AutoStats requires a file input")
+		}
+		cards, err := CollectStats(in.path, 200000)
+		if err != nil {
+			return nil, err
+		}
+		o.BaseCards = cards
+	}
+	st := &plan.Stats{BaseCard: o.BaseCards}
+
+	if o.Engine == EngineAuto {
+		d, err := opt.Choose(c, st, float64(o.MemoryBudget))
+		if err != nil {
+			return nil, err
+		}
+		switch d.Strategy {
+		case opt.StrategySingleScan:
+			o.Engine = EngineSingleScan
+		case opt.StrategySortScan:
+			o.Engine = EngineSortScan
+			if o.SortKey == nil {
+				o.SortKey = d.Key
+			}
+		default:
+			o.Engine = EngineMultiPass
+		}
+	}
+
+	// In-memory input paths.
+	if in.path == "" {
+		switch o.Engine {
+		case EngineSingleScan:
+			res, err := singlescan.Run(c, &storage.SliceSource{Recs: in.recs}, singlescan.Options{
+				MemoryBudget: o.MemoryBudget, TempDir: o.TempDir,
+			})
+			if err != nil {
+				return nil, err
+			}
+			return res.Tables, nil
+		case EngineSortScan:
+			key := o.SortKey
+			if key == nil {
+				ch, err := opt.Best(c, st)
+				if err != nil {
+					return nil, err
+				}
+				key = ch.Key
+			}
+			nk, err := SortKey(key).Normalize(c.Schema)
+			if err != nil {
+				return nil, err
+			}
+			sorted := make([]Record, len(in.recs))
+			copy(sorted, in.recs)
+			storage.SortRecords(sorted, func(a, b *Record) bool { return nk.RecordLess(c.Schema, a, b) })
+			pl, err := plan.Build(c, nk, st)
+			if err != nil {
+				return nil, err
+			}
+			res, err := sortscan.RunSorted(c, pl, &storage.SliceSource{Recs: sorted})
+			if err != nil {
+				return nil, err
+			}
+			return res.Tables, nil
+		default:
+			return nil, fmt.Errorf("aw: engine %v requires a file input (use FromFile)", o.Engine)
+		}
+	}
+
+	switch o.Engine {
+	case EngineSortScan:
+		key := o.SortKey
+		if key == nil {
+			ch, err := opt.Best(c, st)
+			if err != nil {
+				return nil, err
+			}
+			key = ch.Key
+		}
+		res, err := sortscan.Run(c, in.path, sortscan.Options{
+			SortKey: key, TempDir: o.TempDir, Stats: st,
+			ParallelSort: o.Workers > 1, SortWorkers: o.Workers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Tables, nil
+	case EngineSingleScan:
+		r, err := storage.Open(in.path)
+		if err != nil {
+			return nil, err
+		}
+		defer r.Close()
+		var res *singlescan.Result
+		if o.Workers > 1 {
+			res, err = singlescan.RunParallel(c, r, o.Workers, singlescan.Options{TempDir: o.TempDir, MemoryBudget: o.MemoryBudget})
+		} else {
+			res, err = singlescan.Run(c, r, singlescan.Options{
+				MemoryBudget: o.MemoryBudget, TempDir: o.TempDir,
+			})
+		}
+		if err != nil {
+			return nil, err
+		}
+		return res.Tables, nil
+	case EngineMultiPass:
+		res, err := multipass.Run(c, in.path, multipass.Options{
+			MemoryBudget: float64(o.MemoryBudget), Stats: st, TempDir: o.TempDir,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Tables, nil
+	case EngineRelational:
+		res, err := relbaseline.Run(c, in.path, relbaseline.Options{TempDir: o.TempDir})
+		if err != nil {
+			return nil, err
+		}
+		return res.Tables, nil
+	}
+	return nil, fmt.Errorf("aw: unknown engine %v", o.Engine)
+}
+
+// CollectStats samples a fact file (up to sampleLimit records; 0 =
+// all) and returns per-dimension distinct-value estimates suitable for
+// QueryOptions.BaseCards.
+func CollectStats(path string, sampleLimit int64) ([]float64, error) {
+	st, err := stats.CollectFile(path, stats.Options{SampleLimit: sampleLimit})
+	if err != nil {
+		return nil, err
+	}
+	return st.PlanStats().BaseCard, nil
+}
+
+// SaveResults persists computed measure tables into a directory (one
+// record file per measure plus a JSON manifest) for later sessions.
+func SaveResults(dir string, schema *Schema, res Results) error {
+	return resultstore.Save(dir, schema, res)
+}
+
+// LoadResults reads back measure tables saved with SaveResults,
+// validating them against the schema.
+func LoadResults(dir string, schema *Schema) (Results, error) {
+	return resultstore.Load(dir, schema)
+}
+
+// LoadResult reads back one saved measure by name.
+func LoadResult(dir string, schema *Schema, name string) (*Table, error) {
+	return resultstore.LoadMeasure(dir, schema, name)
+}
+
+// BestSortKey runs the optimizer and returns the chosen key with its
+// estimated footprint in bytes.
+func BestSortKey(c *Compiled, baseCards []float64) (SortKey, float64, error) {
+	ch, err := opt.Best(c, &plan.Stats{BaseCard: baseCards})
+	if err != nil {
+		return nil, 0, err
+	}
+	return ch.Key, ch.EstBytes, nil
+}
+
+// ExplainPlan renders the streaming plan a sort key induces: per-node
+// stream orders, comparable keys, watermark shifts, and footprint
+// estimates.
+func ExplainPlan(c *Compiled, key SortKey, baseCards []float64) (string, error) {
+	p, err := plan.Build(c, key, &plan.Stats{BaseCard: baseCards})
+	if err != nil {
+		return "", err
+	}
+	return p.String(), nil
+}
+
+// DOT renders a compiled workflow as a Graphviz diagram in the style
+// of the paper's aggregation-workflow figures.
+func DOT(c *Compiled) string { return c.DOT() }

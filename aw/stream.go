@@ -1,0 +1,97 @@
+package aw
+
+import (
+	"awra/internal/exec/sortscan"
+	"awra/internal/opt"
+	"awra/internal/plan"
+)
+
+// Stream is a continuous evaluation session: records pushed in sort
+// order flow through the one-pass streaming engine, and finalized
+// measure values are delivered through the Emit callback as soon as no
+// future record can change them. This is the natural mode for the
+// paper's monitoring workloads, where logs arrive ordered by time.
+type Stream struct {
+	s        *sortscan.Session
+	compiled *Compiled
+	key      SortKey
+}
+
+// StreamOptions configures OpenStream.
+type StreamOptions struct {
+	// SortKey is the order records will arrive in; nil asks the
+	// optimizer (which usually picks a time-leading key for monitoring
+	// schemas, matching arrival order).
+	SortKey SortKey
+	// Emit receives each finalized (measure, region, value).
+	Emit func(measure string, key Key, value float64)
+	// ValidateOrder rejects out-of-order pushes.
+	ValidateOrder bool
+	// BaseCards feeds the optimizer when SortKey is nil.
+	BaseCards []float64
+}
+
+// OpenStream compiles the workflow and starts a streaming session.
+func OpenStream(w *Workflow, o StreamOptions) (*Stream, error) {
+	c, err := w.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return OpenStreamCompiled(c, o)
+}
+
+// OpenStreamCompiled starts a streaming session over a compiled
+// workflow.
+func OpenStreamCompiled(c *Compiled, o StreamOptions) (*Stream, error) {
+	st := &plan.Stats{BaseCard: o.BaseCards}
+	key := o.SortKey
+	if key == nil {
+		ch, err := opt.Best(c, st)
+		if err != nil {
+			return nil, err
+		}
+		key = ch.Key
+	}
+	nk, err := key.Normalize(c.Schema)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := plan.Build(c, nk, st)
+	if err != nil {
+		return nil, err
+	}
+	var emit sortscan.EmitFunc
+	if o.Emit != nil {
+		emit = sortscan.EmitFunc(o.Emit)
+	}
+	s := sortscan.NewSession(c, pl, sortscan.SessionOptions{
+		Emit:          emit,
+		ValidateOrder: o.ValidateOrder,
+	})
+	return &Stream{s: s, compiled: c, key: nk}, nil
+}
+
+// SortKey returns the order records must be pushed in.
+func (st *Stream) SortKey() SortKey { return st.key }
+
+// Workflow returns the compiled workflow (for resolving measure codecs
+// in Emit callbacks).
+func (st *Stream) Workflow() *Compiled { return st.compiled }
+
+// Push feeds one record.
+func (st *Stream) Push(rec *Record) error { return st.s.Push(rec) }
+
+// Records reports how many records have been pushed.
+func (st *Stream) Records() int64 { return st.s.Records() }
+
+// LiveCells reports the current streaming frontier size.
+func (st *Stream) LiveCells() int64 { return st.s.LiveCells() }
+
+// Close flushes everything and returns the complete results.
+func (st *Stream) Close() (Results, error) {
+	res, err := st.s.Close()
+	if err != nil {
+		return nil, err
+	}
+	return res.Tables, nil
+}

@@ -1,0 +1,70 @@
+package aw
+
+import (
+	"sort"
+
+	"awra/internal/agg"
+)
+
+// Row is a decoded result row: a formatted region plus its value.
+type Row struct {
+	Key    Key
+	Label  string
+	Value  float64
+	Region Region
+}
+
+// TopK returns the k rows of a table with the largest values (NULLs
+// excluded), ties broken by key order. k <= 0 returns all non-NULL
+// rows sorted descending.
+func TopK(t *Table, k int) []Row {
+	rows := make([]Row, 0, len(t.Rows))
+	for key, v := range t.Rows {
+		if agg.IsNull(v) {
+			continue
+		}
+		rows = append(rows, Row{Key: key, Value: v})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Value != rows[j].Value {
+			return rows[i].Value > rows[j].Value
+		}
+		return rows[i].Key < rows[j].Key
+	})
+	if k > 0 && len(rows) > k {
+		rows = rows[:k]
+	}
+	for i := range rows {
+		rows[i].Label = t.Codec.Format(rows[i].Key)
+		rows[i].Region = RegionOf(t.Codec, rows[i].Key)
+	}
+	return rows
+}
+
+// FilterRows returns the non-NULL rows satisfying pred, in key order.
+func FilterRows(t *Table, pred func(Region, float64) bool) []Row {
+	var rows []Row
+	for _, key := range t.SortedKeys() {
+		v := t.Rows[key]
+		if agg.IsNull(v) {
+			continue
+		}
+		r := RegionOf(t.Codec, key)
+		if pred(r, v) {
+			rows = append(rows, Row{Key: key, Label: t.Codec.Format(key), Value: v, Region: r})
+		}
+	}
+	return rows
+}
+
+// SumValues totals the non-NULL values of a table (handy for sanity
+// checks and shares).
+func SumValues(t *Table) float64 {
+	s := 0.0
+	for _, v := range t.Rows {
+		if !agg.IsNull(v) {
+			s += v
+		}
+	}
+	return s
+}

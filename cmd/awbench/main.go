@@ -1,0 +1,81 @@
+// Command awbench regenerates the figures of the paper's evaluation
+// section (Section 7) at laptop scale: Figures 6(a)-6(f) on the
+// synthetic workload and 7(a)-7(b) on the network attack log.
+//
+// Usage:
+//
+//	awbench -dir ./benchdata                # all figures
+//	awbench -dir ./benchdata -fig fig6a     # one figure
+//	awbench -dir ./benchdata -scale 4       # larger datasets
+//	awbench -list                           # available figures
+//
+// The -scale flag multiplies dataset sizes (1.0 corresponds to
+// 12.5k-400k records; the paper ran 2M-64M on 2006 hardware). Shapes,
+// not absolute milliseconds, are the reproduction target; see
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"awra/internal/bench"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", "", "working directory for datasets and temporaries (required)")
+		fig    = flag.String("fig", "all", "figure id to regenerate, or 'all'")
+		scale  = flag.Float64("scale", 1.0, "dataset size multiplier")
+		seed   = flag.Int64("seed", 2006, "dataset generation seed")
+		budget = flag.Int64("budget", 8<<20, "single-scan memory budget in bytes")
+		list   = flag.Bool("list", false, "list available figures and exit")
+		quiet  = flag.Bool("q", false, "suppress progress output")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(bench.IDs(), "\n"))
+		return
+	}
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "awbench: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*dir, 0o755); err != nil {
+		fatal(err)
+	}
+	cfg := bench.Config{
+		Dir:              *dir,
+		Scale:            *scale,
+		Seed:             *seed,
+		SingleScanBudget: *budget,
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+
+	if *fig == "all" {
+		figs, err := bench.All(cfg)
+		for _, f := range figs {
+			f.Fprint(os.Stdout)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
+	f, err := bench.Run(*fig, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	f.Fprint(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "awbench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,174 @@
+// Command awquery evaluates an aggregation workflow — written in the
+// small text DSL of internal/wfdsl — over a binary record file, using
+// any of the library's engines.
+//
+// Usage:
+//
+//	awquery -wf query.aw -data net.rec [-engine sortscan] [-measure NAME] [-limit 20]
+//	awquery -wf query.aw -explain          # show the streaming plan and DOT graph
+//
+// Example workflow file:
+//
+//	schema net
+//	basic   Count   gran(t=Hour, U=IP) agg=count
+//	rollup  sCount  gran(t=Hour) src=Count agg=count where "m0 > 5"
+//	sliding avg6    src=sCount agg=avg window t 0..5
+//	combine ratio   src=avg6,sCount fc=ratio
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"awra/aw"
+	"awra/internal/wfdsl"
+)
+
+func main() {
+	var (
+		wfPath  = flag.String("wf", "", "workflow file (required)")
+		data    = flag.String("data", "", "binary record file to query")
+		engine  = flag.String("engine", "sortscan", "engine: sortscan, singlescan, multipass, relational")
+		measure = flag.String("measure", "", "print only this measure (default: all)")
+		limit   = flag.Int("limit", 20, "max rows to print per measure (0 = all)")
+		budget  = flag.Int64("budget", 0, "memory budget in bytes (singlescan spill / multipass per-pass)")
+		workers = flag.Int("workers", 0, "parallel workers (sharded singlescan scan / parallel sort)")
+		csvOut  = flag.String("o", "", "write the selected measure(s) as CSV file(s): PATH, or PATH prefix when printing several")
+		explain = flag.Bool("explain", false, "print the optimizer's plan and the workflow DOT graph, then exit")
+		dot     = flag.Bool("dot", false, "print only the Graphviz workflow diagram, then exit")
+		stats   = flag.Bool("stats", false, "sample the data file and print per-dimension statistics, then exit")
+		auto    = flag.Bool("autostats", false, "feed sampled statistics to the sort-order optimizer")
+		save    = flag.String("save", "", "persist all computed measures into this directory (resultstore)")
+		load    = flag.String("load", "", "print measures previously saved into this directory instead of recomputing")
+	)
+	flag.Parse()
+	if *wfPath == "" {
+		fmt.Fprintln(os.Stderr, "awquery: -wf is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	text, err := os.ReadFile(*wfPath)
+	if err != nil {
+		fatal(err)
+	}
+	parsed, err := wfdsl.Parse(string(text))
+	if err != nil {
+		fatal(err)
+	}
+	c := parsed.Compiled
+
+	if *dot {
+		fmt.Print(aw.DOT(c))
+		return
+	}
+	if *explain {
+		key, est, err := aw.BestSortKey(c, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("chosen sort key: %s (estimated footprint %.0f bytes)\n\n", key.String(parsed.Schema), est)
+		text, err := aw.ExplainPlan(c, key, nil)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(text)
+		fmt.Println(aw.DOT(c))
+		return
+	}
+	if *data == "" && *load == "" {
+		// With no data, describe the workflow instead of failing.
+		fmt.Print(c.Describe())
+		fmt.Fprintln(os.Stderr, "\nawquery: pass -data FILE to evaluate (or -explain for the plan)")
+		os.Exit(2)
+	}
+
+	if *stats {
+		cards, err := aw.CollectStats(*data, 0)
+		if err != nil {
+			fatal(err)
+		}
+		for d, card := range cards {
+			fmt.Printf("%-12s ~%.0f distinct base values\n", parsed.Schema.Dim(d).Name(), card)
+		}
+		return
+	}
+
+	eng, err := aw.ParseEngine(*engine)
+	if err != nil {
+		fatal(err)
+	}
+	var res aw.Results
+	if *load != "" {
+		res, err = aw.LoadResults(*load, parsed.Schema)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		res, err = aw.QueryCompiled(c, aw.FromFile(*data), aw.QueryOptions{
+			Engine:       eng,
+			MemoryBudget: *budget,
+			Workers:      *workers,
+			AutoStats:    *auto,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *save != "" {
+		if err := aw.SaveResults(*save, parsed.Schema, res); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved %d measures to %s\n", len(res), *save)
+	}
+
+	names := c.Outputs()
+	if *measure != "" {
+		if _, err := c.MeasureByName(*measure); err != nil {
+			fatal(err)
+		}
+		names = []string{*measure}
+	}
+	for _, name := range names {
+		tbl := res[name]
+		if tbl == nil {
+			fmt.Printf("== %s (not present in the loaded results)\n", name)
+			continue
+		}
+		if *csvOut != "" {
+			path := *csvOut
+			if len(names) > 1 {
+				path = *csvOut + name + ".csv"
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tbl.WriteCSV(f, name); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s (%d regions)\n", path, len(tbl.Rows))
+			continue
+		}
+		fmt.Printf("== %s (%d regions)\n", name, len(tbl.Rows))
+		keys := tbl.SortedKeys()
+		shown := 0
+		for _, k := range keys {
+			if *limit > 0 && shown >= *limit {
+				fmt.Printf("   ... %d more\n", len(keys)-shown)
+				break
+			}
+			fmt.Printf("   %-50s %v\n", tbl.Codec.Format(k), tbl.Rows[k])
+			shown++
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "awquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,128 @@
+// Air quality monitoring — the paper's *other* motivating domain
+// (environmental monitoring, Section 1), showing dictionary-encoded
+// categorical hierarchies alongside the time hierarchy: monitoring
+// sites roll up to regions and countries, and composite measures
+// compute regional daily means, exceedance streak detection via
+// sibling joins, and each region's share of the national total via a
+// parent/child join.
+//
+//	go run ./examples/airquality
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"awra/aw"
+)
+
+func main() {
+	// Location hierarchy: Site -> Region -> ALL, from a dictionary.
+	b := aw.NewDictBuilder("loc", "Site", "Region")
+	sites := map[string]string{
+		"madison": "midwest", "chicago": "midwest", "stlouis": "midwest",
+		"seattle": "west", "portland": "west",
+		"boston": "east", "newyork": "east", "philly": "east",
+	}
+	for site, region := range sites {
+		b.Add(site, region)
+	}
+	locDim, locDict, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	schema := aw.MustSchema([]*aw.Dimension{
+		aw.TimeDimension("t"),
+		locDim,
+	}, "pm25")
+
+	// Two weeks of hourly PM2.5 readings per site, with a pollution
+	// episode planted in the midwest on days 5-7.
+	rng := rand.New(rand.NewSource(42))
+	var recs []aw.Record
+	for day := 0; day < 14; day++ {
+		for hour := 0; hour < 24; hour++ {
+			for site, region := range sites {
+				code, err := locDict.LeafCode(site)
+				if err != nil {
+					log.Fatal(err)
+				}
+				base := 8 + 4*math.Sin(float64(hour-6)/24*2*math.Pi)
+				level := base + rng.NormFloat64()*2
+				if region == "midwest" && day >= 5 && day <= 7 {
+					level += 30 // the episode
+				}
+				if level < 0 {
+					level = 0
+				}
+				recs = append(recs, aw.Record{
+					Dims: []int64{aw.SecondCode(2005, 6, 1+day, hour, 0, 0), code},
+					Ms:   []float64{level},
+				})
+			}
+		}
+	}
+
+	gDaySite, err := schema.MakeGran(map[string]string{"t": "Day", "loc": "Site"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gDayRegion, err := schema.MakeGran(map[string]string{"t": "Day", "loc": "Region"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gDay, err := schema.MakeGran(map[string]string{"t": "Day"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const limit = 20.0 // daily-mean exceedance threshold
+
+	wf := aw.NewWorkflow(schema).
+		// Daily mean per site, then per region.
+		Basic("siteDaily", gDaySite, aw.Avg, 0).
+		Rollup("regionDaily", gDayRegion, "siteDaily", aw.Avg).
+		// National daily mean and each region's share of it.
+		Rollup("nationalDaily", gDay, "regionDaily", aw.Avg).
+		FromParent("national", gDayRegion, "nationalDaily", aw.Sum).
+		Combine("shareOfNational", []string{"regionDaily", "national"}, aw.Ratio(0, 1)).
+		// Exceedance detection with a trailing 3-day window: a region
+		// is in a sustained episode when every one of the last three
+		// daily means exceeded the limit.
+		Sliding("minOverWindow", "regionDaily", aw.Min, []aw.Window{{Dim: 0, Lo: -2, Hi: 0}}).
+		Rollup("episodeRegions", gDay, "minOverWindow", aw.Count,
+			aw.Where(aw.MWhere(0, aw.Gt, limit)))
+
+	res, err := aw.Query(wf, aw.FromRecords(recs))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("sustained exceedance episodes (3-day minimum above limit):")
+	minW := res["minOverWindow"]
+	for _, k := range minW.SortedKeys() {
+		if v := minW.Rows[k]; !aw.IsNull(v) && v > limit {
+			fmt.Printf("  %-36s 3-day min %.1f ug/m3\n", minW.Codec.Format(k), v)
+		}
+	}
+
+	fmt.Println("\nregional share of the national mean on episode days:")
+	share := res["shareOfNational"]
+	episodeDays := map[int64]bool{}
+	epi := res["episodeRegions"]
+	for k, v := range epi.Rows {
+		if v > 0 {
+			episodeDays[epi.Codec.Decode(k)[0]] = true
+		}
+	}
+	for _, k := range share.SortedKeys() {
+		day := share.Codec.Decode(k)[0]
+		if !episodeDays[day] {
+			continue
+		}
+		fmt.Printf("  %-36s %5.1f%% of national\n", share.Codec.Format(k), 100*share.Rows[k])
+	}
+}

@@ -1,0 +1,96 @@
+// Network escalation detection — the first real-data analysis of the
+// paper's Section 7.2: "identify instances where attack packet volume
+// grows significantly from one time period to the next", built from
+// sibling match joins over consecutive hours.
+//
+//	go run ./examples/netescalation
+//
+// The program generates a synthetic attack log with planted worm-like
+// escalation events (the stand-in for the LBL HoneyNet data), runs the
+// escalation workflow, and reports the alarms alongside the planted
+// ground truth so you can see the query finding the events.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"awra/aw"
+	"awra/internal/gen"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "awra-escalation")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	fact := filepath.Join(dir, "net.rec")
+
+	cfg := gen.NetConfig{Days: 3, Escalations: 4, Recons: 0, Seed: 17}
+	schema, truth, err := gen.NetLog(fact, 150000, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %s with %d planted escalation events\n\n", fact, len(truth.Escalations))
+
+	gSubHour, err := schema.MakeGran(map[string]string{"t": "Hour", "T": "/24"})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// traffic:   packets per (target /24, hour)
+	// prev:      the same measure one hour earlier (sibling match)
+	// growth:    traffic / prev, guarded against quiet hours
+	wf := aw.NewWorkflow(schema).
+		Basic("traffic", gSubHour, aw.Count, -1).
+		Sliding("prev", "traffic", aw.Sum, []aw.Window{{Dim: 0, Lo: -1, Hi: -1}}).
+		Combine("growth", []string{"traffic", "prev"}, aw.CombineFunc{
+			Name: "traffic/prev",
+			Fn: func(v []float64) float64 {
+				if aw.IsNull(v[0]) || aw.IsNull(v[1]) || v[1] < 16 {
+					return aw.Null()
+				}
+				return v[0] / v[1]
+			},
+		})
+
+	res, err := aw.Query(wf, aw.FromFile(fact), aw.QueryOptions{TempDir: dir})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	type alarm struct {
+		where string
+		score float64
+	}
+	var alarms []alarm
+	growth := res["growth"]
+	for k, v := range growth.Rows {
+		if !aw.IsNull(v) && v >= 2 {
+			alarms = append(alarms, alarm{growth.Codec.Format(k), v})
+		}
+	}
+	sort.Slice(alarms, func(i, j int) bool { return alarms[i].score > alarms[j].score })
+
+	fmt.Printf("escalation alarms (volume at least doubled hour-over-hour): %d\n", len(alarms))
+	for i, a := range alarms {
+		if i == 12 {
+			fmt.Printf("  ... %d more\n", len(alarms)-i)
+			break
+		}
+		fmt.Printf("  %-44s x%.1f\n", a.where, a.score)
+	}
+
+	hourLvl, _ := schema.Dim(0).LevelByName("Hour")
+	subLvl, _ := schema.Dim(2).LevelByName("/24")
+	fmt.Println("\nplanted ground truth:")
+	for _, e := range truth.Escalations {
+		fmt.Printf("  target %-18s peak hour %s\n",
+			schema.Dim(2).FormatCode(subLvl, e.TargetSubnet),
+			schema.Dim(0).FormatCode(hourLvl, e.HourCode))
+	}
+}

@@ -1,0 +1,10 @@
+# Examples 1-5 of the paper (Section 3.1) as an awquery workflow file.
+#
+#   awgen -kind net -n 200000 -out net.rec
+#   awquery -wf examples/queries/busysources.aw -data net.rec -measure ratio
+schema net
+basic   Count   gran(t=Hour, U=IP) agg=count
+rollup  sCount  gran(t=Hour) src=Count agg=count where "m0 > 5"
+rollup  sTraffic gran(t=Hour) src=Count agg=sum where "m0 > 5"
+sliding avgCount src=sCount agg=avg window t 0..5
+combine ratio   src=avgCount,sCount fc=ratio

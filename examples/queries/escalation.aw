@@ -1,0 +1,9 @@
+# Network escalation detection (Section 7.2, first analysis query):
+# hour-over-hour growth of attack volume per target /24.
+#
+#   awgen -kind net -n 200000 -out net.rec
+#   awquery -wf examples/queries/escalation.aw -data net.rec -measure growth
+schema net
+basic   traffic gran(t=Hour, T=/24) agg=count
+sliding prev    src=traffic agg=sum window t -1..-1
+combine growth  src=traffic,prev fc=ratio

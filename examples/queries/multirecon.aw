@@ -1,0 +1,9 @@
+# Multi-recon detection (Section 7.2, second analysis query): subnets
+# probed by many distinct sources within a day.
+#
+#   awgen -kind net -n 200000 -out net.rec
+#   awquery -wf examples/queries/multirecon.aw -data net.rec -measure sweeps
+schema net
+basic  srcActivity gran(t=Day, T=/24, U=IP) agg=count
+rollup fanIn       gran(t=Day, T=/24) src=srcActivity agg=count
+rollup sweeps      gran(t=Day) src=fanIn agg=count where "m0 >= 40"

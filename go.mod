@@ -1,0 +1,3 @@
+module awra
+
+go 1.22

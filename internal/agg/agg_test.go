@@ -1,0 +1,302 @@
+package agg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var allKinds = []Kind{
+	Count, CountNonNull, Sum, Min, Max, Avg, Var, StdDev,
+	CountDistinct, First, Last, ConstZero, Median, P95,
+}
+
+func feed(k Kind, vs []float64) float64 {
+	a := k.New()
+	for _, v := range vs {
+		a.Update(v)
+	}
+	return a.Final()
+}
+
+func TestBasics(t *testing.T) {
+	vs := []float64{3, 1, 4, 1, 5}
+	cases := []struct {
+		k    Kind
+		want float64
+	}{
+		{Count, 5}, {CountNonNull, 5}, {Sum, 14}, {Min, 1}, {Max, 5},
+		{Avg, 2.8}, {CountDistinct, 4}, {First, 3}, {Last, 5}, {ConstZero, 0},
+	}
+	for _, c := range cases {
+		if got := feed(c.k, vs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%v(%v) = %v, want %v", c.k, vs, got, c.want)
+		}
+	}
+	if got := feed(Var, []float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("Var = %v, want 4", got)
+	}
+	if got := feed(StdDev, []float64{2, 4, 4, 4, 5, 5, 7, 9}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	for _, k := range allKinds {
+		got := k.New().Final()
+		switch k {
+		case Count, CountNonNull, CountDistinct, ConstZero:
+			if got != 0 {
+				t.Errorf("%v over empty = %v, want 0", k, got)
+			}
+		default:
+			if !IsNull(got) {
+				t.Errorf("%v over empty = %v, want NULL", k, got)
+			}
+		}
+	}
+}
+
+func TestNullHandling(t *testing.T) {
+	vs := []float64{Null(), 2, Null(), 6}
+	if got := feed(Count, vs); got != 4 {
+		t.Errorf("Count(*) with NULLs = %v, want 4", got)
+	}
+	if got := feed(CountNonNull, vs); got != 2 {
+		t.Errorf("Count(M) with NULLs = %v, want 2", got)
+	}
+	if got := feed(Sum, vs); got != 8 {
+		t.Errorf("Sum with NULLs = %v, want 8", got)
+	}
+	if got := feed(Avg, vs); got != 4 {
+		t.Errorf("Avg with NULLs = %v, want 4", got)
+	}
+	if got := feed(Min, vs); got != 2 {
+		t.Errorf("Min with NULLs = %v, want 2", got)
+	}
+	if got := feed(First, vs); got != 2 {
+		t.Errorf("First with NULLs = %v, want 2", got)
+	}
+	if got := feed(Last, vs); got != 6 {
+		t.Errorf("Last with NULLs = %v, want 6", got)
+	}
+	if got := feed(Sum, []float64{Null()}); !IsNull(got) {
+		t.Errorf("Sum of only NULLs = %v, want NULL", got)
+	}
+}
+
+func TestMergeEquivalentToConcatenation(t *testing.T) {
+	// Property: splitting an input sequence at any point and merging
+	// must equal feeding the whole sequence to one aggregator.
+	// (First/Last depend on order, which merge preserves here since we
+	// merge left then right.)
+	rng := rand.New(rand.NewSource(42))
+	for _, k := range allKinds {
+		for trial := 0; trial < 100; trial++ {
+			n := rng.Intn(20)
+			vs := make([]float64, n)
+			for i := range vs {
+				if rng.Intn(10) == 0 {
+					vs[i] = Null()
+				} else {
+					vs[i] = float64(rng.Intn(8))
+				}
+			}
+			cut := 0
+			if n > 0 {
+				cut = rng.Intn(n + 1)
+			}
+			left, right := k.New(), k.New()
+			for _, v := range vs[:cut] {
+				left.Update(v)
+			}
+			for _, v := range vs[cut:] {
+				right.Update(v)
+			}
+			left.Merge(right)
+			want := feed(k, vs)
+			got := left.Final()
+			if IsNull(want) != IsNull(got) || (!IsNull(want) && math.Abs(got-want) > 1e-9) {
+				t.Fatalf("%v: merge(%v cut %d) = %v, want %v", k, vs, cut, got, want)
+			}
+		}
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range allKinds {
+		for trial := 0; trial < 50; trial++ {
+			a := k.New()
+			n := rng.Intn(15)
+			for i := 0; i < n; i++ {
+				a.Update(float64(rng.Intn(6)))
+			}
+			b, err := k.Restore(a.State())
+			if err != nil {
+				t.Fatalf("%v: restore: %v", k, err)
+			}
+			wa, wb := a.Final(), b.Final()
+			if IsNull(wa) != IsNull(wb) || (!IsNull(wa) && math.Abs(wa-wb) > 1e-12) {
+				t.Fatalf("%v: round trip %v != %v", k, wb, wa)
+			}
+			// Restored aggregators must keep accepting updates.
+			a.Update(3)
+			b.Update(3)
+			wa, wb = a.Final(), b.Final()
+			if IsNull(wa) != IsNull(wb) || (!IsNull(wa) && math.Abs(wa-wb) > 1e-12) {
+				t.Fatalf("%v: post-restore update %v != %v", k, wb, wa)
+			}
+		}
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	bad := []float64{1, 2, 3, 4, 5, 6, 7}
+	for _, k := range []Kind{Count, Sum, Min, Avg, Var, First} {
+		if _, err := k.Restore(bad); err == nil {
+			t.Errorf("%v: garbage state accepted", k)
+		}
+	}
+}
+
+func TestVarMergeNumericallyStable(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		vs := make([]float64, len(raw))
+		for i, r := range raw {
+			vs[i] = float64(r) + 1e6 // large offset stresses naive formulas
+		}
+		whole := feed(Var, vs)
+		cut := len(vs) / 2
+		l, r := Var.New(), Var.New()
+		for _, v := range vs[:cut] {
+			l.Update(v)
+		}
+		for _, v := range vs[cut:] {
+			r.Update(v)
+		}
+		l.Merge(r)
+		return math.Abs(l.Final()-whole) < 1e-6*(1+whole)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKindStringAndParse(t *testing.T) {
+	for _, k := range allKinds {
+		got, err := ParseKind(k.String())
+		if err != nil || got != k {
+			t.Errorf("ParseKind(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := ParseKind("mode"); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if got, err := ParseKind("  SUM "); err != nil || got != Sum {
+		t.Errorf("case/space-insensitive parse failed: %v %v", got, err)
+	}
+	if s := Kind(99).String(); s != "agg.Kind(99)" {
+		t.Errorf("unknown kind String = %q", s)
+	}
+}
+
+func TestClassification(t *testing.T) {
+	for _, k := range []Kind{Count, CountNonNull, Sum, Min, Max, ConstZero} {
+		if !k.Distributive() || !k.Algebraic() {
+			t.Errorf("%v should be distributive and algebraic", k)
+		}
+	}
+	for _, k := range []Kind{Avg, Var, StdDev} {
+		if k.Distributive() {
+			t.Errorf("%v should not be distributive", k)
+		}
+		if !k.Algebraic() {
+			t.Errorf("%v should be algebraic", k)
+		}
+	}
+	for _, k := range []Kind{CountDistinct, First, Last, Median, P95} {
+		if k.Algebraic() {
+			t.Errorf("%v should be holistic", k)
+		}
+		if k.Distributive() {
+			t.Errorf("%v should not be distributive", k)
+		}
+	}
+}
+
+func TestBytesPositive(t *testing.T) {
+	for _, k := range allKinds {
+		a := k.New()
+		if a.Bytes() <= 0 {
+			t.Errorf("%v: Bytes() = %d", k, a.Bytes())
+		}
+		a.Update(1)
+		a.Update(2)
+		if a.Bytes() <= 0 {
+			t.Errorf("%v: Bytes() after updates = %d", k, a.Bytes())
+		}
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		vs   []float64
+		want float64
+	}{
+		{Median, []float64{5, 1, 3}, 3},
+		{Median, []float64{4, 1, 3, 2}, 2.5}, // midpoint for even counts
+		{Median, []float64{7}, 7},
+		{P95, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 10}, // ceil(0.95*10) = 10th
+		{P95, []float64{1}, 1},
+	}
+	for _, c := range cases {
+		if got := feed(c.k, c.vs); got != c.want {
+			t.Errorf("%v(%v) = %v, want %v", c.k, c.vs, got, c.want)
+		}
+	}
+	// Order independence.
+	a := feed(Median, []float64{9, 2, 5, 5, 1})
+	b := feed(Median, []float64{1, 5, 9, 5, 2})
+	if a != b {
+		t.Errorf("median is order dependent: %v vs %v", a, b)
+	}
+	// NULLs ignored; all-NULL yields NULL.
+	if got := feed(Median, []float64{Null(), 4, Null()}); got != 4 {
+		t.Errorf("median with NULLs = %v", got)
+	}
+	if got := feed(P95, []float64{Null()}); !IsNull(got) {
+		t.Errorf("p95 of only NULLs = %v", got)
+	}
+	// Final is repeatable (no destructive sort of live state).
+	ag := Median.New()
+	for _, v := range []float64{3, 1, 2} {
+		ag.Update(v)
+	}
+	if ag.Final() != 2 || ag.Final() != 2 {
+		t.Error("Final not idempotent")
+	}
+	ag.Update(10)
+	if ag.Final() != 2.5 {
+		t.Errorf("median after more updates = %v", ag.Final())
+	}
+}
+
+func TestCountDistinctGrowth(t *testing.T) {
+	a := CountDistinct.New()
+	before := a.Bytes()
+	for i := 0; i < 100; i++ {
+		a.Update(float64(i))
+	}
+	if a.Bytes() <= before {
+		t.Error("CountDistinct footprint did not grow with cardinality")
+	}
+	if a.Final() != 100 {
+		t.Errorf("CountDistinct = %v", a.Final())
+	}
+}

@@ -1,0 +1,235 @@
+// Package bench regenerates every figure of the paper's evaluation
+// section (Section 7): the synthetic child/parent and sibling-chain
+// queries of Figures 6(a)-6(e), and the network escalation,
+// multi-recon, and combined analyses of Figures 6(f), 7(a) and 7(b).
+// Dataset sizes scale down from the paper's 2M-64M records to laptop
+// scale (the Scale knob restores larger runs); the quantities of
+// interest are the relative shapes — who wins, by what factor, and
+// where the crossovers fall — not absolute numbers from 2006 hardware.
+package bench
+
+import (
+	"fmt"
+
+	"awra/internal/agg"
+	"awra/internal/core"
+	"awra/internal/gen"
+	"awra/internal/model"
+)
+
+// q1Grans returns the parent granularity and up to seven child
+// granularities for the paper's Q1 ("a measure computed by combining
+// seven aggregations for its child regions") over the 4-attribute
+// synthetic schema.
+func q1Grans(s *model.Schema, k int) (model.Gran, []model.Gran) {
+	all := model.LevelALL
+	parent, err := s.Normalize(model.Gran{2, all, all, all})
+	if err != nil {
+		panic(err)
+	}
+	cands := []model.Gran{
+		{0, 1, all, all},
+		{0, all, 1, all},
+		{0, all, all, 1},
+		{1, 0, all, all},
+		{1, all, 0, all},
+		{1, all, all, all},
+		{0, 0, all, all}, // finest: region count grows with |D|
+	}
+	if k > len(cands) {
+		panic(fmt.Sprintf("bench: Q1 supports at most %d child measures", len(cands)))
+	}
+	children := make([]model.Gran, k)
+	for i := 0; i < k; i++ {
+		g, err := s.Normalize(cands[i])
+		if err != nil {
+			panic(err)
+		}
+		children[i] = g
+	}
+	return parent, children
+}
+
+// Q1Workflow builds the child/parent query of Figure 6(a)/(c): k
+// child-granularity counts, each rolled up to the parent granularity
+// by counting child regions (the relational formulation is
+// COUNT(DISTINCT ...)), combined into one measure at the parent.
+// The final measure is named "q1".
+func Q1Workflow(s *model.Schema, k int) (*core.Compiled, error) {
+	parent, children := q1Grans(s, k)
+	w := core.NewWorkflow(s)
+	var rollups []string
+	for i, g := range children {
+		child := fmt.Sprintf("child%d", i+1)
+		up := fmt.Sprintf("per_parent%d", i+1)
+		w.Basic(child, g, agg.Count, -1)
+		w.Rollup(up, parent, child, agg.Count)
+		rollups = append(rollups, up)
+	}
+	w.Combine("q1", rollups, core.SumOf())
+	return w.Compile()
+}
+
+// Q2Workflow builds the sibling-chain query of Figure 6(b)/(d): a
+// per-cell count at the finest granularity of attribute A1 followed by
+// `chain` nested sliding-window averages (the paper runs chains of
+// length two and seven). The final measure is named "q2".
+func Q2Workflow(s *model.Schema, chain int) (*core.Compiled, error) {
+	all := model.LevelALL
+	g, err := s.Normalize(model.Gran{0, all, all, all})
+	if err != nil {
+		return nil, err
+	}
+	w := core.NewWorkflow(s)
+	w.Basic("cnt", g, agg.Count, -1)
+	prev := "cnt"
+	for i := 1; i <= chain; i++ {
+		name := fmt.Sprintf("win%d", i)
+		if i == chain {
+			name = "q2"
+		}
+		w.Sliding(name, prev, agg.Avg, []core.Window{{Dim: 0, Lo: 0, Hi: 5}})
+		prev = name
+	}
+	return w.Compile()
+}
+
+// netLevels resolves the levels the network workflows use.
+func netLevels(s *model.Schema) (hour, day model.Level, t24 model.Level, err error) {
+	hour, err = s.Dim(0).LevelByName("Hour")
+	if err != nil {
+		return
+	}
+	day, err = s.Dim(0).LevelByName("Day")
+	if err != nil {
+		return
+	}
+	t24, err = s.Dim(2).LevelByName("/24")
+	return
+}
+
+// EscalationWorkflow builds the Section 7.2 "network escalation
+// detection" query: per-hour traffic per target /24, compared against
+// the two preceding hours via sibling match joins; hours whose volume
+// at least doubles a non-trivial previous hour raise an alarm, counted
+// per hour in the final measure "alarms".
+func EscalationWorkflow(s *model.Schema) (*core.Compiled, error) {
+	hour, _, t24, err := netLevels(s)
+	if err != nil {
+		return nil, err
+	}
+	all := model.LevelALL
+	gSubHour, err := s.Normalize(model.Gran{hour, all, t24, all})
+	if err != nil {
+		return nil, err
+	}
+	gHour, err := s.Normalize(model.Gran{hour, all, all, all})
+	if err != nil {
+		return nil, err
+	}
+	w := core.NewWorkflow(s)
+	w.Basic("traffic", gSubHour, agg.Count, -1)
+	w.Sliding("prev1", "traffic", agg.Sum, []core.Window{{Dim: 0, Lo: -1, Hi: -1}})
+	w.Sliding("prev2", "traffic", agg.Sum, []core.Window{{Dim: 0, Lo: -2, Hi: -2}})
+	w.Combine("growth", []string{"traffic", "prev1", "prev2"}, core.CombineFunc{
+		Name: "escalation score",
+		Fn: func(v []float64) float64 {
+			cur, p1, p2 := v[0], v[1], v[2]
+			if agg.IsNull(cur) || agg.IsNull(p1) || p1 < 16 {
+				return agg.Null()
+			}
+			score := cur / p1
+			if !agg.IsNull(p2) && p2 > 0 && p1/p2 > score {
+				score = p1 / p2
+			}
+			return score
+		},
+	})
+	w.Rollup("alarms", gHour, "growth", agg.Count, core.Where(core.MWhere(0, core.Ge, 2)))
+	return w.Compile()
+}
+
+// ReconWorkflow builds the Section 7.2 "multi-recon detection" query:
+// three measures, each a child/parent match join — per-(day, /24)
+// distinct-source counts built from per-(day, /24, source) activity,
+// then the number of swept subnets per day. The final measure is
+// "sweeps".
+func ReconWorkflow(s *model.Schema, fanThreshold float64) (*core.Compiled, error) {
+	_, day, t24, err := netLevels(s)
+	if err != nil {
+		return nil, err
+	}
+	all := model.LevelALL
+	gDaySubSrc, err := s.Normalize(model.Gran{day, 0, t24, all})
+	if err != nil {
+		return nil, err
+	}
+	gDaySub, err := s.Normalize(model.Gran{day, all, t24, all})
+	if err != nil {
+		return nil, err
+	}
+	gDay, err := s.Normalize(model.Gran{day, all, all, all})
+	if err != nil {
+		return nil, err
+	}
+	w := core.NewWorkflow(s)
+	w.Basic("srcActivity", gDaySubSrc, agg.Count, -1)
+	w.Rollup("fanIn", gDaySub, "srcActivity", agg.Count)
+	w.Rollup("sweeps", gDay, "fanIn", agg.Count, core.Where(core.MWhere(0, core.Ge, fanThreshold)))
+	return w.Compile()
+}
+
+// CombinedWorkflow is the Figure 6(f) query: escalation and
+// multi-recon analyses fused into a single aggregation workflow, so
+// one sort/scan pass serves both. Final measures are "alarms" and
+// "sweeps".
+func CombinedWorkflow(s *model.Schema, fanThreshold float64) (*core.Compiled, error) {
+	hour, day, t24, err := netLevels(s)
+	if err != nil {
+		return nil, err
+	}
+	all := model.LevelALL
+	gSubHour, _ := s.Normalize(model.Gran{hour, all, t24, all})
+	gHour, _ := s.Normalize(model.Gran{hour, all, all, all})
+	gDaySubSrc, _ := s.Normalize(model.Gran{day, 0, t24, all})
+	gDaySub, _ := s.Normalize(model.Gran{day, all, t24, all})
+	gDay, _ := s.Normalize(model.Gran{day, all, all, all})
+
+	w := core.NewWorkflow(s)
+	w.Basic("traffic", gSubHour, agg.Count, -1)
+	w.Sliding("prev1", "traffic", agg.Sum, []core.Window{{Dim: 0, Lo: -1, Hi: -1}})
+	w.Combine("growth", []string{"traffic", "prev1"}, core.CombineFunc{
+		Name: "escalation score",
+		Fn: func(v []float64) float64 {
+			if agg.IsNull(v[0]) || agg.IsNull(v[1]) || v[1] < 16 {
+				return agg.Null()
+			}
+			return v[0] / v[1]
+		},
+	})
+	w.Rollup("alarms", gHour, "growth", agg.Count, core.Where(core.MWhere(0, core.Ge, 2)))
+	w.Basic("srcActivity", gDaySubSrc, agg.Count, -1)
+	w.Rollup("fanIn", gDaySub, "srcActivity", agg.Count)
+	w.Rollup("sweeps", gDay, "fanIn", agg.Count, core.Where(core.MWhere(0, core.Ge, fanThreshold)))
+	return w.Compile()
+}
+
+// SynthStats supplies the optimizer with the synthetic dataset's
+// cardinalities.
+func SynthStats(c gen.SynthConfig) []float64 {
+	out := make([]float64, 4)
+	base := float64(1000)
+	if c.BaseRange > 0 {
+		base = float64(c.BaseRange)
+	}
+	for i := range out {
+		out[i] = base
+	}
+	return out
+}
+
+// NetStats supplies the optimizer with the network dataset's rough
+// cardinalities: seconds, sources, targets, ports.
+func NetStats(days int, sources, subnets int) []float64 {
+	return []float64{float64(days) * 86400, float64(sources), float64(subnets) * 256, 65536}
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// DOT renders the compiled workflow as a Graphviz graph in the style of
+// the paper's Figure 3: one cluster (rectangle) per region set, one
+// oval per measure with its aggregation formula, and computational arcs
+// for value dependencies. Base arcs (the S_base cell providers) are
+// dashed.
+func (c *Compiled) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph workflow {\n")
+	b.WriteString("  rankdir=BT;\n  node [shape=ellipse, fontsize=10];\n")
+
+	// Group measures by granularity string.
+	groups := map[string][]int{}
+	for i, m := range c.Measures {
+		gs := c.Schema.GranString(m.Gran)
+		groups[gs] = append(groups[gs], i)
+	}
+	var granStrings []string
+	for gs := range groups {
+		granStrings = append(granStrings, gs)
+	}
+	sort.Strings(granStrings)
+
+	for gi, gs := range granStrings {
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n", gi)
+		fmt.Fprintf(&b, "    label=%q; style=rounded;\n", gs)
+		for _, i := range groups[gs] {
+			m := c.Measures[i]
+			label := fmt.Sprintf("%s\\n%s", m.Name, measureFormula(m))
+			attrs := ""
+			if m.Hidden {
+				attrs = ", style=dotted"
+			}
+			fmt.Fprintf(&b, "    m%d [label=%q%s];\n", i, label, attrs)
+		}
+		b.WriteString("  }\n")
+	}
+
+	for i, m := range c.Measures {
+		for _, s := range m.Sources {
+			fmt.Fprintf(&b, "  m%d -> m%d;\n", s, i)
+		}
+		if m.Base >= 0 && (len(m.Sources) == 0 || m.Base != m.Sources[0]) {
+			fmt.Fprintf(&b, "  m%d -> m%d [style=dashed, label=\"base\"];\n", m.Base, i)
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// Describe renders the compiled workflow as a human-readable summary:
+// one line per measure with its kind, region set, formula, and
+// dependencies. The awquery tool prints it when asked about a workflow
+// without data.
+func (c *Compiled) Describe() string {
+	var b strings.Builder
+	for _, m := range c.Measures {
+		tag := ""
+		if m.Hidden {
+			tag = " (hidden)"
+		}
+		fmt.Fprintf(&b, "%-18s %-10s %-28s %s%s\n",
+			m.Name, m.Kind, c.Schema.GranString(m.Gran), measureFormula(m), tag)
+		if len(m.Sources) > 0 {
+			fmt.Fprintf(&b, "%18s   <- %s\n", "", strings.Join(m.SourceNames(c), ", "))
+		}
+	}
+	return b.String()
+}
+
+func measureFormula(m *Measure) string {
+	var parts []string
+	switch m.Kind {
+	case KindBasic:
+		if m.FactMeasure >= 0 {
+			parts = append(parts, fmt.Sprintf("%v(M%d of D)", m.Agg, m.FactMeasure))
+		} else {
+			parts = append(parts, fmt.Sprintf("%v(D)", m.Agg))
+		}
+	case KindRollup:
+		parts = append(parts, fmt.Sprintf("%v(src)", m.Agg))
+	case KindFromParent:
+		parts = append(parts, fmt.Sprintf("%v(parent)", m.Agg))
+	case KindSibling:
+		ws := make([]string, len(m.Windows))
+		for i, w := range m.Windows {
+			ws[i] = fmt.Sprintf("X%d[%+d,%+d]", w.Dim, w.Lo, w.Hi)
+		}
+		parts = append(parts, fmt.Sprintf("%v over %s", m.Agg, strings.Join(ws, ",")))
+	case KindCombine:
+		parts = append(parts, m.Combine.String())
+	}
+	if m.Filter != nil {
+		parts = append(parts, "where "+m.Filter.String())
+	}
+	return strings.Join(parts, " ")
+}

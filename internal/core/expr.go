@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"awra/internal/agg"
+	"awra/internal/model"
+)
+
+// ExprKind identifies an AW-RA operator (Table 5).
+type ExprKind int
+
+// The five operators of AW-RA.
+const (
+	// FactExpr is the raw fact table D.
+	FactExpr ExprKind = iota
+	// SelectExpr is sigma_cond(T).
+	SelectExpr
+	// AggExpr is g_{G,agg}(T), the roll-up aggregation of Table 2.
+	AggExpr
+	// MatchJoinExpr is S |x|_{cond,agg} T of Table 3.
+	MatchJoinExpr
+	// CombineJoinExpr is S |x|-bar_{fc} (T_1..T_n) of Table 4.
+	CombineJoinExpr
+)
+
+func (k ExprKind) String() string {
+	switch k {
+	case FactExpr:
+		return "D"
+	case SelectExpr:
+		return "select"
+	case AggExpr:
+		return "agg"
+	case MatchJoinExpr:
+		return "matchjoin"
+	case CombineJoinExpr:
+		return "combinejoin"
+	}
+	return fmt.Sprintf("ExprKind(%d)", int(k))
+}
+
+// MatchKind classifies the commonly used match-join conditions of
+// Section 3.2.
+type MatchKind int
+
+const (
+	// MatchSelf: S.X = T.X (same granularity); equivalent to a
+	// combine join with a single operand.
+	MatchSelf MatchKind = iota
+	// MatchParentChild: gamma(S.X) = T.X — T is at a coarser
+	// granularity, and each S region matches its unique ancestor in T
+	// (the paper's cond_pc).
+	MatchParentChild
+	// MatchChildParent: gamma(T.X) = S.X — T is at a finer
+	// granularity, and each S region matches all of its descendants in
+	// T (cond_cp; essentially an aggregation).
+	MatchChildParent
+	// MatchSibling: T.X in NEIGHBOR(S.X) — same granularity, with
+	// per-dimension moving windows (cond_sb).
+	MatchSibling
+)
+
+func (k MatchKind) String() string {
+	switch k {
+	case MatchSelf:
+		return "self"
+	case MatchParentChild:
+		return "parent/child"
+	case MatchChildParent:
+		return "child/parent"
+	case MatchSibling:
+		return "sibling"
+	}
+	return fmt.Sprintf("MatchKind(%d)", int(k))
+}
+
+// Window is a sibling-match moving window on one dimension:
+// T.X_dim in [S.X_dim + Lo, S.X_dim + Hi], in code units at the region
+// set's granularity for that dimension. Example 4's six-hour trailing
+// window over hours is Window{Dim: t, Lo: 0, Hi: 5} on the *source*
+// side of the paper's formula (c'.t in [c.t, c.t+5]).
+type Window struct {
+	Dim int
+	Lo  int64
+	Hi  int64
+}
+
+// MatchCond is the join condition of a match join.
+type MatchCond struct {
+	Kind MatchKind
+	// Windows apply only to MatchSibling; dimensions not listed must
+	// match exactly.
+	Windows []Window
+}
+
+// Expr is a node of an AW-RA expression DAG. Expressions are built
+// with the constructor functions (Fact, Select, Aggregate, MatchJoin,
+// CombineJoin), which validate the prerequisites of Table 5; the zero
+// value is not useful.
+//
+// Every expression denotes a table. The fact table has granularity G_0
+// and the schema's measure attributes; every other expression denotes
+// a measure table <G, M> with a single measure column M.
+type Expr struct {
+	Kind   ExprKind
+	Label  string // optional measure name, for display
+	schema *model.Schema
+	gran   model.Gran
+
+	// SelectExpr
+	Pred Predicate
+
+	// AggExpr and MatchJoinExpr
+	Agg agg.Kind
+	// FactMeasure selects which fact measure attribute feeds the
+	// aggregation when the input is the fact table (or a selection of
+	// it); -1 aggregates rows themselves (COUNT(*)-style). Ignored for
+	// derived inputs, which have a single M column.
+	FactMeasure int
+
+	// MatchJoinExpr
+	Cond MatchCond
+
+	// CombineJoinExpr
+	Combine CombineFunc
+
+	children []*Expr
+}
+
+// Schema returns the expression's schema.
+func (e *Expr) Schema() *model.Schema { return e.schema }
+
+// Gran returns the granularity of the expression's output regions.
+func (e *Expr) Gran() model.Gran { return e.gran }
+
+// Children returns the operand expressions (shared, do not mutate).
+func (e *Expr) Children() []*Expr { return e.children }
+
+// IsFactLike reports whether the expression is D or sigma(D) — the
+// operand shapes that Table 5 forbids as match/combine join inputs.
+func (e *Expr) IsFactLike() bool {
+	switch e.Kind {
+	case FactExpr:
+		return true
+	case SelectExpr:
+		return e.children[0].IsFactLike()
+	}
+	return false
+}
+
+// Fact returns the atomic fact-table expression D.
+func Fact(s *model.Schema) *Expr {
+	return &Expr{Kind: FactExpr, Label: "D", schema: s, gran: s.BaseGran()}
+}
+
+// Select builds sigma_pred(in).
+func Select(in *Expr, pred Predicate) (*Expr, error) {
+	if in == nil {
+		return nil, fmt.Errorf("core: select over nil expression")
+	}
+	if pred.Fn == nil {
+		return nil, fmt.Errorf("core: select with nil predicate")
+	}
+	return &Expr{
+		Kind:     SelectExpr,
+		schema:   in.schema,
+		gran:     in.gran.Clone(),
+		Pred:     pred,
+		children: []*Expr{in},
+	}, nil
+}
+
+// Aggregate builds g_{gran,aggKind}(in). The prerequisite of Table 5 is
+// in.Gran <=_G gran: the target granularity must be a roll-up of the
+// input's. factMeasure selects the aggregated fact attribute (see
+// Expr.FactMeasure); pass -1 for COUNT(*)-style row aggregation.
+func Aggregate(in *Expr, gran model.Gran, aggKind agg.Kind, factMeasure int) (*Expr, error) {
+	if in == nil {
+		return nil, fmt.Errorf("core: aggregate over nil expression")
+	}
+	g, err := in.schema.Normalize(gran)
+	if err != nil {
+		return nil, fmt.Errorf("core: aggregate: %w", err)
+	}
+	if !in.schema.GranLeq(in.gran, g) {
+		return nil, fmt.Errorf("core: aggregate target %s is not a roll-up of input %s",
+			in.schema.GranString(g), in.schema.GranString(in.gran))
+	}
+	if in.IsFactLike() {
+		if factMeasure >= in.schema.NumMeasures() {
+			return nil, fmt.Errorf("core: aggregate references fact measure %d, schema has %d", factMeasure, in.schema.NumMeasures())
+		}
+		if factMeasure < 0 && !rowAggOK(aggKind) {
+			return nil, fmt.Errorf("core: %v needs a measure attribute; only counting kinds may aggregate rows", aggKind)
+		}
+	}
+	return &Expr{
+		Kind:        AggExpr,
+		schema:      in.schema,
+		gran:        g,
+		Agg:         aggKind,
+		FactMeasure: factMeasure,
+		children:    []*Expr{in},
+	}, nil
+}
+
+// rowAggOK reports whether an aggregation kind is meaningful without a
+// value attribute (COUNT(*) and the constant-zero base-table helper).
+func rowAggOK(k agg.Kind) bool {
+	return k == agg.Count || k == agg.ConstZero
+}
+
+// MatchJoin builds S |x|_{cond,agg} T: the output has S's granularity,
+// and each S region's value aggregates the M values of its matching T
+// regions. Table 5 requires S (and, for the condition kinds used here,
+// T) not to be the raw fact table or a selection of it.
+func MatchJoin(s, t *Expr, cond MatchCond, aggKind agg.Kind) (*Expr, error) {
+	if s == nil || t == nil {
+		return nil, fmt.Errorf("core: match join over nil expression")
+	}
+	if s.schema != t.schema {
+		return nil, fmt.Errorf("core: match join operands built over different schemas")
+	}
+	if s.IsFactLike() || t.IsFactLike() {
+		return nil, fmt.Errorf("core: match join operands must not be D or sigma(D) (Table 5)")
+	}
+	sc := s.schema
+	switch cond.Kind {
+	case MatchSelf:
+		if !model.GranEq(s.gran, t.gran) {
+			return nil, fmt.Errorf("core: self match needs equal granularities, got %s vs %s",
+				sc.GranString(s.gran), sc.GranString(t.gran))
+		}
+		if len(cond.Windows) != 0 {
+			return nil, fmt.Errorf("core: self match does not take windows")
+		}
+	case MatchParentChild:
+		if !sc.GranLeq(s.gran, t.gran) || model.GranEq(s.gran, t.gran) {
+			return nil, fmt.Errorf("core: parent/child match needs T strictly coarser than S, got S=%s T=%s",
+				sc.GranString(s.gran), sc.GranString(t.gran))
+		}
+		if len(cond.Windows) != 0 {
+			return nil, fmt.Errorf("core: parent/child match does not take windows")
+		}
+	case MatchChildParent:
+		if !sc.GranLeq(t.gran, s.gran) || model.GranEq(s.gran, t.gran) {
+			return nil, fmt.Errorf("core: child/parent match needs T strictly finer than S, got S=%s T=%s",
+				sc.GranString(s.gran), sc.GranString(t.gran))
+		}
+		if len(cond.Windows) != 0 {
+			return nil, fmt.Errorf("core: child/parent match does not take windows")
+		}
+	case MatchSibling:
+		if !model.GranEq(s.gran, t.gran) {
+			return nil, fmt.Errorf("core: sibling match needs equal granularities, got %s vs %s",
+				sc.GranString(s.gran), sc.GranString(t.gran))
+		}
+		if len(cond.Windows) == 0 {
+			return nil, fmt.Errorf("core: sibling match needs at least one window")
+		}
+		seen := map[int]bool{}
+		for _, w := range cond.Windows {
+			if w.Dim < 0 || w.Dim >= sc.NumDims() {
+				return nil, fmt.Errorf("core: sibling window on unknown dimension %d", w.Dim)
+			}
+			if s.gran[w.Dim] == sc.Dim(w.Dim).ALL() {
+				return nil, fmt.Errorf("core: sibling window on dimension %q, which is at D_ALL in the region set",
+					sc.Dim(w.Dim).Name())
+			}
+			if w.Lo > w.Hi {
+				return nil, fmt.Errorf("core: sibling window on %q has Lo %d > Hi %d", sc.Dim(w.Dim).Name(), w.Lo, w.Hi)
+			}
+			if seen[w.Dim] {
+				return nil, fmt.Errorf("core: duplicate sibling window on dimension %q", sc.Dim(w.Dim).Name())
+			}
+			seen[w.Dim] = true
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown match kind %v", cond.Kind)
+	}
+	return &Expr{
+		Kind:        MatchJoinExpr,
+		schema:      sc,
+		gran:        s.gran.Clone(),
+		Agg:         aggKind,
+		FactMeasure: 0,
+		Cond:        cond,
+		children:    []*Expr{s, t},
+	}, nil
+}
+
+// CombineJoin builds S |x|-bar_{fc}(T_1..T_n). All operands must share
+// one granularity and none may be D or sigma(D) (Table 5): the equi-join
+// on dimension attributes is only key-unique for aggregated tables.
+func CombineJoin(s *Expr, ts []*Expr, fc CombineFunc) (*Expr, error) {
+	if s == nil {
+		return nil, fmt.Errorf("core: combine join over nil expression")
+	}
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("core: combine join needs at least one T operand")
+	}
+	if fc.Fn == nil {
+		return nil, fmt.Errorf("core: combine join with nil combine function")
+	}
+	if s.IsFactLike() {
+		return nil, fmt.Errorf("core: combine join operands must not be D or sigma(D) (Table 5)")
+	}
+	for i, t := range ts {
+		if t == nil {
+			return nil, fmt.Errorf("core: combine join operand %d is nil", i+1)
+		}
+		if t.schema != s.schema {
+			return nil, fmt.Errorf("core: combine join operands built over different schemas")
+		}
+		if t.IsFactLike() {
+			return nil, fmt.Errorf("core: combine join operands must not be D or sigma(D) (Table 5)")
+		}
+		if !model.GranEq(s.gran, t.gran) {
+			return nil, fmt.Errorf("core: combine join needs equal granularities, got %s vs %s",
+				s.schema.GranString(s.gran), s.schema.GranString(t.gran))
+		}
+	}
+	children := append([]*Expr{s}, ts...)
+	return &Expr{
+		Kind:     CombineJoinExpr,
+		schema:   s.schema,
+		gran:     s.gran.Clone(),
+		Combine:  fc,
+		children: children,
+	}, nil
+}
+
+// String renders the expression in the paper's notation, e.g.
+// "g_(t:Hour, U:IP),count(D)".
+func (e *Expr) String() string {
+	var b strings.Builder
+	e.render(&b)
+	return b.String()
+}
+
+func (e *Expr) render(b *strings.Builder) {
+	switch e.Kind {
+	case FactExpr:
+		b.WriteString("D")
+	case SelectExpr:
+		fmt.Fprintf(b, "sigma_[%s](", e.Pred)
+		e.children[0].render(b)
+		b.WriteString(")")
+	case AggExpr:
+		fmt.Fprintf(b, "g_%s,%v(", e.schema.GranString(e.gran), e.Agg)
+		e.children[0].render(b)
+		b.WriteString(")")
+	case MatchJoinExpr:
+		b.WriteString("(")
+		e.children[0].render(b)
+		fmt.Fprintf(b, " |x|_{%v", e.Cond.Kind)
+		for _, w := range e.Cond.Windows {
+			fmt.Fprintf(b, ", %s in [%+d,%+d]", e.schema.Dim(w.Dim).Name(), w.Lo, w.Hi)
+		}
+		fmt.Fprintf(b, "},%v ", e.Agg)
+		e.children[1].render(b)
+		b.WriteString(")")
+	case CombineJoinExpr:
+		b.WriteString("(")
+		e.children[0].render(b)
+		fmt.Fprintf(b, " |x|bar_{%s} (", e.Combine)
+		for i, c := range e.children[1:] {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			c.render(b)
+		}
+		b.WriteString("))")
+	}
+}

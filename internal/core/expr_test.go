@@ -1,0 +1,279 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"awra/internal/agg"
+	"awra/internal/model"
+)
+
+// twoDim builds the schema used across core tests: two dimensions with
+// 3-level fanout-10 hierarchies (codes 0..999 at base) and one measure
+// attribute "m".
+func twoDim(t *testing.T) *model.Schema {
+	t.Helper()
+	s, err := model.NewSchema([]*model.Dimension{
+		model.FixedFanout("A", 3, 10),
+		model.FixedFanout("B", 3, 10),
+	}, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func mustAgg(t *testing.T, in *Expr, g model.Gran, k agg.Kind, fm int) *Expr {
+	t.Helper()
+	e, err := Aggregate(in, g, k, fm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestFactExpr(t *testing.T) {
+	s := twoDim(t)
+	d := Fact(s)
+	if d.Kind != FactExpr || !d.IsFactLike() {
+		t.Error("Fact not fact-like")
+	}
+	if !model.GranEq(d.Gran(), s.BaseGran()) {
+		t.Error("fact granularity is not base")
+	}
+	if d.String() != "D" {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	s := twoDim(t)
+	if _, err := Select(nil, MWhere(0, Gt, 5)); err == nil {
+		t.Error("nil input accepted")
+	}
+	if _, err := Select(Fact(s), Predicate{}); err == nil {
+		t.Error("nil predicate accepted")
+	}
+	sel, err := Select(Fact(s), MWhere(0, Gt, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sel.IsFactLike() {
+		t.Error("sigma(D) should be fact-like")
+	}
+	if !strings.Contains(sel.String(), "sigma") {
+		t.Errorf("String = %q", sel.String())
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	s := twoDim(t)
+	d := Fact(s)
+	if _, err := Aggregate(nil, model.Gran{1, 1}, agg.Count, -1); err == nil {
+		t.Error("nil input accepted")
+	}
+	if _, err := Aggregate(d, model.Gran{9, 9}, agg.Count, -1); err == nil {
+		t.Error("invalid gran accepted")
+	}
+	// Count(*) is fine without a measure attribute; Sum is not.
+	if _, err := Aggregate(d, model.Gran{1, 1}, agg.Sum, -1); err == nil {
+		t.Error("Sum over rows accepted")
+	}
+	if _, err := Aggregate(d, model.Gran{1, 1}, agg.Sum, 7); err == nil {
+		t.Error("out-of-range fact measure accepted")
+	}
+	a := mustAgg(t, d, model.Gran{1, 1}, agg.Count, -1)
+	// Roll-up prerequisite: target must be coarser or equal.
+	if _, err := Aggregate(a, model.Gran{0, 0}, agg.Sum, 0); err == nil {
+		t.Error("finer target accepted")
+	}
+	b := mustAgg(t, a, model.Gran{2, 1}, agg.Sum, 0)
+	if !strings.HasPrefix(b.String(), "g_(A:L2, B:L1),sum(") {
+		t.Errorf("String = %q", b.String())
+	}
+}
+
+func TestMatchJoinValidation(t *testing.T) {
+	s := twoDim(t)
+	d := Fact(s)
+	fine := mustAgg(t, d, model.Gran{0, 0}, agg.Count, -1)
+	coarse := mustAgg(t, d, model.Gran{1, model.LevelALL}, agg.Count, -1)
+	other := mustAgg(t, d, model.Gran{0, 0}, agg.Sum, 0)
+
+	if _, err := MatchJoin(nil, fine, MatchCond{Kind: MatchSelf}, agg.Sum); err == nil {
+		t.Error("nil operand accepted")
+	}
+	// Table 5: S and T must not be D or sigma(D).
+	if _, err := MatchJoin(d, fine, MatchCond{Kind: MatchSelf}, agg.Sum); err == nil {
+		t.Error("fact S accepted")
+	}
+	sd, _ := Select(d, MWhere(0, Gt, 0))
+	if _, err := MatchJoin(fine, sd, MatchCond{Kind: MatchSelf}, agg.Sum); err == nil {
+		t.Error("sigma(D) T accepted")
+	}
+	// Self needs equal grans.
+	if _, err := MatchJoin(fine, coarse, MatchCond{Kind: MatchSelf}, agg.Sum); err == nil {
+		t.Error("self match with unequal grans accepted")
+	}
+	if _, err := MatchJoin(fine, other, MatchCond{Kind: MatchSelf, Windows: []Window{{Dim: 0}}}, agg.Sum); err == nil {
+		t.Error("self match with windows accepted")
+	}
+	// Parent/child: T strictly coarser than S.
+	if _, err := MatchJoin(coarse, fine, MatchCond{Kind: MatchParentChild}, agg.Sum); err == nil {
+		t.Error("pc with finer T accepted")
+	}
+	if _, err := MatchJoin(fine, other, MatchCond{Kind: MatchParentChild}, agg.Sum); err == nil {
+		t.Error("pc with equal grans accepted")
+	}
+	if _, err := MatchJoin(fine, coarse, MatchCond{Kind: MatchParentChild}, agg.Sum); err != nil {
+		t.Errorf("valid pc rejected: %v", err)
+	}
+	// Child/parent: T strictly finer than S.
+	if _, err := MatchJoin(coarse, fine, MatchCond{Kind: MatchChildParent}, agg.Sum); err != nil {
+		t.Errorf("valid cp rejected: %v", err)
+	}
+	if _, err := MatchJoin(fine, coarse, MatchCond{Kind: MatchChildParent}, agg.Sum); err == nil {
+		t.Error("cp with coarser T accepted")
+	}
+	// Sibling: equal grans, validated windows.
+	if _, err := MatchJoin(fine, other, MatchCond{Kind: MatchSibling}, agg.Sum); err == nil {
+		t.Error("sibling without windows accepted")
+	}
+	if _, err := MatchJoin(fine, other, MatchCond{Kind: MatchSibling, Windows: []Window{{Dim: 9, Lo: 0, Hi: 1}}}, agg.Sum); err == nil {
+		t.Error("sibling window on unknown dim accepted")
+	}
+	if _, err := MatchJoin(fine, other, MatchCond{Kind: MatchSibling, Windows: []Window{{Dim: 0, Lo: 2, Hi: 1}}}, agg.Sum); err == nil {
+		t.Error("sibling window with Lo > Hi accepted")
+	}
+	if _, err := MatchJoin(fine, other, MatchCond{Kind: MatchSibling, Windows: []Window{{Dim: 0, Lo: 0, Hi: 1}, {Dim: 0, Lo: 0, Hi: 1}}}, agg.Sum); err == nil {
+		t.Error("duplicate window accepted")
+	}
+	allA := mustAgg(t, d, model.Gran{model.LevelALL, 0}, agg.Count, -1)
+	allA2 := mustAgg(t, d, model.Gran{model.LevelALL, 0}, agg.Sum, 0)
+	if _, err := MatchJoin(allA, allA2, MatchCond{Kind: MatchSibling, Windows: []Window{{Dim: 0, Lo: 0, Hi: 1}}}, agg.Sum); err == nil {
+		t.Error("sibling window on D_ALL dim accepted")
+	}
+	mj, err := MatchJoin(fine, other, MatchCond{Kind: MatchSibling, Windows: []Window{{Dim: 0, Lo: -2, Hi: 2}}}, agg.Avg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mj.String(), "sibling") || !strings.Contains(mj.String(), "A in [-2,+2]") {
+		t.Errorf("String = %q", mj.String())
+	}
+}
+
+func TestCombineJoinValidation(t *testing.T) {
+	s := twoDim(t)
+	d := Fact(s)
+	a := mustAgg(t, d, model.Gran{1, 1}, agg.Count, -1)
+	b := mustAgg(t, d, model.Gran{1, 1}, agg.Sum, 0)
+	c := mustAgg(t, d, model.Gran{2, 1}, agg.Sum, 0)
+
+	if _, err := CombineJoin(nil, []*Expr{b}, Ratio(0, 1)); err == nil {
+		t.Error("nil S accepted")
+	}
+	if _, err := CombineJoin(a, nil, Ratio(0, 1)); err == nil {
+		t.Error("empty T list accepted")
+	}
+	if _, err := CombineJoin(a, []*Expr{b}, CombineFunc{}); err == nil {
+		t.Error("nil fc accepted")
+	}
+	if _, err := CombineJoin(d, []*Expr{b}, Ratio(0, 1)); err == nil {
+		t.Error("fact S accepted (Table 5)")
+	}
+	if _, err := CombineJoin(a, []*Expr{d}, Ratio(0, 1)); err == nil {
+		t.Error("fact T accepted (Table 5)")
+	}
+	if _, err := CombineJoin(a, []*Expr{c}, Ratio(0, 1)); err == nil {
+		t.Error("mismatched granularity accepted")
+	}
+	if _, err := CombineJoin(a, []*Expr{nil}, Ratio(0, 1)); err == nil {
+		t.Error("nil T accepted")
+	}
+	cj, err := CombineJoin(a, []*Expr{b}, Ratio(0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cj.String(), "|x|bar") {
+		t.Errorf("String = %q", cj.String())
+	}
+	if cj.IsFactLike() {
+		t.Error("combine join is fact-like")
+	}
+}
+
+func TestDifferentSchemasRejected(t *testing.T) {
+	s1 := twoDim(t)
+	s2 := twoDim(t)
+	a := mustAgg(t, Fact(s1), model.Gran{1, 1}, agg.Count, -1)
+	b := mustAgg(t, Fact(s2), model.Gran{1, 1}, agg.Count, -1)
+	if _, err := MatchJoin(a, b, MatchCond{Kind: MatchSelf}, agg.Sum); err == nil {
+		t.Error("cross-schema match join accepted")
+	}
+	if _, err := CombineJoin(a, []*Expr{b}, Ratio(0, 1)); err == nil {
+		t.Error("cross-schema combine join accepted")
+	}
+}
+
+func TestPredicateHelpers(t *testing.T) {
+	p := And(MWhere(0, Gt, 5), DimWhere(1, Eq, 3))
+	if !p.Eval([]int64{0, 3}, []float64{6}) {
+		t.Error("And misfired")
+	}
+	if p.Eval([]int64{0, 3}, []float64{5}) {
+		t.Error("Gt boundary wrong")
+	}
+	if p.Eval([]int64{0, 4}, []float64{6}) {
+		t.Error("DimWhere Eq wrong")
+	}
+	q := Or(MWhere(0, Lt, 0), Not(DimWhere(0, Ne, 1)))
+	if !q.Eval([]int64{1, 0}, []float64{5}) {
+		t.Error("Or/Not misfired")
+	}
+	if q.Eval([]int64{2, 0}, []float64{5}) {
+		t.Error("Or misfired")
+	}
+	// NULL never satisfies comparisons.
+	if MWhere(0, Le, 10).Eval(nil, []float64{agg.Null()}) {
+		t.Error("NULL satisfied a comparison")
+	}
+	// Out-of-range measure index is false, not a panic.
+	if MWhere(3, Gt, 0).Eval(nil, []float64{1}) {
+		t.Error("out-of-range measure index satisfied")
+	}
+	for _, op := range []CmpOp{Lt, Le, Eq, Ne, Ge, Gt} {
+		if op.String() == "" {
+			t.Error("empty op string")
+		}
+	}
+}
+
+func TestCombineFuncHelpers(t *testing.T) {
+	if v := Ratio(0, 1).Eval([]float64{6, 3}); v != 2 {
+		t.Errorf("Ratio = %v", v)
+	}
+	if v := Ratio(0, 1).Eval([]float64{6, 0}); !agg.IsNull(v) {
+		t.Errorf("Ratio by zero = %v", v)
+	}
+	if v := Ratio(0, 1).Eval([]float64{agg.Null(), 3}); !agg.IsNull(v) {
+		t.Errorf("Ratio with NULL = %v", v)
+	}
+	if v := Diff(1, 0).Eval([]float64{3, 10}); v != 7 {
+		t.Errorf("Diff = %v", v)
+	}
+	if v := SumOf().Eval([]float64{1, agg.Null(), 2}); v != 3 {
+		t.Errorf("SumOf = %v", v)
+	}
+	if v := SumOf().Eval([]float64{agg.Null()}); !agg.IsNull(v) {
+		t.Errorf("SumOf all-NULL = %v", v)
+	}
+	if v := MaxOf().Eval([]float64{1, agg.Null(), 5, 2}); v != 5 {
+		t.Errorf("MaxOf = %v", v)
+	}
+	if v := MaxOf().Eval([]float64{agg.Null()}); !agg.IsNull(v) {
+		t.Errorf("MaxOf all-NULL = %v", v)
+	}
+	if v := Pick(1).Eval([]float64{9, 4}); v != 4 {
+		t.Errorf("Pick = %v", v)
+	}
+}

@@ -1,0 +1,277 @@
+// Package core implements the paper's primary contribution: the AW-RA
+// algebra (Section 3) and the aggregation-workflow language
+// (Section 4). Algebra expressions are a validated DAG of the five
+// operators of Table 5 (fact table, selection, aggregation, match join,
+// combine join); workflows are the measure-centric form that the
+// evaluation engines execute, and every workflow measure translates to
+// an AW-RA expression (Theorem 2).
+package core
+
+import (
+	"fmt"
+
+	"awra/internal/agg"
+)
+
+// Predicate is a selection condition over one row of an expression's
+// output: the region codes (one per dimension, at the expression's
+// granularity, with D_ALL positions zero) and the row's measure values
+// (the fact table's measure attributes, or the single M column of a
+// derived table). Predicates carry a name so plans and DOT diagrams can
+// render them.
+type Predicate struct {
+	Name string
+	Fn   func(codes []int64, ms []float64) bool
+}
+
+// Eval applies the predicate.
+func (p Predicate) Eval(codes []int64, ms []float64) bool { return p.Fn(codes, ms) }
+
+// String returns the predicate's display name.
+func (p Predicate) String() string {
+	if p.Name == "" {
+		return "cond"
+	}
+	return p.Name
+}
+
+// CmpOp is a comparison operator for the predicate helpers.
+type CmpOp int
+
+// Comparison operators.
+const (
+	Lt CmpOp = iota
+	Le
+	Eq
+	Ne
+	Ge
+	Gt
+)
+
+func (o CmpOp) String() string {
+	switch o {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Eq:
+		return "="
+	case Ne:
+		return "!="
+	case Ge:
+		return ">="
+	default:
+		return ">"
+	}
+}
+
+func (o CmpOp) cmpF(a, b float64) bool {
+	switch o {
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Ge:
+		return a >= b
+	default:
+		return a > b
+	}
+}
+
+func (o CmpOp) cmpI(a, b int64) bool {
+	switch o {
+	case Lt:
+		return a < b
+	case Le:
+		return a <= b
+	case Eq:
+		return a == b
+	case Ne:
+		return a != b
+	case Ge:
+		return a >= b
+	default:
+		return a > b
+	}
+}
+
+// MWhere builds a predicate over the measure value at index i
+// (use 0 for the single M column of a derived table), e.g.
+// MWhere(0, Gt, 5) is the paper's sigma_{M>5}. NULL measures never
+// satisfy a comparison, matching SQL's treatment of NULL.
+func MWhere(i int, op CmpOp, c float64) Predicate {
+	return Predicate{
+		Name: fmt.Sprintf("M%d %s %v", i, op, c),
+		Fn: func(_ []int64, ms []float64) bool {
+			if i >= len(ms) || agg.IsNull(ms[i]) {
+				return false
+			}
+			return op.cmpF(ms[i], c)
+		},
+	}
+}
+
+// DimWhere builds a predicate over the region code of dimension dim
+// (at the row's granularity).
+func DimWhere(dim int, op CmpOp, c int64) Predicate {
+	return Predicate{
+		Name: fmt.Sprintf("X%d %s %d", dim, op, c),
+		Fn: func(codes []int64, _ []float64) bool {
+			return op.cmpI(codes[dim], c)
+		},
+	}
+}
+
+// And conjoins predicates.
+func And(ps ...Predicate) Predicate {
+	name := ""
+	for i, p := range ps {
+		if i > 0 {
+			name += " AND "
+		}
+		name += p.String()
+	}
+	return Predicate{
+		Name: name,
+		Fn: func(codes []int64, ms []float64) bool {
+			for _, p := range ps {
+				if !p.Fn(codes, ms) {
+					return false
+				}
+			}
+			return true
+		},
+	}
+}
+
+// Or disjoins predicates.
+func Or(ps ...Predicate) Predicate {
+	name := ""
+	for i, p := range ps {
+		if i > 0 {
+			name += " OR "
+		}
+		name += p.String()
+	}
+	return Predicate{
+		Name: name,
+		Fn: func(codes []int64, ms []float64) bool {
+			for _, p := range ps {
+				if p.Fn(codes, ms) {
+					return true
+				}
+			}
+			return false
+		},
+	}
+}
+
+// Not negates a predicate.
+func Not(p Predicate) Predicate {
+	return Predicate{
+		Name: "NOT " + p.String(),
+		Fn:   func(codes []int64, ms []float64) bool { return !p.Fn(codes, ms) },
+	}
+}
+
+// CombineFunc is the f_c of a combine join: it merges the measures of
+// same-granularity tables into one value. Arguments arrive in operand
+// order: vals[0] is S.M, vals[1..] are T_1.M .. T_n.M; missing outer
+// rows contribute NULL, per the LEFT OUTER JOIN of Table 4.
+type CombineFunc struct {
+	Name string
+	Fn   func(vals []float64) float64
+}
+
+// Eval applies the combine function.
+func (f CombineFunc) Eval(vals []float64) float64 { return f.Fn(vals) }
+
+// String returns the function's display name.
+func (f CombineFunc) String() string {
+	if f.Name == "" {
+		return "fc"
+	}
+	return f.Name
+}
+
+// Ratio is fc(v) = v[a]/v[b]; NULL if either side is NULL or the
+// denominator is zero.
+func Ratio(a, b int) CombineFunc {
+	return CombineFunc{
+		Name: fmt.Sprintf("v%d/v%d", a, b),
+		Fn: func(v []float64) float64 {
+			if agg.IsNull(v[a]) || agg.IsNull(v[b]) || v[b] == 0 {
+				return agg.Null()
+			}
+			return v[a] / v[b]
+		},
+	}
+}
+
+// Diff is fc(v) = v[a] - v[b]; NULL-propagating.
+func Diff(a, b int) CombineFunc {
+	return CombineFunc{
+		Name: fmt.Sprintf("v%d-v%d", a, b),
+		Fn: func(v []float64) float64 {
+			if agg.IsNull(v[a]) || agg.IsNull(v[b]) {
+				return agg.Null()
+			}
+			return v[a] - v[b]
+		},
+	}
+}
+
+// SumOf is fc(v) = sum of non-NULL arguments (NULL if all are NULL).
+func SumOf() CombineFunc {
+	return CombineFunc{
+		Name: "sum(v...)",
+		Fn: func(v []float64) float64 {
+			s, n := 0.0, 0
+			for _, x := range v {
+				if !agg.IsNull(x) {
+					s += x
+					n++
+				}
+			}
+			if n == 0 {
+				return agg.Null()
+			}
+			return s
+		},
+	}
+}
+
+// MaxOf is fc(v) = max of non-NULL arguments (NULL if all are NULL).
+// It implements the S_max combine of the Section 5.3.3 example.
+func MaxOf() CombineFunc {
+	return CombineFunc{
+		Name: "max(v...)",
+		Fn: func(v []float64) float64 {
+			best, ok := 0.0, false
+			for _, x := range v {
+				if agg.IsNull(x) {
+					continue
+				}
+				if !ok || x > best {
+					best, ok = x, true
+				}
+			}
+			if !ok {
+				return agg.Null()
+			}
+			return best
+		},
+	}
+}
+
+// Pick is fc(v) = v[i]: project one operand's measure.
+func Pick(i int) CombineFunc {
+	return CombineFunc{
+		Name: fmt.Sprintf("v%d", i),
+		Fn:   func(v []float64) float64 { return v[i] },
+	}
+}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"awra/internal/agg"
+	"awra/internal/model"
+)
+
+// randomRecords generates random fact data over the twoDim schema.
+func randomRecords(rng *rand.Rand, n int) []model.Record {
+	recs := make([]model.Record, n)
+	for i := range recs {
+		recs[i] = model.Record{
+			Dims: []int64{rng.Int63n(1000), rng.Int63n(1000)},
+			Ms:   []float64{float64(rng.Intn(20))},
+		}
+	}
+	return recs
+}
+
+// TestProperty1Collapse: g_{G1,agg}(g_{G2,agg}(T)) = g_{G1,agg}(T) for
+// distributive agg (Theorem 1, Property 1). COUNT composes via SUM.
+func TestProperty1Collapse(t *testing.T) {
+	s := twoDim(t)
+	rng := rand.New(rand.NewSource(11))
+	g2 := model.Gran{1, 1}
+	g1 := model.Gran{2, model.LevelALL}
+	cases := []struct{ inner, outer agg.Kind }{
+		{agg.Sum, agg.Sum},
+		{agg.Min, agg.Min},
+		{agg.Max, agg.Max},
+		{agg.Count, agg.Sum}, // count composes via sum
+	}
+	for trial := 0; trial < 10; trial++ {
+		recs := randomRecords(rng, 200)
+		for _, c := range cases {
+			fm := 0
+			if c.inner == agg.Count {
+				fm = -1
+			}
+			inner := mustAgg(t, Fact(s), g2, c.inner, fm)
+			twoStep := mustAgg(t, inner, g1, c.outer, 0)
+			oneStep := mustAgg(t, Fact(s), g1, c.inner, fm)
+			t1, err := Eval(twoStep, recs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t2, err := Eval(oneStep, recs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !t1.Equal(t2, 1e-9) {
+				t.Fatalf("Property 1 violated for %v/%v", c.inner, c.outer)
+			}
+		}
+	}
+}
+
+// TestProperty2SelectionPushdown: sigma_{cond1}(g_{G,agg}(T)) =
+// g_{G,agg}(sigma_{cond2}(T)) when cond1 depends only on dimension
+// values and cond2 = cond1 composed with gamma (Theorem 1, Property 2).
+func TestProperty2SelectionPushdown(t *testing.T) {
+	s := twoDim(t)
+	rng := rand.New(rand.NewSource(13))
+	g := model.Gran{1, model.LevelALL}
+	// cond1: code of A at level L1 <= 40.
+	cond1 := DimWhere(0, Le, 40)
+	// cond2 over base rows: gamma_{L1}(A) <= 40.
+	dimA := s.Dim(0)
+	cond2 := Predicate{
+		Name: "gamma(A) <= 40",
+		Fn: func(codes []int64, _ []float64) bool {
+			return dimA.Up(0, 1, codes[0]) <= 40
+		},
+	}
+	for trial := 0; trial < 10; trial++ {
+		recs := randomRecords(rng, 300)
+		lhsE, err := Select(mustAgg(t, Fact(s), g, agg.Sum, 0), cond1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhsIn, err := Select(Fact(s), cond2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhsE := mustAgg(t, rhsIn, g, agg.Sum, 0)
+		lhs, err := Eval(lhsE, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs, err := Eval(rhsE, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lhs.Equal(rhs, 1e-9) {
+			t.Fatal("Property 2 violated")
+		}
+	}
+}
+
+// TestProperty3NonAssociativity: match joins do not associate
+// (Theorem 1, Property 3) — witnessed by a concrete counterexample
+// with COUNT, where grouping granularity changes the result.
+func TestProperty3NonAssociativity(t *testing.T) {
+	s := twoDim(t)
+	recs := []model.Record{
+		{Dims: []int64{0, 0}, Ms: []float64{1}},
+		{Dims: []int64{1, 0}, Ms: []float64{1}},
+		{Dims: []int64{10, 0}, Ms: []float64{1}},
+	}
+	sTop := mustAgg(t, Fact(s), model.Gran{2, model.LevelALL}, agg.ConstZero, -1)
+	tMid := mustAgg(t, Fact(s), model.Gran{1, model.LevelALL}, agg.ConstZero, -1)
+	uFine := mustAgg(t, Fact(s), model.Gran{0, model.LevelALL}, agg.Count, -1)
+
+	// (S |x| T) |x| U: counts base cells per top cell directly.
+	st, err := MatchJoin(sTop, tMid, MatchCond{Kind: MatchChildParent}, agg.Count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhsE, err := MatchJoin(st, uFine, MatchCond{Kind: MatchChildParent}, agg.Count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S |x| (T |x| U): counts mid cells per top cell.
+	tu, err := MatchJoin(tMid, uFine, MatchCond{Kind: MatchChildParent}, agg.Count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhsE, err := MatchJoin(sTop, tu, MatchCond{Kind: MatchChildParent}, agg.Count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lhs, err := Eval(lhsE, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs, err := Eval(rhsE, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lhs counts 3 base cells; rhs counts 2 mid cells.
+	if lhs.Equal(rhs, 0) {
+		t.Fatal("expected non-associative results to differ")
+	}
+}
+
+// TestProperty4ArgumentPermutation: swapping combine-join operands and
+// adapting fc leaves the result unchanged (Theorem 1, Property 4).
+func TestProperty4ArgumentPermutation(t *testing.T) {
+	s := twoDim(t)
+	rng := rand.New(rand.NewSource(17))
+	g := model.Gran{1, 1}
+	for trial := 0; trial < 10; trial++ {
+		recs := randomRecords(rng, 200)
+		a := mustAgg(t, Fact(s), g, agg.Count, -1)
+		b := mustAgg(t, Fact(s), g, agg.Sum, 0)
+		c := mustAgg(t, Fact(s), g, agg.Max, 0)
+		fc := CombineFunc{Name: "v1 - 2*v2", Fn: func(v []float64) float64 {
+			if agg.IsNull(v[1]) || agg.IsNull(v[2]) {
+				return agg.Null()
+			}
+			return v[1] - 2*v[2]
+		}}
+		fcSwapped := CombineFunc{Name: "swapped", Fn: func(v []float64) float64 {
+			if agg.IsNull(v[1]) || agg.IsNull(v[2]) {
+				return agg.Null()
+			}
+			return v[2] - 2*v[1]
+		}}
+		lhsE, err := CombineJoin(a, []*Expr{b, c}, fc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhsE, err := CombineJoin(a, []*Expr{c, b}, fcSwapped)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lhs, err := Eval(lhsE, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs, err := Eval(rhsE, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lhs.Equal(rhs, 1e-9) {
+			t.Fatal("Property 4 violated")
+		}
+	}
+}
+
+// TestProperty5Decomposition: a combine join decomposes into nested
+// combine joins when fc factors (Theorem 1, Property 5), using
+// summation as the factorable fc.
+func TestProperty5Decomposition(t *testing.T) {
+	s := twoDim(t)
+	rng := rand.New(rand.NewSource(19))
+	g := model.Gran{1, 1}
+	for trial := 0; trial < 10; trial++ {
+		recs := randomRecords(rng, 200)
+		a := mustAgg(t, Fact(s), g, agg.Count, -1)
+		t1 := mustAgg(t, Fact(s), g, agg.Sum, 0)
+		t2 := mustAgg(t, Fact(s), g, agg.Max, 0)
+		t3 := mustAgg(t, Fact(s), g, agg.Min, 0)
+
+		whole, err := CombineJoin(a, []*Expr{t1, t2, t3}, SumOf())
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner, err := CombineJoin(a, []*Expr{t1}, SumOf()) // fc1 = v0+v1
+		if err != nil {
+			t.Fatal(err)
+		}
+		outer, err := CombineJoin(inner, []*Expr{t2, t3}, SumOf()) // fc2 = partial+v2+v3
+		if err != nil {
+			t.Fatal(err)
+		}
+		lhs, err := Eval(whole, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rhs, err := Eval(outer, recs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lhs.Equal(rhs, 1e-9) {
+			t.Fatal("Property 5 violated")
+		}
+	}
+}

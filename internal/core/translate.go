@@ -1,0 +1,212 @@
+package core
+
+import (
+	"fmt"
+
+	"awra/internal/agg"
+	"awra/internal/model"
+)
+
+// Translate converts a compiled workflow measure into an equivalent
+// AW-RA expression (Theorem 2: every measure in an aggregation
+// workflow can be expressed in AW-RA). Shared sources translate to
+// shared sub-expressions, so the result is a DAG mirroring the
+// workflow's computation graph.
+func Translate(c *Compiled, name string) (*Expr, error) {
+	i, err := c.Index(name)
+	if err != nil {
+		return nil, err
+	}
+	memo := make([]*Expr, len(c.Measures))
+	return translate(c, i, memo)
+}
+
+func translate(c *Compiled, i int, memo []*Expr) (*Expr, error) {
+	if memo[i] != nil {
+		return memo[i], nil
+	}
+	m := c.Measures[i]
+	srcExpr := func(j int) (*Expr, error) {
+		e, err := translate(c, m.Sources[j], memo)
+		if err != nil {
+			return nil, err
+		}
+		if m.Filter != nil {
+			return Select(e, *m.Filter)
+		}
+		return e, nil
+	}
+	var (
+		e   *Expr
+		err error
+	)
+	switch m.Kind {
+	case KindBasic:
+		in := Fact(c.Schema)
+		if m.Filter != nil {
+			in, err = Select(in, *m.Filter)
+			if err != nil {
+				return nil, err
+			}
+		}
+		e, err = Aggregate(in, m.Gran, m.Agg, m.FactMeasure)
+	case KindRollup:
+		var in *Expr
+		in, err = srcExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		e, err = Aggregate(in, m.Gran, m.Agg, 0)
+	case KindFromParent, KindSibling:
+		var t, base *Expr
+		t, err = srcExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		base, err = translate(c, m.Base, memo)
+		if err != nil {
+			return nil, err
+		}
+		cond := MatchCond{Kind: MatchParentChild}
+		if m.Kind == KindSibling {
+			cond = MatchCond{Kind: MatchSibling, Windows: m.Windows}
+		}
+		e, err = MatchJoin(base, t, cond, m.Agg)
+	case KindCombine:
+		s, serr := translate(c, m.Sources[0], memo)
+		if serr != nil {
+			return nil, serr
+		}
+		ts := make([]*Expr, 0, len(m.Sources)-1)
+		for _, j := range m.Sources[1:] {
+			t, terr := translate(c, j, memo)
+			if terr != nil {
+				return nil, terr
+			}
+			ts = append(ts, t)
+		}
+		if len(ts) == 0 {
+			// Single-operand combine: join the source with itself and
+			// adapt fc to see only the S.M argument.
+			fc := *m.Combine
+			adapted := CombineFunc{
+				Name: fc.Name,
+				Fn:   func(v []float64) float64 { return fc.Fn(v[:1]) },
+			}
+			e, err = CombineJoin(s, []*Expr{s}, adapted)
+		} else {
+			e, err = CombineJoin(s, ts, *m.Combine)
+		}
+	default:
+		err = fmt.Errorf("core: cannot translate measure kind %v", m.Kind)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: translating measure %q: %w", m.Name, err)
+	}
+	e.Label = m.Name
+	memo[i] = e
+	return e, nil
+}
+
+// ComputeComposite evaluates one composite measure given the already
+// computed tables of every earlier measure in topological order. It is
+// the shared in-memory semantics for the single-scan engine's phase 2
+// and for the multi-pass combiner; the sort/scan engine implements the
+// same semantics in streaming form and is tested against it.
+//
+// tables is indexed like c.Measures; entries for measures after m may
+// be nil.
+func ComputeComposite(c *Compiled, m *Measure, tables []*Table) (*Table, error) {
+	out := NewTable(c.Schema, m.Gran)
+	filtered := func(j int) func(k model.Key, v float64) bool {
+		src := c.Measures[j]
+		if m.Filter == nil {
+			return func(model.Key, float64) bool { return true }
+		}
+		ms := make([]float64, 1)
+		return func(k model.Key, v float64) bool {
+			ms[0] = v
+			return m.Filter.Eval(src.Codec.FullDecode(k), ms)
+		}
+	}
+	switch m.Kind {
+	case KindRollup:
+		src := tables[m.Sources[0]]
+		if src == nil {
+			return nil, fmt.Errorf("core: source table for %q not computed", m.Name)
+		}
+		keep := filtered(m.Sources[0])
+		groups := make(map[model.Key]agg.Aggregator)
+		for _, k := range src.SortedKeys() {
+			v := src.Rows[k]
+			if !keep(k, v) {
+				continue
+			}
+			up := src.Codec.UpTo(k, out.Codec)
+			a, ok := groups[up]
+			if !ok {
+				a = m.Agg.New()
+				groups[up] = a
+			}
+			a.Update(v)
+		}
+		for k, a := range groups {
+			out.Rows[k] = a.Final()
+		}
+	case KindFromParent:
+		src := tables[m.Sources[0]]
+		base := tables[m.Base]
+		if src == nil || base == nil {
+			return nil, fmt.Errorf("core: inputs for %q not computed", m.Name)
+		}
+		keep := filtered(m.Sources[0])
+		for k := range base.Rows {
+			a := m.Agg.New()
+			pk := out.Codec.UpTo(k, src.Codec)
+			if v, ok := src.Rows[pk]; ok && keep(pk, v) {
+				a.Update(v)
+			}
+			out.Rows[k] = a.Final()
+		}
+	case KindSibling:
+		src := tables[m.Sources[0]]
+		base := tables[m.Base]
+		if src == nil || base == nil {
+			return nil, fmt.Errorf("core: inputs for %q not computed", m.Name)
+		}
+		keep := filtered(m.Sources[0])
+		for k := range base.Rows {
+			a := m.Agg.New()
+			forEachNeighbor(out.Codec, k, m.Windows, func(nk model.Key) {
+				if v, ok := src.Rows[nk]; ok && keep(nk, v) {
+					a.Update(v)
+				}
+			})
+			out.Rows[k] = a.Final()
+		}
+	case KindCombine:
+		s := tables[m.Sources[0]]
+		if s == nil {
+			return nil, fmt.Errorf("core: source table for %q not computed", m.Name)
+		}
+		vals := make([]float64, len(m.Sources))
+		for k, sv := range s.Rows {
+			vals[0] = sv
+			for i, j := range m.Sources[1:] {
+				t := tables[j]
+				if t == nil {
+					return nil, fmt.Errorf("core: source table for %q not computed", m.Name)
+				}
+				if v, ok := t.Rows[k]; ok {
+					vals[i+1] = v
+				} else {
+					vals[i+1] = agg.Null()
+				}
+			}
+			out.Rows[k] = m.Combine.Eval(vals)
+		}
+	default:
+		return nil, fmt.Errorf("core: measure %q of kind %v is not composite", m.Name, m.Kind)
+	}
+	return out, nil
+}

@@ -1,0 +1,234 @@
+// Package enginetest provides the cross-engine equivalence harness:
+// randomized schemas, datasets, and workflows evaluated by every
+// engine, whose results must agree exactly. The single-scan engine and
+// the in-memory algebra evaluator act as independent oracles for the
+// streaming sort/scan engine under many different sort keys.
+package enginetest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"awra/internal/agg"
+	"awra/internal/core"
+	"awra/internal/model"
+)
+
+// Gen generates random but always-valid workloads.
+type Gen struct {
+	Rng *rand.Rand
+	// Schema under test.
+	Schema *model.Schema
+	// BaseRange bounds base-domain codes (codes are uniform in
+	// [0, BaseRange) per dimension).
+	BaseRange int64
+}
+
+// NewGen builds a generator over a d-dimensional fixed-fanout schema.
+func NewGen(seed int64, dims int) *Gen {
+	rng := rand.New(rand.NewSource(seed))
+	ds := make([]*model.Dimension, dims)
+	for i := range ds {
+		ds[i] = model.FixedFanout(fmt.Sprintf("X%d", i), 3, 4)
+	}
+	s, err := model.NewSchema(ds, "m")
+	if err != nil {
+		panic(err)
+	}
+	return &Gen{Rng: rng, Schema: s, BaseRange: 32}
+}
+
+// Records generates n random fact records.
+func (g *Gen) Records(n int) []model.Record {
+	recs := make([]model.Record, n)
+	for i := range recs {
+		dims := make([]int64, g.Schema.NumDims())
+		for j := range dims {
+			dims[j] = g.Rng.Int63n(g.BaseRange)
+		}
+		recs[i] = model.Record{Dims: dims, Ms: []float64{float64(g.Rng.Intn(10))}}
+	}
+	return recs
+}
+
+// randGran picks a random granularity, biased away from all-ALL.
+func (g *Gen) randGran() model.Gran {
+	for {
+		gr := make(model.Gran, g.Schema.NumDims())
+		nonAll := 0
+		for i := range gr {
+			gr[i] = model.Level(g.Rng.Intn(int(g.Schema.Dim(i).ALL()) + 1))
+			if gr[i] != g.Schema.Dim(i).ALL() {
+				nonAll++
+			}
+		}
+		if nonAll > 0 || g.Rng.Intn(4) == 0 {
+			return gr
+		}
+	}
+}
+
+// coarsen returns a strictly coarser granularity than gr, or nil if gr
+// is already all-ALL.
+func (g *Gen) coarsen(gr model.Gran) model.Gran {
+	candidates := []int{}
+	for i := range gr {
+		if gr[i] != g.Schema.Dim(i).ALL() {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	out := gr.Clone()
+	// Raise at least one dimension.
+	n := 1 + g.Rng.Intn(len(candidates))
+	g.Rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	for _, i := range candidates[:n] {
+		lift := 1 + g.Rng.Intn(int(g.Schema.Dim(i).ALL())-int(out[i]))
+		out[i] = out[i] + model.Level(lift)
+	}
+	return out
+}
+
+var basicAggs = []agg.Kind{agg.Count, agg.Sum, agg.Min, agg.Max, agg.Avg, agg.CountDistinct, agg.Median, agg.P95}
+var compositeAggs = []agg.Kind{agg.Count, agg.Sum, agg.Min, agg.Max, agg.Avg, agg.CountDistinct, agg.Median, agg.P95}
+
+func (g *Gen) randFilter() core.MeasureOpt {
+	switch g.Rng.Intn(3) {
+	case 0:
+		return core.Where(core.MWhere(0, core.CmpOp(g.Rng.Intn(6)), float64(g.Rng.Intn(6))))
+	case 1:
+		return core.Where(core.MWhere(0, core.Gt, 1))
+	default:
+		return nil
+	}
+}
+
+// Workflow generates a random valid workflow with nBasic basic
+// measures and nComposite composite measures layered on top.
+func (g *Gen) Workflow(nBasic, nComposite int) (*core.Compiled, error) {
+	w := core.NewWorkflow(g.Schema)
+	type decl struct {
+		name string
+		gran model.Gran
+	}
+	var decls []decl
+
+	for i := 0; i < nBasic; i++ {
+		name := fmt.Sprintf("b%d", i)
+		gr := g.randGran()
+		k := basicAggs[g.Rng.Intn(len(basicAggs))]
+		fm := 0
+		if k == agg.Count && g.Rng.Intn(2) == 0 {
+			fm = -1
+		}
+		var opts []core.MeasureOpt
+		if f := g.randFilter(); f != nil && g.Rng.Intn(2) == 0 {
+			opts = append(opts, f)
+		}
+		w.Basic(name, gr, k, fm, opts...)
+		decls = append(decls, decl{name, gr})
+	}
+
+	for i := 0; i < nComposite; i++ {
+		name := fmt.Sprintf("c%d", i)
+		src := decls[g.Rng.Intn(len(decls))]
+		k := compositeAggs[g.Rng.Intn(len(compositeAggs))]
+		var opts []core.MeasureOpt
+		if f := g.randFilter(); f != nil && g.Rng.Intn(3) == 0 {
+			opts = append(opts, f)
+		}
+		switch g.Rng.Intn(4) {
+		case 0: // rollup
+			target := g.coarsen(src.gran)
+			if target == nil {
+				target = src.gran.Clone()
+			}
+			w.Rollup(name, target, src.name, k, opts...)
+			decls = append(decls, decl{name, target})
+		case 1: // fromparent: need a source we can refine, i.e. pick a
+			// parent by coarsening a declared gran and using a rollup
+			// of it; simplest is to synthesize from an existing
+			// coarser measure if possible.
+			parentGran := g.coarsen(src.gran)
+			if parentGran == nil {
+				// src is all-ALL; fall back to a same-gran rollup.
+				w.Rollup(name, src.gran, src.name, k, opts...)
+				decls = append(decls, decl{name, src.gran})
+				continue
+			}
+			pname := fmt.Sprintf("p%d", i)
+			w.Rollup(pname, parentGran, src.name, agg.Sum)
+			decls = append(decls, decl{pname, parentGran})
+			w.FromParent(name, src.gran, pname, k, opts...)
+			decls = append(decls, decl{name, src.gran})
+		case 2: // sibling
+			wins := g.randWindows(src.gran)
+			if wins == nil {
+				target := g.coarsen(src.gran)
+				if target == nil {
+					target = src.gran.Clone()
+				}
+				w.Rollup(name, target, src.name, k, opts...)
+				decls = append(decls, decl{name, target})
+				continue
+			}
+			w.Sliding(name, src.name, k, wins, opts...)
+			decls = append(decls, decl{name, src.gran})
+		default: // combine: needs same-gran partners
+			partners := []string{src.name}
+			for _, d := range decls {
+				if d.name != src.name && model.GranEq(d.gran, src.gran) {
+					partners = append(partners, d.name)
+					if len(partners) == 3 {
+						break
+					}
+				}
+			}
+			w.Combine(name, partners, core.SumOf())
+			decls = append(decls, decl{name, src.gran})
+		}
+	}
+	return w.Compile()
+}
+
+// randWindows builds valid sibling windows for a granularity, or nil
+// if every dimension is at D_ALL.
+func (g *Gen) randWindows(gr model.Gran) []core.Window {
+	var dims []int
+	for i := range gr {
+		if gr[i] != g.Schema.Dim(i).ALL() {
+			dims = append(dims, i)
+		}
+	}
+	if len(dims) == 0 {
+		return nil
+	}
+	n := 1
+	if len(dims) > 1 && g.Rng.Intn(3) == 0 {
+		n = 2
+	}
+	g.Rng.Shuffle(len(dims), func(i, j int) { dims[i], dims[j] = dims[j], dims[i] })
+	var out []core.Window
+	for _, d := range dims[:n] {
+		lo := int64(g.Rng.Intn(4) - 2)
+		hi := lo + int64(g.Rng.Intn(3))
+		out = append(out, core.Window{Dim: d, Lo: lo, Hi: hi})
+	}
+	return out
+}
+
+// RandSortKey picks a random sort key: a random subset of dimensions
+// in random order at random levels.
+func (g *Gen) RandSortKey() model.SortKey {
+	d := g.Schema.NumDims()
+	perm := g.Rng.Perm(d)
+	n := 1 + g.Rng.Intn(d)
+	var k model.SortKey
+	for _, dim := range perm[:n] {
+		lvl := model.Level(g.Rng.Intn(int(g.Schema.Dim(dim).ALL())))
+		k = append(k, model.SortPart{Dim: dim, Lvl: lvl})
+	}
+	return k
+}

@@ -1,0 +1,241 @@
+// Package multipass implements the multi-pass sort/scan strategy of
+// Section 5.3 ("Multi-Pass Sort/Scan"): when no single sort order
+// keeps every measure's footprint within the memory budget, the
+// basic measures are partitioned into several sort/scan passes, each
+// with its own sort order; measures produced in different passes are
+// materialized, and composite measures that span passes are combined
+// with traditional (in-memory hash join) strategies once all of their
+// inputs exist — exactly the paper's "materialize each individual
+// dependent measure during the SS iteration and resort to traditional
+// join strategies to combine them".
+package multipass
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"awra/internal/core"
+	"awra/internal/exec/sortscan"
+	"awra/internal/model"
+	"awra/internal/opt"
+	"awra/internal/plan"
+)
+
+// Options configures a run.
+type Options struct {
+	// MemoryBudget bounds the estimated footprint of each pass's
+	// streaming plan, in bytes. 0 means a single pass.
+	MemoryBudget float64
+	// Stats supplies cardinality estimates for footprint estimation.
+	Stats *plan.Stats
+	// TempDir receives external-sort files.
+	TempDir string
+	// ChunkRecords tunes the external sort.
+	ChunkRecords int
+}
+
+// Pass describes one sort/scan iteration of the chosen plan.
+type Pass struct {
+	SortKey  model.SortKey
+	Measures []string // basic measures evaluated in this pass
+	EstBytes float64
+}
+
+// Stats aggregates per-pass costs.
+type Stats struct {
+	Passes    []Pass
+	SortTime  time.Duration
+	ScanTime  time.Duration
+	JoinTime  time.Duration
+	Records   int64
+	PeakCells int64
+}
+
+// Result holds the final measure tables (outputs only).
+type Result struct {
+	Tables map[string]*core.Table
+	Stats  Stats
+}
+
+// PlanPasses partitions the workflow's basic measures into passes:
+// greedily, each pass picks the candidate sort key whose plan keeps
+// the largest number of still-unassigned basic measures within the
+// budget, claims those measures, and repeats. A measure whose
+// footprint exceeds the budget under every key is assigned alone to
+// its best key (it cannot be helped by more passes).
+func PlanPasses(c *core.Compiled, budget float64, stats *plan.Stats) ([]Pass, error) {
+	var basics []int
+	for i, m := range c.Measures {
+		if m.Kind == core.KindBasic {
+			basics = append(basics, i)
+		}
+	}
+	if len(basics) == 0 {
+		return nil, fmt.Errorf("multipass: workflow has no basic measures")
+	}
+	choices, err := opt.BruteForce(c, stats, 0)
+	if err != nil {
+		return nil, err
+	}
+	if budget <= 0 {
+		best := choices[0]
+		p := Pass{SortKey: best.Key, EstBytes: best.EstBytes}
+		for _, i := range basics {
+			p.Measures = append(p.Measures, c.Measures[i].Name)
+		}
+		return []Pass{p}, nil
+	}
+
+	unassigned := map[int]bool{}
+	for _, i := range basics {
+		unassigned[i] = true
+	}
+	var passes []Pass
+	for len(unassigned) > 0 {
+		type fit struct {
+			covered []int
+			bytes   float64
+			key     model.SortKey
+		}
+		var best fit
+		for _, ch := range choices {
+			var covered []int
+			var bytes float64
+			// Claim unassigned measures cheapest-first under this key.
+			var cands []int
+			for i := range unassigned {
+				cands = append(cands, i)
+			}
+			sort.Slice(cands, func(a, b int) bool {
+				ca := ch.Plan.Nodes[cands[a]].EstCells
+				cb := ch.Plan.Nodes[cands[b]].EstCells
+				if ca != cb {
+					return ca < cb
+				}
+				return cands[a] < cands[b]
+			})
+			for _, i := range cands {
+				cost := ch.Plan.Nodes[i].EstCells * float64(48+c.Measures[i].Codec.KeyBytes())
+				if bytes+cost <= budget {
+					covered = append(covered, i)
+					bytes += cost
+				}
+			}
+			if len(covered) > len(best.covered) || (len(covered) == len(best.covered) && len(best.covered) > 0 && bytes < best.bytes) {
+				best = fit{covered: covered, bytes: bytes, key: ch.Key}
+			}
+		}
+		if len(best.covered) == 0 {
+			// Some measure exceeds the budget under every key: give it
+			// its own pass under its individually best key.
+			var victim int
+			for i := range unassigned {
+				victim = i
+				break
+			}
+			bestBytes := 0.0
+			var bestKey model.SortKey
+			for _, ch := range choices {
+				cost := ch.Plan.Nodes[victim].EstCells * float64(48+c.Measures[victim].Codec.KeyBytes())
+				if bestKey == nil || cost < bestBytes {
+					bestBytes, bestKey = cost, ch.Key
+				}
+			}
+			best = fit{covered: []int{victim}, bytes: bestBytes, key: bestKey}
+		}
+		p := Pass{SortKey: best.key, EstBytes: best.bytes}
+		sort.Ints(best.covered)
+		for _, i := range best.covered {
+			p.Measures = append(p.Measures, c.Measures[i].Name)
+			delete(unassigned, i)
+		}
+		passes = append(passes, p)
+	}
+	return passes, nil
+}
+
+// Run plans the passes and executes them over the fact file, then
+// combines cross-pass composites.
+func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
+	passes, err := PlanPasses(c, opts.MemoryBudget, opts.Stats)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Tables: make(map[string]*core.Table)}
+	res.Stats.Passes = passes
+
+	tables := make([]*core.Table, len(c.Measures))
+	for _, p := range passes {
+		// Build the pass sub-workflow: just this pass's basic
+		// measures, re-declared over the same schema.
+		w := core.NewWorkflow(c.Schema)
+		for _, name := range p.Measures {
+			m, err := c.MeasureByName(name)
+			if err != nil {
+				return nil, err
+			}
+			var mopts []core.MeasureOpt
+			if m.Filter != nil {
+				mopts = append(mopts, core.Where(*m.Filter))
+			}
+			w.Basic(exportName(name), m.Gran, m.Agg, m.FactMeasure, mopts...)
+		}
+		sub, err := w.Compile()
+		if err != nil {
+			return nil, fmt.Errorf("multipass: pass workflow: %w", err)
+		}
+		pr, err := sortscan.Run(sub, factPath, sortscan.Options{
+			SortKey:      p.SortKey,
+			TempDir:      opts.TempDir,
+			ChunkRecords: opts.ChunkRecords,
+			Stats:        opts.Stats,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("multipass: pass %s: %w", p.SortKey.String(c.Schema), err)
+		}
+		res.Stats.SortTime += pr.Stats.SortTime
+		res.Stats.ScanTime += pr.Stats.ScanTime
+		res.Stats.Records += pr.Stats.Records
+		if pr.Stats.PeakCells > res.Stats.PeakCells {
+			res.Stats.PeakCells = pr.Stats.PeakCells
+		}
+		for _, name := range p.Measures {
+			i, err := c.Index(name)
+			if err != nil {
+				return nil, err
+			}
+			tables[i] = pr.Tables[exportName(name)]
+		}
+	}
+
+	// Combine composites with traditional in-memory strategies, in
+	// topological order.
+	t0 := time.Now()
+	for i, m := range c.Measures {
+		if m.Kind == core.KindBasic {
+			continue
+		}
+		tbl, err := core.ComputeComposite(c, m, tables)
+		if err != nil {
+			return nil, fmt.Errorf("multipass: combining %q: %w", m.Name, err)
+		}
+		tables[i] = tbl
+	}
+	res.Stats.JoinTime = time.Since(t0)
+
+	for _, name := range c.Outputs() {
+		i, _ := c.Index(name)
+		res.Tables[name] = tables[i]
+	}
+	return res, nil
+}
+
+// exportName works around the reserved "__" prefix for hidden base
+// measures when re-declaring them in a pass sub-workflow.
+func exportName(name string) string {
+	if len(name) >= 2 && name[:2] == "__" {
+		return "hidden" + name[2:]
+	}
+	return name
+}

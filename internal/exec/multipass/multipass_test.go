@@ -1,0 +1,144 @@
+package multipass
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"awra/internal/agg"
+	"awra/internal/core"
+	"awra/internal/model"
+	"awra/internal/plan"
+	"awra/internal/storage"
+)
+
+func schema3(t *testing.T) *model.Schema {
+	t.Helper()
+	s, err := model.NewSchema([]*model.Dimension{
+		model.FixedFanout("A", 3, 10),
+		model.FixedFanout("B", 3, 10),
+		model.FixedFanout("C", 3, 10),
+	}, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func conflictingWorkflow(t *testing.T, s *model.Schema) *core.Compiled {
+	t.Helper()
+	all := model.LevelALL
+	c, err := core.NewWorkflow(s).
+		Basic("byA", model.Gran{0, all, all}, agg.Count, -1).
+		Basic("byB", model.Gran{all, 0, all}, agg.Count, -1).
+		Basic("byC", model.Gran{all, all, 0}, agg.Count, -1).
+		Combine("total", []string{"byA"}, core.SumOf()).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPlanPassesRespectsDependencies(t *testing.T) {
+	s := schema3(t)
+	c := conflictingWorkflow(t, s)
+	st := &plan.Stats{BaseCard: []float64{1e6, 1e6, 1e6}}
+	passes, err := PlanPasses(c, 5000, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every basic measure assigned exactly once.
+	seen := map[string]int{}
+	for _, p := range passes {
+		if len(p.Measures) == 0 {
+			t.Error("empty pass planned")
+		}
+		if p.EstBytes > 5000*3 { // generous slack for the lone-measure case
+			t.Errorf("pass estimate %v far above budget", p.EstBytes)
+		}
+		for _, m := range p.Measures {
+			seen[m]++
+		}
+	}
+	for _, name := range []string{"byA", "byB", "byC"} {
+		if seen[name] != 1 {
+			t.Errorf("measure %s assigned %d times", name, seen[name])
+		}
+	}
+}
+
+func TestPlanPassesNoBasics(t *testing.T) {
+	s := schema3(t)
+	// A workflow cannot exist without basic measures (composites need
+	// sources), so exercise the error path directly with a doctored
+	// compiled workflow is impossible via the public API; instead
+	// verify single-pass planning works for a trivial workflow.
+	c, err := core.NewWorkflow(s).Basic("x", s.AllGran(), agg.Count, -1).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	passes, err := PlanPasses(c, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(passes) != 1 || len(passes[0].Measures) != 1 {
+		t.Fatalf("passes = %+v", passes)
+	}
+}
+
+func TestRunCleansUpAndReports(t *testing.T) {
+	s := schema3(t)
+	c := conflictingWorkflow(t, s)
+	rng := rand.New(rand.NewSource(3))
+	recs := make([]model.Record, 500)
+	for i := range recs {
+		recs[i] = model.Record{
+			Dims: []int64{rng.Int63n(1000), rng.Int63n(1000), rng.Int63n(1000)},
+			Ms:   []float64{float64(rng.Intn(5))},
+		}
+	}
+	dir := t.TempDir()
+	fact := filepath.Join(dir, "fact.rec")
+	if err := storage.WriteAll(fact, 3, 1, recs); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, fact, Options{
+		MemoryBudget: 4000,
+		Stats:        &plan.Stats{BaseCard: []float64{1e6, 1e6, 1e6}},
+		TempDir:      dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Stats.Passes) < 2 {
+		t.Errorf("expected multiple passes, got %d", len(res.Stats.Passes))
+	}
+	// Each pass scans the whole file.
+	if res.Stats.Records != int64(len(res.Stats.Passes))*500 {
+		t.Errorf("records = %d across %d passes", res.Stats.Records, len(res.Stats.Passes))
+	}
+	// total must equal the count of all records.
+	sum := 0.0
+	for _, v := range res.Tables["total"].Rows {
+		sum += v
+	}
+	if sum != 500 {
+		t.Errorf("total sums to %v", sum)
+	}
+	if res.Stats.SortTime <= 0 || res.Stats.JoinTime < 0 {
+		t.Errorf("timers: %+v", res.Stats)
+	}
+}
+
+func TestExportName(t *testing.T) {
+	if exportName("__base(t:Hour)") != "hidden"+"base(t:Hour)" {
+		t.Errorf("exportName hidden = %q", exportName("__base(t:Hour)"))
+	}
+	if exportName("plain") != "plain" {
+		t.Errorf("exportName plain = %q", exportName("plain"))
+	}
+	if exportName("_") != "_" {
+		t.Errorf("exportName short = %q", exportName("_"))
+	}
+}

@@ -1,0 +1,154 @@
+package partscan
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"awra/internal/agg"
+	"awra/internal/core"
+	"awra/internal/exec/singlescan"
+	"awra/internal/gen"
+	"awra/internal/model"
+	"awra/internal/storage"
+)
+
+func setup(t *testing.T) (*model.Schema, []model.Record, string, string) {
+	t.Helper()
+	s, recs, err := gen.SynthRecords(3000, gen.SynthConfig{Dims: 3, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	fact := filepath.Join(dir, "fact.rec")
+	if err := storage.WriteAll(fact, 3, 1, recs); err != nil {
+		t.Fatal(err)
+	}
+	return s, recs, fact, dir
+}
+
+// partitionableWorkflow keeps A1 (the partition dimension) non-ALL and
+// at or below level 1 in every measure.
+func partitionableWorkflow(t *testing.T, s *model.Schema) *core.Compiled {
+	t.Helper()
+	all := model.LevelALL
+	c, err := core.NewWorkflow(s).
+		Basic("cnt", model.Gran{0, 1, all}, agg.Count, -1).
+		Basic("sum", model.Gran{1, all, all}, agg.Sum, 0).
+		Rollup("per1", model.Gran{1, all, all}, "cnt", agg.Sum).
+		Combine("ratio", []string{"per1", "sum"}, core.Ratio(0, 1)).
+		Sliding("winB", "cnt", agg.Avg, []core.Window{{Dim: 1, Lo: -1, Hi: 1}}).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestPartitionedMatchesSingleScan(t *testing.T) {
+	s, recs, fact, dir := setup(t)
+	c := partitionableWorkflow(t, s)
+	want, err := singlescan.Run(c, &storage.SliceSource{Recs: recs}, singlescan.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parts := range []int{1, 2, 4, 7} {
+		res, err := Run(c, fact, Options{
+			PartitionDim: 0, PartitionLevel: 1, Partitions: parts,
+			SortKey: model.SortKey{{Dim: 0, Lvl: 0}, {Dim: 1, Lvl: 1}},
+			TempDir: dir,
+		})
+		if err != nil {
+			t.Fatalf("partitions=%d: %v", parts, err)
+		}
+		if res.Stats.Records != 3000 {
+			t.Errorf("partitions=%d: records = %d", parts, res.Stats.Records)
+		}
+		for name, tbl := range want.Tables {
+			if !tbl.Equal(res.Tables[name], 1e-9) {
+				t.Fatalf("partitions=%d: measure %s differs", parts, name)
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s, _, fact, dir := setup(t)
+	all := model.LevelALL
+
+	cases := []struct {
+		name  string
+		build func(*core.Workflow)
+		dim   int
+		lvl   model.Level
+		want  string
+	}{
+		{
+			"global measure",
+			func(w *core.Workflow) { w.Basic("g", model.Gran{all, 0, all}, agg.Count, -1) },
+			0, 1, "D_ALL",
+		},
+		{
+			"coarser than partition",
+			func(w *core.Workflow) { w.Basic("c", model.Gran{2, all, all}, agg.Count, -1) },
+			0, 1, "coarser than the partition unit",
+		},
+		{
+			"window along partition dim",
+			func(w *core.Workflow) {
+				w.Basic("b", model.Gran{0, all, all}, agg.Count, -1)
+				w.Sliding("w", "b", agg.Sum, []core.Window{{Dim: 0, Lo: -1, Hi: 1}})
+			},
+			0, 1, "sibling window along",
+		},
+	}
+	for _, tc := range cases {
+		w := core.NewWorkflow(s)
+		tc.build(w)
+		c, err := w.Compile()
+		if err != nil {
+			t.Fatalf("%s: compile: %v", tc.name, err)
+		}
+		err = Validate(c, tc.dim, tc.lvl)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate = %v, want mention of %q", tc.name, err, tc.want)
+		}
+		// Run must refuse too.
+		if _, err := Run(c, fact, Options{PartitionDim: tc.dim, PartitionLevel: tc.lvl, Partitions: 2,
+			SortKey: model.SortKey{{Dim: 0, Lvl: 0}}, TempDir: dir}); err == nil {
+			t.Errorf("%s: Run accepted an invalid partitioning", tc.name)
+		}
+	}
+
+	// Structural errors.
+	w := core.NewWorkflow(s)
+	w.Basic("b", model.Gran{0, all, all}, agg.Count, -1)
+	c, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(c, 9, 0); err == nil {
+		t.Error("bad dimension accepted")
+	}
+	if err := Validate(c, 0, 99); err == nil {
+		t.Error("bad level accepted")
+	}
+	if err := Validate(c, 0, model.LevelALL); err == nil {
+		t.Error("partitioning on D_ALL accepted")
+	}
+	// Valid case passes.
+	if err := Validate(c, 0, 1); err != nil {
+		t.Errorf("valid partitioning rejected: %v", err)
+	}
+}
+
+func TestMissingFact(t *testing.T) {
+	s, _, _, dir := setup(t)
+	c := partitionableWorkflow(t, s)
+	if _, err := Run(c, filepath.Join(dir, "none.rec"), Options{
+		PartitionDim: 0, PartitionLevel: 1, Partitions: 2,
+		SortKey: model.SortKey{{Dim: 0, Lvl: 0}}, TempDir: dir,
+	}); err == nil {
+		t.Fatal("missing fact accepted")
+	}
+}

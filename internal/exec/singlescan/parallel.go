@@ -1,0 +1,162 @@
+package singlescan
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"awra/internal/agg"
+	"awra/internal/core"
+	"awra/internal/model"
+	"awra/internal/storage"
+)
+
+// RunParallel evaluates the workflow with Workers goroutines sharding
+// the scan: each worker maintains private hash tables for the basic
+// measures, and the partial aggregator states are merged when the scan
+// ends (aggregators are mergeable by construction, which is what makes
+// this correct for distributive, algebraic and holistic functions
+// alike). Composite measures are then computed once, in topological
+// order, exactly as in the sequential engine.
+//
+// This realizes the parallelism the paper leaves as future work ("the
+// approach offers potentially unlimited parallelism"), in its simplest
+// shared-nothing form. Memory budgets (spilling) are a sequential-
+// engine feature; RunParallel rejects a non-zero budget.
+func RunParallel(c *core.Compiled, src storage.Source, workers int, opts Options) (*Result, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	if opts.MemoryBudget > 0 {
+		return nil, fmt.Errorf("singlescan: memory budgets apply to the sequential engine only")
+	}
+	start := time.Now()
+	var stats Stats
+
+	var basics []*core.Measure
+	for _, m := range c.Measures {
+		if m.Kind == core.KindBasic {
+			basics = append(basics, m)
+		}
+	}
+
+	// Per-worker private tables.
+	type shard struct {
+		aggs []map[model.Key]agg.Aggregator // indexed like basics
+	}
+	shards := make([]*shard, workers)
+	for i := range shards {
+		s := &shard{aggs: make([]map[model.Key]agg.Aggregator, len(basics))}
+		for j := range s.aggs {
+			s.aggs[j] = make(map[model.Key]agg.Aggregator)
+		}
+		shards[i] = s
+	}
+
+	const batchSize = 512
+	type batch []model.Record
+	ch := make(chan batch, workers*2)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(s *shard) {
+			defer wg.Done()
+			for b := range ch {
+				for i := range b {
+					rec := &b[i]
+					for j, m := range basics {
+						if m.Filter != nil && !m.Filter.Eval(rec.Dims, rec.Ms) {
+							continue
+						}
+						k := m.Codec.FromBase(rec.Dims)
+						a, ok := s.aggs[j][k]
+						if !ok {
+							a = m.Agg.New()
+							s.aggs[j][k] = a
+						}
+						if m.FactMeasure >= 0 {
+							a.Update(rec.Ms[m.FactMeasure])
+						} else {
+							a.Update(0)
+						}
+					}
+				}
+			}
+		}(shards[w])
+	}
+
+	// Feed batches round-robin (the channel balances naturally).
+	cur := make(batch, 0, batchSize)
+	var scanErr error
+	for {
+		var rec model.Record
+		ok, err := src.Next(&rec)
+		if err != nil {
+			scanErr = fmt.Errorf("singlescan: %w", err)
+			break
+		}
+		if !ok {
+			break
+		}
+		stats.Records++
+		cur = append(cur, rec.Clone())
+		if len(cur) == batchSize {
+			ch <- cur
+			cur = make(batch, 0, batchSize)
+		}
+	}
+	if len(cur) > 0 && scanErr == nil {
+		ch <- cur
+	}
+	close(ch)
+	wg.Wait()
+	if scanErr != nil {
+		return nil, scanErr
+	}
+
+	// Merge shards.
+	tables := make([]*core.Table, len(c.Measures))
+	for j, m := range basics {
+		merged := shards[0].aggs[j]
+		for _, s := range shards[1:] {
+			for k, a := range s.aggs[j] {
+				if cur, ok := merged[k]; ok {
+					cur.Merge(a)
+				} else {
+					merged[k] = a
+				}
+			}
+		}
+		tbl := core.NewTable(c.Schema, m.Gran)
+		for k, a := range merged {
+			tbl.Rows[k] = a.Final()
+		}
+		i, err := c.Index(m.Name)
+		if err != nil {
+			return nil, err
+		}
+		tables[i] = tbl
+	}
+	stats.ScanTime = time.Since(start)
+
+	// Composite phase, identical to the sequential engine.
+	phase2 := time.Now()
+	for i, m := range c.Measures {
+		if m.Kind == core.KindBasic {
+			continue
+		}
+		tbl, err := core.ComputeComposite(c, m, tables)
+		if err != nil {
+			return nil, fmt.Errorf("singlescan: %w", err)
+		}
+		tables[i] = tbl
+	}
+	stats.CompositeTime = time.Since(phase2)
+
+	res := &Result{Tables: make(map[string]*core.Table), Stats: stats}
+	for _, name := range c.Outputs() {
+		i, _ := c.Index(name)
+		res.Tables[name] = tables[i]
+	}
+	return res, nil
+}

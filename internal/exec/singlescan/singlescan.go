@@ -1,0 +1,368 @@
+// Package singlescan implements the single-scan algorithm of
+// Section 5.1 (following Johnson & Chatziantoniou [19]): one hash
+// table per measure, all basic measures evaluated simultaneously in a
+// single pass over the unsorted dataset, then composite measures
+// computed in topological order.
+//
+// The algorithm "is effective only when the size of memory is big
+// enough to hold all hash tables". To reproduce that regime at laptop
+// scale, the engine takes an optional memory budget: when the live
+// hash tables exceed it, the largest table is serialized to a spill
+// file and cleared, and at end of scan spilled partial states are
+// externally sorted and merged back — a real out-of-core fallback
+// whose extra disk round-trips produce the paper's "slows down
+// significantly due to insufficient memory" behaviour honestly.
+package singlescan
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"awra/internal/agg"
+	"awra/internal/core"
+	"awra/internal/model"
+	"awra/internal/storage"
+)
+
+// Options configures a run.
+type Options struct {
+	// MemoryBudget caps the estimated bytes of live basic-measure hash
+	// tables; 0 means unlimited. Exceeding it triggers spilling.
+	MemoryBudget int64
+	// TempDir receives spill files; empty uses os.TempDir().
+	TempDir string
+}
+
+// Stats reports what a run did.
+type Stats struct {
+	Records   int64
+	PeakBytes int64
+	// Spills counts spill events; SpilledEntries the entries written.
+	Spills         int
+	SpilledEntries int64
+	// ScanTime and CompositeTime split the two phases.
+	ScanTime      time.Duration
+	CompositeTime time.Duration
+}
+
+// Result holds the computed measure tables, keyed by measure name
+// (outputs only; hidden bases are dropped).
+type Result struct {
+	Tables map[string]*core.Table
+	Stats  Stats
+}
+
+// table is the in-flight state of one basic measure.
+type table struct {
+	m     *core.Measure
+	aggs  map[model.Key]agg.Aggregator
+	bytes int64
+	// spill bookkeeping
+	spillPath string
+	spillGen  int64
+	writer    *storage.Writer
+}
+
+// Run evaluates the workflow over the record source.
+func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
+	start := time.Now()
+	tempDir := opts.TempDir
+	if tempDir == "" {
+		tempDir = os.TempDir()
+	}
+
+	var stats Stats
+	var basics []*table
+	var totalBytes int64
+	for _, m := range c.Measures {
+		if m.Kind == core.KindBasic {
+			basics = append(basics, &table{m: m, aggs: make(map[model.Key]agg.Aggregator)})
+		}
+	}
+	defer func() {
+		for _, t := range basics {
+			if t.writer != nil {
+				t.writer.Close()
+			}
+			if t.spillPath != "" {
+				os.Remove(t.spillPath)
+			}
+		}
+	}()
+
+	// Phase 1: one scan, all basic measures at once (Table 7 lines
+	// 3-7, without the sort).
+	var rec model.Record
+	for {
+		ok, err := src.Next(&rec)
+		if err != nil {
+			return nil, fmt.Errorf("singlescan: %w", err)
+		}
+		if !ok {
+			break
+		}
+		stats.Records++
+		for _, t := range basics {
+			m := t.m
+			if m.Filter != nil && !m.Filter.Eval(rec.Dims, rec.Ms) {
+				continue
+			}
+			k := m.Codec.FromBase(rec.Dims)
+			a, ok := t.aggs[k]
+			if !ok {
+				a = m.Agg.New()
+				t.aggs[k] = a
+				delta := int64(len(k)) + int64(a.Bytes()) + 16
+				t.bytes += delta
+				totalBytes += delta
+			}
+			before := a.Bytes()
+			if m.FactMeasure >= 0 {
+				a.Update(rec.Ms[m.FactMeasure])
+			} else {
+				a.Update(0)
+			}
+			if d := int64(a.Bytes() - before); d != 0 {
+				t.bytes += d
+				totalBytes += d
+			}
+		}
+		if totalBytes > stats.PeakBytes {
+			stats.PeakBytes = totalBytes
+		}
+		if opts.MemoryBudget > 0 && totalBytes > opts.MemoryBudget {
+			// Spill the largest table and keep scanning.
+			victim := basics[0]
+			for _, t := range basics {
+				if t.bytes > victim.bytes {
+					victim = t
+				}
+			}
+			n, err := victim.spill(tempDir)
+			if err != nil {
+				return nil, err
+			}
+			stats.Spills++
+			stats.SpilledEntries += n
+			totalBytes -= victim.bytes
+			victim.bytes = 0
+		}
+	}
+
+	// Merge spilled partial states back (external sort + merge).
+	tables := make([]*core.Table, len(c.Measures))
+	for _, t := range basics {
+		var tbl *core.Table
+		if t.spillPath != "" {
+			// Spill the in-memory remainder so everything is on disk,
+			// then sort and merge.
+			if _, err := t.spill(tempDir); err != nil {
+				return nil, err
+			}
+			stats.Spills++
+			var err error
+			tbl, err = t.mergeSpills(c.Schema, tempDir)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			tbl = core.NewTable(c.Schema, t.m.Gran)
+			for k, a := range t.aggs {
+				tbl.Rows[k] = a.Final()
+			}
+		}
+		i, err := c.Index(t.m.Name)
+		if err != nil {
+			return nil, err
+		}
+		tables[i] = tbl
+	}
+	stats.ScanTime = time.Since(start)
+
+	// Phase 2: composite measures in topological order (the
+	// workflow's compiled order).
+	phase2 := time.Now()
+	for i, m := range c.Measures {
+		if m.Kind == core.KindBasic {
+			continue
+		}
+		tbl, err := core.ComputeComposite(c, m, tables)
+		if err != nil {
+			return nil, fmt.Errorf("singlescan: %w", err)
+		}
+		tables[i] = tbl
+	}
+	stats.CompositeTime = time.Since(phase2)
+
+	var peak2 int64
+	for i := range tables {
+		if tables[i] != nil {
+			peak2 += int64(len(tables[i].Rows)) * int64(c.Measures[i].Codec.KeyBytes()+24)
+		}
+	}
+	if peak2 > stats.PeakBytes {
+		stats.PeakBytes = peak2
+	}
+
+	res := &Result{Tables: make(map[string]*core.Table), Stats: stats}
+	for _, name := range c.Outputs() {
+		i, _ := c.Index(name)
+		res.Tables[name] = tables[i]
+	}
+	return res, nil
+}
+
+// spill writes every live entry's aggregator state to the measure's
+// spill file as fixed-width rows (key codes..., generation, position)
+// -> state value, then clears the hash table.
+func (t *table) spill(tempDir string) (int64, error) {
+	if t.writer == nil {
+		t.spillPath = filepath.Join(tempDir, fmt.Sprintf("awra-spill-%d-%s.tmp", os.Getpid(), sanitize(t.m.Name)))
+		w, err := storage.Create(t.spillPath, t.m.Codec.Width()+2, 1)
+		if err != nil {
+			return 0, fmt.Errorf("singlescan: create spill: %w", err)
+		}
+		t.writer = w
+	}
+	var n int64
+	rec := model.Record{Dims: make([]int64, t.m.Codec.Width()+2), Ms: make([]float64, 1)}
+	for k, a := range t.aggs {
+		codes := t.m.Codec.Decode(k)
+		copy(rec.Dims, codes)
+		rec.Dims[len(codes)] = t.spillGen
+		state := a.State()
+		if len(state) == 0 {
+			// Keep one marker row per entry so empty states survive
+			// the round trip; position -1 means "no state values".
+			rec.Dims[len(codes)+1] = -1
+			rec.Ms[0] = 0
+			if err := t.writer.Write(&rec); err != nil {
+				return n, fmt.Errorf("singlescan: write spill: %w", err)
+			}
+		}
+		for j, v := range state {
+			rec.Dims[len(codes)+1] = int64(j)
+			rec.Ms[0] = v
+			if err := t.writer.Write(&rec); err != nil {
+				return n, fmt.Errorf("singlescan: write spill: %w", err)
+			}
+		}
+		n++
+		delete(t.aggs, k)
+	}
+	t.spillGen++
+	return n, nil
+}
+
+// mergeSpills sorts the spill file by (key, generation, position),
+// restores per-generation states, and merges them per key.
+func (t *table) mergeSpills(s *model.Schema, tempDir string) (*core.Table, error) {
+	if err := t.writer.Close(); err != nil {
+		return nil, err
+	}
+	t.writer = nil
+	sorted := t.spillPath + ".sorted"
+	defer os.Remove(sorted)
+	less := func(a, b *model.Record) bool {
+		for i := range a.Dims {
+			if a.Dims[i] != b.Dims[i] {
+				return a.Dims[i] < b.Dims[i]
+			}
+		}
+		return false
+	}
+	if _, err := storage.SortFile(t.spillPath, sorted, less, storage.SortOptions{TempDir: tempDir}); err != nil {
+		return nil, fmt.Errorf("singlescan: sort spill: %w", err)
+	}
+	r, err := storage.Open(sorted)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+
+	tbl := core.NewTable(s, t.m.Gran)
+	width := t.m.Codec.Width()
+	var (
+		curKey   model.Key
+		curAgg   agg.Aggregator
+		genState []float64
+		haveGen  bool
+		haveKey  bool
+	)
+	flushGen := func() error {
+		if !haveGen {
+			return nil
+		}
+		a, err := t.m.Agg.Restore(genState)
+		if err != nil {
+			return err
+		}
+		if curAgg == nil {
+			curAgg = a
+		} else {
+			curAgg.Merge(a)
+		}
+		genState = genState[:0]
+		haveGen = false
+		return nil
+	}
+	flushKey := func() error {
+		if !haveKey {
+			return nil
+		}
+		if err := flushGen(); err != nil {
+			return err
+		}
+		tbl.Rows[curKey] = curAgg.Final()
+		curAgg = nil
+		haveKey = false
+		return nil
+	}
+	var rec model.Record
+	lastGen := int64(-1)
+	for {
+		ok, err := r.Next(&rec)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		k := t.m.Codec.FromCodes(rec.Dims[:width])
+		gen := rec.Dims[width]
+		if !haveKey || k != curKey {
+			if err := flushKey(); err != nil {
+				return nil, err
+			}
+			curKey, haveKey, lastGen = k, true, -1
+		}
+		if gen != lastGen {
+			if err := flushGen(); err != nil {
+				return nil, err
+			}
+			lastGen = gen
+		}
+		haveGen = true
+		if rec.Dims[width+1] >= 0 { // -1 marks an empty serialized state
+			genState = append(genState, rec.Ms[0])
+		}
+	}
+	if err := flushKey(); err != nil {
+		return nil, err
+	}
+	return tbl, nil
+}
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		if r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' {
+			out = append(out, r)
+		} else {
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,200 @@
+package singlescan
+
+import (
+	"math/rand"
+	"testing"
+
+	"awra/internal/agg"
+	"awra/internal/core"
+	"awra/internal/model"
+	"awra/internal/storage"
+)
+
+func schema2(t *testing.T) *model.Schema {
+	t.Helper()
+	s, err := model.NewSchema([]*model.Dimension{
+		model.FixedFanout("A", 3, 10),
+		model.FixedFanout("B", 3, 10),
+	}, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func records(n int, seed int64, nulls bool) []model.Record {
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]model.Record, n)
+	for i := range recs {
+		v := float64(rng.Intn(10))
+		if nulls && rng.Intn(5) == 0 {
+			v = agg.Null()
+		}
+		recs[i] = model.Record{
+			Dims: []int64{rng.Int63n(1000), rng.Int63n(1000)},
+			Ms:   []float64{v},
+		}
+	}
+	return recs
+}
+
+func compile(t *testing.T, s *model.Schema, build func(*core.Workflow)) *core.Compiled {
+	t.Helper()
+	w := core.NewWorkflow(s)
+	build(w)
+	c, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestBasicCounts(t *testing.T) {
+	s := schema2(t)
+	c := compile(t, s, func(w *core.Workflow) {
+		w.Basic("cnt", model.Gran{1, model.LevelALL}, agg.Count, -1)
+	})
+	recs := records(500, 1, false)
+	res, err := Run(c, &storage.SliceSource{Recs: recs}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, v := range res.Tables["cnt"].Rows {
+		total += v
+	}
+	if total != 500 {
+		t.Errorf("counts sum to %v, want 500", total)
+	}
+	if res.Stats.Records != 500 || res.Stats.Spills != 0 {
+		t.Errorf("stats = %+v", res.Stats)
+	}
+	if res.Stats.PeakBytes <= 0 {
+		t.Error("no memory accounting")
+	}
+}
+
+// TestSpillEveryAggregatorKind forces the spill/restore/merge path for
+// every aggregation function, including the holistic ones, with NULLs
+// in the data.
+func TestSpillEveryAggregatorKind(t *testing.T) {
+	s := schema2(t)
+	kinds := []agg.Kind{
+		agg.Count, agg.CountNonNull, agg.Sum, agg.Min, agg.Max,
+		agg.Avg, agg.Var, agg.StdDev, agg.CountDistinct, agg.ConstZero,
+	}
+	recs := records(1200, 2, true)
+	for _, k := range kinds {
+		k := k
+		fm := 0
+		if k == agg.Count || k == agg.ConstZero {
+			fm = -1
+		}
+		c := compile(t, s, func(w *core.Workflow) {
+			w.Basic("x", model.Gran{0, 1}, k, fm)
+		})
+		want, err := Run(c, &storage.SliceSource{Recs: recs}, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", k, err)
+		}
+		got, err := Run(c, &storage.SliceSource{Recs: recs}, Options{
+			MemoryBudget: 4096, TempDir: t.TempDir(),
+		})
+		if err != nil {
+			t.Fatalf("%v (budgeted): %v", k, err)
+		}
+		if got.Stats.Spills == 0 {
+			t.Fatalf("%v: budget did not trigger spills", k)
+		}
+		if !want.Tables["x"].Equal(got.Tables["x"], 1e-9) {
+			t.Fatalf("%v: spill path changed results", k)
+		}
+	}
+}
+
+func TestFilterAndMeasureSelection(t *testing.T) {
+	s := schema2(t)
+	c := compile(t, s, func(w *core.Workflow) {
+		w.Basic("sumB", model.Gran{model.LevelALL, 2}, agg.Sum, 0,
+			core.Where(core.DimWhere(0, core.Lt, 500)))
+	})
+	recs := []model.Record{
+		{Dims: []int64{100, 7}, Ms: []float64{3}},
+		{Dims: []int64{600, 7}, Ms: []float64{100}}, // filtered out
+		{Dims: []int64{200, 7}, Ms: []float64{4}},
+	}
+	res, err := Run(c, &storage.SliceSource{Recs: recs}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.Tables["sumB"]
+	if len(tbl.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, v := range tbl.Rows {
+		if v != 7 {
+			t.Errorf("sum = %v, want 7", v)
+		}
+	}
+}
+
+func TestHiddenBasesNotReported(t *testing.T) {
+	s := schema2(t)
+	c := compile(t, s, func(w *core.Workflow) {
+		w.Basic("cnt", model.Gran{1, model.LevelALL}, agg.Count, -1)
+		w.Sliding("sm", "cnt", agg.Avg, []core.Window{{Dim: 0, Lo: -1, Hi: 1}})
+	})
+	res, err := Run(c, &storage.SliceSource{Recs: records(100, 3, false)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tables) != 2 {
+		t.Errorf("tables = %d, want 2 (hidden base excluded)", len(res.Tables))
+	}
+	for name := range res.Tables {
+		if name != "cnt" && name != "sm" {
+			t.Errorf("unexpected table %q", name)
+		}
+	}
+}
+
+func TestPhaseTimers(t *testing.T) {
+	s := schema2(t)
+	c := compile(t, s, func(w *core.Workflow) {
+		w.Basic("cnt", model.Gran{0, 0}, agg.Count, -1)
+		w.Rollup("up", model.Gran{2, model.LevelALL}, "cnt", agg.Sum)
+	})
+	res, err := Run(c, &storage.SliceSource{Recs: records(2000, 4, false)}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ScanTime <= 0 {
+		t.Error("scan timer not populated")
+	}
+	if res.Stats.CompositeTime < 0 {
+		t.Error("composite timer negative")
+	}
+}
+
+func TestSourceError(t *testing.T) {
+	s := schema2(t)
+	c := compile(t, s, func(w *core.Workflow) {
+		w.Basic("cnt", model.Gran{1, model.LevelALL}, agg.Count, -1)
+	})
+	if _, err := Run(c, failingSource{}, Options{}); err == nil {
+		t.Fatal("source error swallowed")
+	}
+}
+
+type failingSource struct{}
+
+func (failingSource) Next(*model.Record) (bool, error) {
+	return false, errFail
+}
+func (failingSource) Close() error { return nil }
+
+var errFail = &storageError{}
+
+type storageError struct{}
+
+func (*storageError) Error() string { return "injected failure" }

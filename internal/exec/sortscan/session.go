@@ -1,0 +1,155 @@
+package sortscan
+
+import (
+	"fmt"
+	"time"
+
+	"awra/internal/core"
+	"awra/internal/model"
+	"awra/internal/plan"
+)
+
+// Session evaluates a workflow over a continuous, ordered record feed
+// — the natural deployment for the paper's monitoring domains, where
+// network logs arrive already ordered by time. Records are pushed in
+// the plan's sort-key order; measures finalize incrementally with the
+// same watermark machinery as a batch run, and an optional Emit
+// callback delivers each finalized region the moment no future record
+// can change it. Memory stays bounded by the live frontier.
+type Session struct {
+	e      *engine
+	basics []*node
+	last   *model.Record
+	strict bool
+	closed bool
+	t0     time.Time
+}
+
+// EmitFunc receives finalized measure values as they flush. The key
+// belongs to the measure's codec (resolve names via the workflow).
+type EmitFunc func(measure string, key model.Key, value float64)
+
+// SessionOptions configures a streaming session.
+type SessionOptions struct {
+	// Emit, if non-nil, is invoked for every finalized region of every
+	// non-hidden measure, in flush order.
+	Emit EmitFunc
+	// ValidateOrder rejects out-of-order pushes instead of silently
+	// producing wrong results (costs one comparison per record).
+	ValidateOrder bool
+}
+
+// NewSession starts a streaming evaluation under the given plan.
+func NewSession(c *core.Compiled, pl *plan.Plan, opts SessionOptions) *Session {
+	e := newEngine(c, pl, false)
+	s := &Session{e: e, strict: opts.ValidateOrder, t0: time.Now()}
+	for _, n := range e.nodes {
+		if n.m.Kind == core.KindBasic {
+			s.basics = append(s.basics, n)
+		}
+	}
+	e.emit = opts.Emit
+	return s
+}
+
+// Push feeds one record. Records must arrive in the plan sort-key
+// order (ValidateOrder enforces it).
+func (s *Session) Push(rec *model.Record) error {
+	if s.closed {
+		return fmt.Errorf("sortscan: push on closed session")
+	}
+	if s.strict {
+		if s.last != nil && s.e.pl.SortKey.RecordLess(s.e.c.Schema, rec, s.last) {
+			return fmt.Errorf("sortscan: record out of order (violates %s)",
+				s.e.pl.SortKey.String(s.e.c.Schema))
+		}
+		cl := rec.Clone()
+		s.last = &cl
+	}
+	s.e.stats.Records++
+	for _, n := range s.basics {
+		s.e.scanRecord(n, rec)
+	}
+	for _, n := range s.basics {
+		if n.arcs[0].advancedCoarse {
+			n.arcs[0].advancedCoarse = false
+			if err := s.e.finalizeNode(n, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Records reports how many records have been pushed.
+func (s *Session) Records() int64 { return s.e.stats.Records }
+
+// LiveCells reports the current number of live hash entries across
+// all measures — the streaming frontier.
+func (s *Session) LiveCells() int64 { return s.e.live }
+
+// Close flushes every remaining cell and returns the complete result.
+func (s *Session) Close() (*Result, error) {
+	if s.closed {
+		return nil, fmt.Errorf("sortscan: session closed twice")
+	}
+	s.closed = true
+	for _, n := range s.e.nodes {
+		if err := s.e.finalizeNode(n, true); err != nil {
+			return nil, err
+		}
+	}
+	s.e.stats.ScanTime = time.Since(s.t0)
+	res := &Result{Tables: make(map[string]*core.Table), Stats: s.e.stats, Plan: s.e.pl}
+	for _, name := range s.e.c.Outputs() {
+		i, _ := s.e.c.Index(name)
+		res.Tables[name] = s.e.nodes[i].out
+	}
+	return res, nil
+}
+
+// newEngine builds the runtime node graph (shared by batch runs and
+// sessions).
+func newEngine(c *core.Compiled, pl *plan.Plan, noEarlyFlush bool) *engine {
+	e := &engine{c: c, pl: pl, noEarlyFlush: noEarlyFlush}
+	e.nodes = make([]*node, len(c.Measures))
+	for i, m := range c.Measures {
+		n := &node{
+			idx:     i,
+			m:       m,
+			pl:      &pl.Nodes[i],
+			cells:   make(map[model.Key]*cell),
+			baseArc: -1,
+			out:     core.NewTable(c.Schema, m.Gran),
+		}
+		n.srcArc = make([]int, len(m.Sources))
+		for _, a := range pl.Nodes[i].Arcs {
+			n.arcs = append(n.arcs, arcState{pl: a})
+		}
+		ai := 0
+		if m.Kind == core.KindBasic {
+			n.srcArc = nil
+		} else {
+			for si := range m.Sources {
+				n.srcArc[si] = ai
+				ai++
+			}
+			if m.Base >= 0 && !containsIdx(m.Sources, m.Base) {
+				n.baseArc = ai
+			}
+		}
+		if m.Kind == core.KindFromParent {
+			n.parentVals = make(map[model.Key]float64)
+		}
+		e.nodes[i] = n
+	}
+	for i, m := range c.Measures {
+		for si, src := range m.Sources {
+			e.nodes[src].deps = append(e.nodes[src].deps, depEdge{node: i, role: si})
+		}
+		if m.Base >= 0 && !containsIdx(m.Sources, m.Base) {
+			e.nodes[m.Base].deps = append(e.nodes[m.Base].deps, depEdge{node: i, role: -1})
+		}
+	}
+	return e
+}

@@ -1,0 +1,157 @@
+package sortscan
+
+import (
+	"testing"
+
+	"awra/internal/agg"
+	"awra/internal/core"
+	"awra/internal/model"
+	"awra/internal/plan"
+	"awra/internal/storage"
+)
+
+// TestSessionMatchesBatch: pushing records one at a time must produce
+// the same tables as the batch run over the same sorted input.
+func TestSessionMatchesBatch(t *testing.T) {
+	s := netSchema(t)
+	c := smaxWorkflow(t, s)
+	recs := netRecords(1200, 21)
+	day, _ := s.Dim(0).LevelByName("Day")
+	key := model.SortKey{{Dim: 0, Lvl: day}, {Dim: 2, Lvl: 0}}
+	nk, _ := key.Normalize(s)
+	storage.SortRecords(recs, func(a, b *model.Record) bool { return nk.RecordLess(s, a, b) })
+	pl, err := plan.Build(c, nk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch, err := RunSorted(c, pl, &storage.SliceSource{Recs: recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sess := NewSession(c, pl, SessionOptions{ValidateOrder: true})
+	for i := range recs {
+		if err := sess.Push(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sess.Records() != 1200 {
+		t.Errorf("session records = %d", sess.Records())
+	}
+	res, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tbl := range batch.Tables {
+		if !tbl.Equal(res.Tables[name], 0) {
+			t.Errorf("measure %s differs between session and batch", name)
+		}
+	}
+}
+
+// TestSessionEmitIsEarlyAndComplete: the emit callback must deliver
+// every finalized region exactly once, and most of them before Close.
+func TestSessionEmitIsEarlyAndComplete(t *testing.T) {
+	s := netSchema(t)
+	hour, _ := s.Dim(0).LevelByName("Hour")
+	g, _ := s.Normalize(model.Gran{hour, model.LevelALL, model.LevelALL, model.LevelALL})
+	c, err := core.NewWorkflow(s).
+		Basic("cnt", g, agg.Count, -1).
+		Sliding("trend", "cnt", agg.Avg, []core.Window{{Dim: 0, Lo: -2, Hi: 0}}).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := netRecords(2000, 23)
+	key := model.SortKey{{Dim: 0, Lvl: 0}}
+	nk, _ := key.Normalize(s)
+	storage.SortRecords(recs, func(a, b *model.Record) bool { return nk.RecordLess(s, a, b) })
+	pl, err := plan.Build(c, nk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type emission struct {
+		measure string
+		key     model.Key
+	}
+	var emissions []emission
+	var beforeClose int
+	closed := false
+	sess := NewSession(c, pl, SessionOptions{Emit: func(m string, k model.Key, v float64) {
+		emissions = append(emissions, emission{m, k})
+		if !closed {
+			beforeClose++
+		}
+	}})
+	for i := range recs {
+		if err := sess.Push(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	closed = true
+	res, err := sess.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Exactly one emission per output region, no duplicates.
+	seen := map[emission]bool{}
+	for _, e := range emissions {
+		if seen[e] {
+			t.Fatalf("duplicate emission %v", e)
+		}
+		seen[e] = true
+	}
+	total := 0
+	for name, tbl := range res.Tables {
+		total += len(tbl.Rows)
+		for k := range tbl.Rows {
+			if !seen[emission{name, k}] {
+				t.Fatalf("region %s of %s never emitted", tbl.Codec.Format(k), name)
+			}
+		}
+	}
+	if len(emissions) != total {
+		t.Errorf("%d emissions for %d regions", len(emissions), total)
+	}
+	// Streaming means most regions finalize before the end.
+	if beforeClose < total/2 {
+		t.Errorf("only %d of %d regions emitted before Close; streaming inert", beforeClose, total)
+	}
+	// The live frontier stayed far below the total region count.
+	if sess.LiveCells() != 0 {
+		t.Errorf("live cells after close = %d", sess.LiveCells())
+	}
+}
+
+func TestSessionOrderValidation(t *testing.T) {
+	s := netSchema(t)
+	c := smaxWorkflow(t, s)
+	day, _ := s.Dim(0).LevelByName("Day")
+	key := model.SortKey{{Dim: 0, Lvl: day}}
+	nk, _ := key.Normalize(s)
+	pl, err := plan.Build(c, nk, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := NewSession(c, pl, SessionOptions{ValidateOrder: true})
+	r1 := model.Record{Dims: []int64{model.SecondCode(2004, 3, 5, 0, 0, 0), 1, 1, 1}, Ms: []float64{}}
+	r2 := model.Record{Dims: []int64{model.SecondCode(2004, 3, 4, 0, 0, 0), 1, 1, 1}, Ms: []float64{}}
+	if err := sess.Push(&r1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Push(&r2); err == nil {
+		t.Fatal("out-of-order push accepted")
+	}
+	if _, err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Close(); err == nil {
+		t.Fatal("double close accepted")
+	}
+	if err := sess.Push(&r1); err == nil {
+		t.Fatal("push after close accepted")
+	}
+}

@@ -1,0 +1,613 @@
+// Package sortscan implements the paper's one-pass sort/scan algorithm
+// (Section 5.3, Tables 7 and 8): the dataset is externally sorted by a
+// chosen sort key and scanned once; every measure node maintains a hash
+// table of live cells plus a watermark per incoming update stream, and
+// finalizes ("flushes") cells as soon as no stream can update them
+// again. Finalized entries propagate down the computation graph as
+// update streams, transformed per match condition, so composite
+// measures complete in the same pass with a bounded memory footprint.
+//
+// Finalization uses the per-arc comparable keys and conservative
+// watermark shifts computed by the plan package (the order/slack
+// algorithm of Table 6). A cell is finalized when its projection onto
+// every arc's comparable key is strictly below that arc's shifted
+// watermark — the watermark-array minimum of Table 8, evaluated per
+// arc because streams may have incomparable orders.
+package sortscan
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"awra/internal/agg"
+	"awra/internal/core"
+	"awra/internal/model"
+	"awra/internal/plan"
+	"awra/internal/storage"
+)
+
+// Options configures a run.
+type Options struct {
+	// SortKey orders the pass. Use the opt package to choose one that
+	// minimizes the estimated footprint.
+	SortKey model.SortKey
+	// TempDir receives external-sort run files.
+	TempDir string
+	// ChunkRecords tunes the external sort (0 = default).
+	ChunkRecords int
+	// AssumeSorted skips the sort phase; the input must already be
+	// ordered by SortKey.
+	AssumeSorted bool
+	// Stats supplies cardinality estimates for the plan's footprint
+	// numbers (informational).
+	Stats *plan.Stats
+	// DisableEarlyFlush turns off watermark-based finalization during
+	// the scan, so everything flushes only at the end (ablation knob:
+	// it isolates the memory benefit of the paper's early flushing).
+	DisableEarlyFlush bool
+	// ParallelSort sorts run files on SortWorkers goroutines during
+	// the sort phase.
+	ParallelSort bool
+	// SortWorkers bounds the parallel sort (0 = GOMAXPROCS).
+	SortWorkers int
+}
+
+// Stats reports a run's cost breakdown — the data behind the paper's
+// Figure 6(e) sort-vs-scan comparison — and memory behaviour.
+type Stats struct {
+	Records      int64
+	SortTime     time.Duration
+	ScanTime     time.Duration
+	SortRuns     int
+	PeakCells    int64 // max simultaneously live hash entries, all nodes
+	PeakBytes    int64 // estimated bytes at that moment
+	FlushBatches int64
+}
+
+// Result holds the computed measure tables (outputs only) and stats.
+type Result struct {
+	Tables map[string]*core.Table
+	Stats  Stats
+	Plan   *plan.Plan
+}
+
+// cell is one live hash entry.
+type cell struct {
+	agg     agg.Aggregator // basic/rollup/fromparent/sibling
+	vals    []float64      // combine: per-source values
+	present []uint8        // combine: which sources delivered
+	inBase  bool           // confirmed by the base/cell-providing stream
+}
+
+// arcState tracks one incoming stream's watermark.
+type arcState struct {
+	pl        plan.Arc
+	threshold model.Key // shifted projection of the last update
+	seen      bool
+	advanced  bool
+	// advancedCoarse marks a change in the leading comparable-key
+	// component. The scan loop triggers finalization only on coarse
+	// advances — batching flushes the way the paper's examples do
+	// ("entries are finalized when the day switches") instead of
+	// re-scanning the hash table on every record.
+	advancedCoarse bool
+}
+
+// node is the runtime state of one measure.
+type node struct {
+	idx   int
+	m     *core.Measure
+	pl    *plan.Node
+	arcs  []arcState
+	cells map[model.Key]*cell
+	// Scan fast path: consecutive sorted records usually hit the same
+	// cell and watermark, so cache the last mapped codes and skip the
+	// key encoding when they repeat.
+	lastCellCodes []int64
+	lastCell      *cell
+	lastWmCodes   []int64
+	scratch       []int64
+	// srcArc maps "source position" (index into m.Sources) to the arc
+	// index; baseArc is the base stream's arc index (-1 if none).
+	srcArc  []int
+	baseArc int
+	// fromparent staging: parent values keyed by the parent's key.
+	parentVals map[model.Key]float64
+	out        *core.Table
+	// dependents: (node index, role) pairs; role is the source
+	// position, or -1 for base.
+	deps []depEdge
+}
+
+type depEdge struct {
+	node int
+	role int // source position in the dependent's Sources, -1 = base
+}
+
+type engine struct {
+	c            *core.Compiled
+	pl           *plan.Plan
+	nodes        []*node
+	stats        Stats
+	live         int64
+	noEarlyFlush bool
+	emit         EmitFunc
+}
+
+// Run sorts the fact file by the sort key and evaluates the workflow
+// in one streaming pass.
+func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
+	pl, err := plan.Build(c, opts.SortKey, opts.Stats)
+	if err != nil {
+		return nil, err
+	}
+	scanPath := factPath
+	var st Stats
+	if !opts.AssumeSorted {
+		sorted := factPath + ".sorted"
+		defer os.Remove(sorted)
+		t0 := time.Now()
+		less := func(a, b *model.Record) bool { return pl.SortKey.RecordLess(c.Schema, a, b) }
+		ss, err := storage.SortFile(factPath, sorted, less, storage.SortOptions{
+			ChunkRecords: opts.ChunkRecords, TempDir: opts.TempDir,
+			Parallel: opts.ParallelSort, Workers: opts.SortWorkers,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("sortscan: sort: %w", err)
+		}
+		st.SortTime = time.Since(t0)
+		st.SortRuns = ss.Runs
+		scanPath = sorted
+	}
+	r, err := storage.Open(scanPath)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	res, err := runSorted(c, pl, r, opts.DisableEarlyFlush)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats.SortTime = st.SortTime
+	res.Stats.SortRuns = st.SortRuns
+	return res, nil
+}
+
+// RunSorted evaluates the workflow over a source already ordered by
+// the plan's sort key.
+func RunSorted(c *core.Compiled, pl *plan.Plan, src storage.Source) (*Result, error) {
+	return runSorted(c, pl, src, false)
+}
+
+func runSorted(c *core.Compiled, pl *plan.Plan, src storage.Source, disableEarlyFlush bool) (*Result, error) {
+	e := newEngine(c, pl, disableEarlyFlush)
+	t0 := time.Now()
+	var rec model.Record
+	var basics []*node
+	for _, n := range e.nodes {
+		if n.m.Kind == core.KindBasic {
+			basics = append(basics, n)
+		}
+	}
+	for {
+		ok, err := src.Next(&rec)
+		if err != nil {
+			return nil, fmt.Errorf("sortscan: %w", err)
+		}
+		if !ok {
+			break
+		}
+		e.stats.Records++
+		for _, n := range basics {
+			e.scanRecord(n, &rec)
+		}
+		if e.noEarlyFlush {
+			continue
+		}
+		for _, n := range basics {
+			if n.arcs[0].advancedCoarse {
+				n.arcs[0].advancedCoarse = false
+				if err := e.finalizeNode(n, false); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	// End of scan: flush everything in topological order (Table 7's
+	// final "flush the hash tables of all measures").
+	for _, n := range e.nodes {
+		if err := e.finalizeNode(n, true); err != nil {
+			return nil, err
+		}
+	}
+	e.stats.ScanTime = time.Since(t0)
+
+	res := &Result{Tables: make(map[string]*core.Table), Stats: e.stats, Plan: pl}
+	for _, name := range c.Outputs() {
+		i, _ := c.Index(name)
+		res.Tables[name] = e.nodes[i].out
+	}
+	return res, nil
+}
+
+func containsIdx(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// scanRecord feeds one fact record into a basic measure node and
+// advances its fact-arc watermark.
+func (e *engine) scanRecord(n *node, rec *model.Record) {
+	m := n.m
+	sch := e.c.Schema
+	arc := &n.arcs[0]
+
+	// Watermark first: it must advance even for filtered-out records.
+	// Fast path: skip the byte encoding when the mapped codes repeat
+	// (consecutive sorted records almost always share them).
+	cmp := arc.pl.CmpKey
+	if cap(n.lastWmCodes) < len(cmp) {
+		n.lastWmCodes = make([]int64, len(cmp))
+		for j := range n.lastWmCodes {
+			n.lastWmCodes[j] = int64(-1) << 62
+		}
+	}
+	wmChanged := !arc.seen
+	for j, p := range cmp {
+		code := sch.Dim(p.Dim).Up(0, p.Lvl, rec.Dims[p.Dim])
+		if code != n.lastWmCodes[j] {
+			n.lastWmCodes[j] = code
+			wmChanged = true
+			if j == 0 {
+				arc.advancedCoarse = true
+			}
+		}
+	}
+	if wmChanged {
+		b := make([]byte, 0, 8*len(cmp))
+		for j := range cmp {
+			b = appendOrdered(b, n.lastWmCodes[j]-arc.pl.Shift[j])
+		}
+		arc.threshold = model.Key(b)
+		arc.seen = true
+		arc.advanced = true
+	}
+
+	if m.Filter != nil && !m.Filter.Eval(rec.Dims, rec.Ms) {
+		return
+	}
+
+	// Cell fast path: reuse the previous cell when the record maps to
+	// the same region.
+	gran := m.Gran
+	if cap(n.scratch) < len(gran) {
+		n.scratch = make([]int64, len(gran))
+	}
+	same := n.lastCell != nil
+	sc := n.scratch[:0]
+	for d := 0; d < sch.NumDims(); d++ {
+		if gran[d] == sch.Dim(d).ALL() {
+			continue
+		}
+		code := sch.Dim(d).Up(0, gran[d], rec.Dims[d])
+		sc = append(sc, code)
+		if same && (len(n.lastCellCodes) <= len(sc)-1 || n.lastCellCodes[len(sc)-1] != code) {
+			same = false
+		}
+	}
+	n.scratch = sc
+	var cl *cell
+	if same && len(sc) == len(n.lastCellCodes) {
+		cl = n.lastCell
+	} else {
+		k := m.Codec.FromCodes(sc)
+		var ok bool
+		cl, ok = n.cells[k]
+		if !ok {
+			cl = &cell{agg: m.Agg.New(), inBase: true}
+			n.cells[k] = cl
+			e.noteLive(1)
+		}
+		n.lastCellCodes = append(n.lastCellCodes[:0], sc...)
+		n.lastCell = cl
+	}
+	if m.FactMeasure >= 0 {
+		cl.agg.Update(rec.Ms[m.FactMeasure])
+	} else {
+		cl.agg.Update(0)
+	}
+}
+
+// projectKey maps a region key (from codec) onto a comparable key,
+// optionally applying shifts (for watermarks; nil for entries).
+func projectKey(s *model.Schema, cmp model.SortKey, shift []int64, codec *model.KeyCodec, k model.Key) model.Key {
+	b := make([]byte, 0, 8*len(cmp))
+	for j, p := range cmp {
+		code := s.Dim(p.Dim).Up(codec.Gran()[p.Dim], p.Lvl, codec.CodeAt(k, p.Dim))
+		if shift != nil {
+			code -= shift[j]
+		}
+		b = appendOrdered(b, code)
+	}
+	return model.Key(b)
+}
+
+func appendOrdered(b []byte, code int64) []byte {
+	u := uint64(code) ^ (1 << 63)
+	return append(b,
+		byte(u>>56), byte(u>>48), byte(u>>40), byte(u>>32),
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}
+
+func (e *engine) noteLive(delta int64) {
+	e.live += delta
+	if e.live > e.stats.PeakCells {
+		e.stats.PeakCells = e.live
+		e.stats.PeakBytes = e.live * 64
+	}
+}
+
+// finalEntry is one finalized cell ready for emission.
+type finalEntry struct {
+	key   model.Key
+	proj  model.Key
+	value float64
+	emit  bool
+}
+
+// finalizeNode collects finalized cells (all of them when flush is
+// true), emits them in output order, and propagates them to dependent
+// nodes, recursively finalizing those.
+func (e *engine) finalizeNode(n *node, flush bool) error {
+	for i := range n.arcs {
+		n.arcs[i].advanced = false
+	}
+	if len(n.cells) == 0 {
+		return nil
+	}
+	// Flushing may delete the cached cell; drop the fast-path cache.
+	n.lastCell = nil
+	n.lastCellCodes = n.lastCellCodes[:0]
+	if !flush {
+		// Without complete watermarks nothing can finalize.
+		for i := range n.arcs {
+			if !n.arcs[i].seen {
+				return nil
+			}
+		}
+	}
+	var batch []finalEntry
+	sch := e.c.Schema
+	for k, cl := range n.cells {
+		if !flush && !e.cellFinal(n, k) {
+			continue
+		}
+		fe := finalEntry{key: k}
+		fe.value, fe.emit = e.cellValue(n, k, cl)
+		fe.proj = projectKey(sch, n.pl.OutOrder, nil, n.m.Codec, k)
+		batch = append(batch, fe)
+		delete(n.cells, k)
+		e.noteLive(-1)
+	}
+	if len(batch) == 0 {
+		return nil
+	}
+	e.stats.FlushBatches++
+	sort.Slice(batch, func(i, j int) bool {
+		if batch[i].proj != batch[j].proj {
+			return batch[i].proj < batch[j].proj
+		}
+		return batch[i].key < batch[j].key
+	})
+	// Record output rows and propagate as an update stream.
+	touched := map[int]bool{}
+	for _, fe := range batch {
+		if !fe.emit {
+			continue
+		}
+		if !n.m.Hidden {
+			n.out.Rows[fe.key] = fe.value
+			if e.emit != nil {
+				e.emit(n.m.Name, fe.key, fe.value)
+			}
+		}
+		for _, d := range n.deps {
+			e.deliver(e.nodes[d.node], d.role, n, fe.key, fe.value)
+			touched[d.node] = true
+		}
+	}
+	// Even emit-less batches advance downstream watermarks? No: a
+	// dropped cell (emit=false) was never a real region of this
+	// measure, so it must not advance watermarks it never would have
+	// produced. Watermarks advance only with delivered entries.
+	var depIdxs []int
+	for d := range touched {
+		depIdxs = append(depIdxs, d)
+	}
+	sort.Ints(depIdxs)
+	for _, d := range depIdxs {
+		dn := e.nodes[d]
+		anyAdv := false
+		for i := range dn.arcs {
+			if dn.arcs[i].advanced {
+				anyAdv = true
+			}
+		}
+		if anyAdv {
+			if err := e.finalizeNode(dn, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// cellFinal reports whether a cell's projection is strictly below
+// every arc's shifted watermark.
+func (e *engine) cellFinal(n *node, k model.Key) bool {
+	sch := e.c.Schema
+	for i := range n.arcs {
+		a := &n.arcs[i]
+		if len(a.pl.CmpKey) == 0 {
+			return false // no ordering information from this stream
+		}
+		p := projectKey(sch, a.pl.CmpKey, nil, n.m.Codec, k)
+		if !(p < a.threshold) {
+			return false
+		}
+	}
+	return true
+}
+
+// cellValue computes a finalized cell's measure value; emit=false
+// means the cell never belonged to the measure's region set (e.g. a
+// sibling update for a cell the base stream never confirmed).
+func (e *engine) cellValue(n *node, k model.Key, cl *cell) (float64, bool) {
+	switch n.m.Kind {
+	case core.KindCombine:
+		if !cl.inBase {
+			return 0, false
+		}
+		for i := range cl.vals {
+			if cl.present[i] == 0 {
+				cl.vals[i] = agg.Null()
+			}
+		}
+		return n.m.Combine.Eval(cl.vals), true
+	case core.KindFromParent:
+		if !cl.inBase {
+			return 0, false
+		}
+		src := e.nodes[n.m.Sources[0]]
+		a := n.m.Agg.New()
+		if v, ok := n.parentVals[n.m.Codec.UpTo(k, src.m.Codec)]; ok {
+			a.Update(v)
+		}
+		return a.Final(), true
+	case core.KindSibling:
+		if !cl.inBase {
+			return 0, false
+		}
+		return cl.agg.Final(), true
+	default:
+		return cl.agg.Final(), true
+	}
+}
+
+// deliver feeds one finalized entry of src into dependent node n,
+// playing the role of source position `role` (-1 = base stream), and
+// advances the matching watermark.
+func (e *engine) deliver(n *node, role int, src *node, key model.Key, value float64) {
+	m := n.m
+	sch := e.c.Schema
+	var arcIdx int
+	if role < 0 {
+		arcIdx = n.baseArc
+	} else {
+		arcIdx = n.srcArc[role]
+	}
+	arc := &n.arcs[arcIdx]
+	pk := projectKey(sch, arc.pl.CmpKey, arc.pl.Shift, src.m.Codec, key)
+	if !arc.seen || pk != arc.threshold {
+		arc.threshold = pk
+		arc.seen = true
+		arc.advanced = true
+	}
+
+	// baseRole: this delivery provides cells. It is the dedicated base
+	// arc, the S operand of a combine join, or a source that doubles
+	// as the explicit base (WithBase on the sliding source itself).
+	baseRole := role < 0 ||
+		(m.Kind == core.KindCombine && role == 0) ||
+		(n.baseArc == -1 && m.Base >= 0 && role >= 0 && m.Sources[role] == m.Base)
+	filtered := false
+	if role >= 0 && m.Filter != nil {
+		ms := [1]float64{value}
+		if !m.Filter.Eval(src.m.Codec.FullDecode(key), ms[:]) {
+			filtered = true
+		}
+	}
+
+	switch m.Kind {
+	case core.KindRollup:
+		if filtered {
+			return
+		}
+		up := src.m.Codec.UpTo(key, m.Codec)
+		cl := n.getCell(up, e)
+		cl.inBase = true
+		cl.agg.Update(value)
+	case core.KindFromParent:
+		if baseRole {
+			n.getCell(key, e).inBase = true
+			return
+		}
+		if filtered {
+			return
+		}
+		n.parentVals[key] = value
+	case core.KindSibling:
+		if baseRole {
+			n.getCell(key, e).inBase = true
+		}
+		if role < 0 || filtered {
+			return
+		}
+		// An update at key k touches cells in [k-hi, k-lo] per window.
+		forEachShifted(m.Codec, key, m.Windows, func(ck model.Key) {
+			cl := n.getCell(ck, e)
+			cl.agg.Update(value)
+		})
+	case core.KindCombine:
+		cl := n.getCell(key, e)
+		if baseRole {
+			cl.inBase = true
+		}
+		cl.vals[role] = value
+		cl.present[role] = 1
+	}
+}
+
+func (n *node) getCell(k model.Key, e *engine) *cell {
+	cl, ok := n.cells[k]
+	if !ok {
+		cl = &cell{}
+		switch n.m.Kind {
+		case core.KindCombine:
+			cl.vals = make([]float64, len(n.m.Sources))
+			cl.present = make([]uint8, len(n.m.Sources))
+		case core.KindFromParent:
+			// value computed at finalization from parentVals
+		default:
+			cl.agg = n.m.Agg.New()
+		}
+		n.cells[k] = cl
+		e.noteLive(1)
+	}
+	return cl
+}
+
+// forEachShifted enumerates the cell keys affected by a sibling-source
+// update at key k: the product of [-hi, -lo] offsets per window, in
+// ascending order.
+func forEachShifted(c *model.KeyCodec, k model.Key, windows []core.Window, visit func(model.Key)) {
+	var rec func(cur model.Key, i int)
+	rec = func(cur model.Key, i int) {
+		if i == len(windows) {
+			visit(cur)
+			return
+		}
+		w := windows[i]
+		base := c.CodeAt(k, w.Dim)
+		for off := -w.Hi; off <= -w.Lo; off++ {
+			rec(c.WithCodeAt(cur, w.Dim, base+off), i+1)
+		}
+	}
+	rec(k, 0)
+}

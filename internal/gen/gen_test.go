@@ -1,0 +1,180 @@
+package gen
+
+import (
+	"path/filepath"
+	"testing"
+
+	"awra/internal/model"
+	"awra/internal/storage"
+)
+
+func TestSynthDefaults(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "synth.rec")
+	s, err := Synth(path, 1000, SynthConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumDims() != 4 || s.NumMeasures() != 1 {
+		t.Fatalf("schema shape %d/%d", s.NumDims(), s.NumMeasures())
+	}
+	recs, hdr, err := storage.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Count != 1000 {
+		t.Fatalf("count = %d", hdr.Count)
+	}
+	// Base codes in [0, 1000); top concrete level has 10 values.
+	seenTop := map[int64]bool{}
+	for _, r := range recs {
+		for d, v := range r.Dims {
+			if v < 0 || v >= 1000 {
+				t.Fatalf("dim %d code %d out of range", d, v)
+			}
+		}
+		seenTop[s.Dim(0).Up(0, 2, r.Dims[0])] = true
+	}
+	if len(seenTop) != 10 {
+		t.Errorf("top-level values = %d, want 10", len(seenTop))
+	}
+}
+
+func TestSynthDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.rec")
+	p2 := filepath.Join(dir, "b.rec")
+	if _, err := Synth(p1, 200, SynthConfig{Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Synth(p2, 200, SynthConfig{Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := storage.ReadAll(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := storage.ReadAll(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i].Dims {
+			if a[i].Dims[j] != b[i].Dims[j] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+}
+
+func TestSynthRecords(t *testing.T) {
+	s, recs, err := SynthRecords(100, SynthConfig{Dims: 2, Depth: 2, Fanout: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumDims() != 2 || len(recs) != 100 {
+		t.Fatalf("shape %d/%d", s.NumDims(), len(recs))
+	}
+	for _, r := range recs {
+		if r.Dims[0] < 0 || r.Dims[0] >= 16 {
+			t.Fatalf("code %d out of 4^2 range", r.Dims[0])
+		}
+	}
+}
+
+func TestNetLogStructure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.rec")
+	cfg := NetConfig{Days: 3, Escalations: 2, Recons: 2, ReconSources: 40, Seed: 11}
+	s, truth, err := NetLog(path, 20000, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(truth.Escalations) != 2 || len(truth.Recons) != 2 {
+		t.Fatalf("truth = %+v", truth)
+	}
+	recs, hdr, err := storage.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Count < 15000 {
+		t.Fatalf("suspiciously few records: %d", hdr.Count)
+	}
+	hourLvl, _ := s.Dim(0).LevelByName("Hour")
+	sub24, _ := s.Dim(2).LevelByName("/24")
+	dayLvl, _ := s.Dim(0).LevelByName("Day")
+
+	// Timestamps within the configured window.
+	startDay := model.DayCode(2004, 3, 1)
+	for _, r := range recs {
+		d := s.Dim(0).Up(0, dayLvl, r.Dims[0])
+		if d < startDay || d >= startDay+3 {
+			t.Fatalf("record outside time window: day %d", d)
+		}
+		if r.Dims[3] < 0 || r.Dims[3] > 65535 {
+			t.Fatalf("port out of range: %d", r.Dims[3])
+		}
+	}
+
+	// Escalation ground truth: peak-hour traffic into the planted
+	// subnet must exceed the hour two before it by a clear factor.
+	for _, ev := range truth.Escalations {
+		byHour := map[int64]int{}
+		for _, r := range recs {
+			if s.Dim(2).Up(0, sub24, r.Dims[2]) == ev.TargetSubnet {
+				byHour[s.Dim(0).Up(0, hourLvl, r.Dims[0])]++
+			}
+		}
+		peak := byHour[ev.HourCode]
+		before := byHour[ev.HourCode-2]
+		if peak < 2*before || peak == 0 {
+			t.Errorf("escalation at hour %d not visible: peak %d, before %d", ev.HourCode, peak, before)
+		}
+	}
+
+	// Recon ground truth: distinct sources into the planted subnet on
+	// the planted day must reach the configured fan-in.
+	for _, ev := range truth.Recons {
+		srcs := map[int64]bool{}
+		for _, r := range recs {
+			if s.Dim(2).Up(0, sub24, r.Dims[2]) == ev.TargetSubnet &&
+				s.Dim(0).Up(0, dayLvl, r.Dims[0]) == ev.DayCode {
+				srcs[r.Dims[1]] = true
+			}
+		}
+		if len(srcs) < ev.Sources {
+			t.Errorf("recon on day %d: %d distinct sources, want >= %d", ev.DayCode, len(srcs), ev.Sources)
+		}
+	}
+}
+
+func TestNetLogDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "a.rec")
+	p2 := filepath.Join(dir, "b.rec")
+	cfg := NetConfig{Days: 1, Seed: 5}
+	if _, _, err := NetLog(p1, 2000, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := NetLog(p2, 2000, cfg); err != nil {
+		t.Fatal(err)
+	}
+	a, ha, err := storage.ReadAll(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, hb, err := storage.ReadAll(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha.Count != hb.Count {
+		t.Fatal("same seed produced different counts")
+	}
+	for i := range a {
+		for j := range a[i].Dims {
+			if a[i].Dims[j] != b[i].Dims[j] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+}

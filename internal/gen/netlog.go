@@ -1,0 +1,217 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+
+	"awra/internal/model"
+	"awra/internal/storage"
+)
+
+// NetConfig describes the synthetic attack-log dataset with the
+// Table 1 schema (Timestamp, Source, Target, TargetPort). Background
+// traffic is heavy-tailed (Zipf sources/targets/ports) with a diurnal
+// volume profile; on top of it the generator plants the two structures
+// the Section 7.2 analysis queries look for:
+//
+//   - escalation events: a target /24 whose hourly attack volume grows
+//     sharply over consecutive hours (the "network escalation
+//     detection" query, a sibling match join over hours);
+//   - recon events: many distinct sources probing one target /24
+//     within one day (the "multi-recon detection" query, child/parent
+//     match joins over IP prefixes).
+type NetConfig struct {
+	// Days of traffic starting at StartDay.
+	Days int
+	// StartYear/Month/Day anchor the timeline (default 2004-03-01, the
+	// era of the LBL HoneyNet collection).
+	StartYear  int64
+	StartMonth int
+	StartDay   int
+	// Subnets is the number of distinct /24 target subnets.
+	Subnets int
+	// Sources is the number of distinct source IPs.
+	Sources int
+	// Escalations and Recons are the numbers of planted events.
+	Escalations int
+	Recons      int
+	// ReconSources is the distinct-source fan-in of a recon event.
+	ReconSources int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c NetConfig) withDefaults() NetConfig {
+	if c.Days == 0 {
+		c.Days = 7
+	}
+	if c.StartYear == 0 {
+		c.StartYear, c.StartMonth, c.StartDay = 2004, 3, 1
+	}
+	if c.Subnets == 0 {
+		c.Subnets = 256
+	}
+	if c.Sources == 0 {
+		c.Sources = 4096
+	}
+	if c.Escalations == 0 {
+		c.Escalations = 4
+	}
+	if c.Recons == 0 {
+		c.Recons = 4
+	}
+	if c.ReconSources == 0 {
+		c.ReconSources = 60
+	}
+	return c
+}
+
+// EscalationEvent is ground truth for one planted escalation.
+type EscalationEvent struct {
+	TargetSubnet int64 // /24 code
+	HourCode     int64 // the hour where volume peaks
+	Factor       float64
+}
+
+// ReconEvent is ground truth for one planted recon sweep.
+type ReconEvent struct {
+	TargetSubnet int64 // /24 code
+	DayCode      int64
+	Sources      int
+}
+
+// NetTruth reports what was planted.
+type NetTruth struct {
+	Escalations []EscalationEvent
+	Recons      []ReconEvent
+}
+
+// NetSchema builds the Table 1 schema: t, U, T, P.
+func NetSchema() (*model.Schema, error) {
+	return model.NewSchema([]*model.Dimension{
+		model.TimeDimension("t"),
+		model.IPv4Dimension("U"),
+		model.IPv4Dimension("T"),
+		model.PortDimension("P"),
+	})
+}
+
+// NetLog writes ~n records to path and returns the schema and the
+// planted ground truth. The record count is approximate: planted
+// events add a few percent on top of the background volume.
+func NetLog(path string, n int64, c NetConfig) (*model.Schema, *NetTruth, error) {
+	c = c.withDefaults()
+	s, err := NetSchema()
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(c.Seed))
+	w, err := storage.Create(path, 4, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	// Address plan: targets in 10.0.x.0/24, sources spread over the
+	// 1.0.0.0/8 - 9.0.0.0/8 space with Zipf popularity.
+	subnetCode := func(i int) int64 { return model.IPCode(10, 0, i%256, 0)>>8 + int64(i/256)<<8 }
+	srcZipf := rand.NewZipf(rng, 1.2, 1, uint64(c.Sources-1))
+	tgtZipf := rand.NewZipf(rng, 1.1, 1, uint64(c.Subnets-1))
+	portZipf := rand.NewZipf(rng, 1.3, 1, 1023)
+	srcIP := func(i int64) int64 {
+		return model.IPCode(1+int(i%9), int(i/9%250), int(i/2250%250), int(i%250))
+	}
+
+	startDay := model.DayCode(c.StartYear, c.StartMonth, c.StartDay)
+	totalHours := c.Days * 24
+	// Diurnal weights: peak near hour 14, trough near hour 2.
+	hourWeight := make([]float64, totalHours)
+	sum := 0.0
+	for h := range hourWeight {
+		hod := float64(h % 24)
+		hourWeight[h] = 1 + 0.6*math.Sin((hod-8)/24*2*math.Pi)
+		sum += hourWeight[h]
+	}
+
+	rec := model.Record{Dims: make([]int64, 4), Ms: []float64{}}
+	emit := func(hourIdx int, src, tgt24, port int64) error {
+		hc := startDay*24 + int64(hourIdx)
+		sec := hc*3600 + rng.Int63n(3600)
+		rec.Dims[0] = sec
+		rec.Dims[1] = src
+		rec.Dims[2] = tgt24<<8 + rng.Int63n(256)
+		rec.Dims[3] = port
+		return w.Write(&rec)
+	}
+
+	// Background traffic.
+	for h := 0; h < totalHours; h++ {
+		cnt := int64(float64(n) * hourWeight[h] / sum)
+		for i := int64(0); i < cnt; i++ {
+			src := srcIP(int64(srcZipf.Uint64()))
+			tgt := subnetCode(int(tgtZipf.Uint64()))
+			port := int64(portZipf.Uint64())
+			if rng.Intn(10) == 0 {
+				port = 1024 + rng.Int63n(64512)
+			}
+			if err := emit(h, src, tgt, port); err != nil {
+				w.Close()
+				return nil, nil, err
+			}
+		}
+	}
+
+	truth := &NetTruth{}
+	perHourBase := float64(n) / float64(totalHours)
+
+	// Escalation events: volume ramps x2, x4, x8 over three hours into
+	// one target subnet (a worm outbreak signature).
+	for e := 0; e < c.Escalations; e++ {
+		h0 := 3 + rng.Intn(totalHours-6)
+		tgt := subnetCode(c.Subnets + e) // a quiet subnet of its own
+		factor := 8.0
+		for step := 0; step < 3; step++ {
+			cnt := int64(perHourBase * math.Pow(2, float64(step+1)) / 4)
+			if cnt < 32 {
+				cnt = 32
+			}
+			for i := int64(0); i < cnt; i++ {
+				src := srcIP(int64(srcZipf.Uint64()))
+				if err := emit(h0+step, src, tgt, 445); err != nil {
+					w.Close()
+					return nil, nil, err
+				}
+			}
+		}
+		truth.Escalations = append(truth.Escalations, EscalationEvent{
+			TargetSubnet: tgt,
+			HourCode:     startDay*24 + int64(h0+2),
+			Factor:       factor,
+		})
+	}
+
+	// Recon events: many distinct sources probe one subnet in one day.
+	for r := 0; r < c.Recons; r++ {
+		day := rng.Intn(c.Days)
+		tgt := subnetCode(c.Subnets + c.Escalations + r)
+		for i := 0; i < c.ReconSources; i++ {
+			src := srcIP(int64(c.Sources + r*c.ReconSources + i))
+			probes := 1 + rng.Intn(3)
+			for p := 0; p < probes; p++ {
+				if err := emit(day*24+rng.Intn(24), src, tgt, int64(portZipf.Uint64())); err != nil {
+					w.Close()
+					return nil, nil, err
+				}
+			}
+		}
+		truth.Recons = append(truth.Recons, ReconEvent{
+			TargetSubnet: tgt,
+			DayCode:      startDay + int64(day),
+			Sources:      c.ReconSources,
+		})
+	}
+
+	if err := w.Close(); err != nil {
+		return nil, nil, err
+	}
+	return s, truth, nil
+}

@@ -1,0 +1,77 @@
+package model
+
+// Region is one hyper-rectangle of cube space: a granularity vector
+// and the codes of the region's value in each non-ALL dimension
+// (Section 2.2 of the paper). It is the decoded, human-oriented form
+// of a Key; engines work with Keys, but tools and tests sometimes need
+// the explicit region.
+type Region struct {
+	Gran  Gran
+	Codes []int64 // one code per dimension, ALL positions zero
+}
+
+// RegionOf decodes a key of the given codec into an explicit region.
+func RegionOf(c *KeyCodec, k Key) Region {
+	return Region{Gran: c.Gran().Clone(), Codes: c.FullDecode(k)}
+}
+
+// Covers reports whether the region covers a record: the record's
+// base coordinates generalize to the region's codes in every non-ALL
+// dimension. This is coverage(c) from Section 2.2, as a membership
+// test.
+func (r Region) Covers(s *Schema, rec *Record) bool {
+	for d := 0; d < s.NumDims(); d++ {
+		if r.Gran[d] == s.Dim(d).ALL() {
+			continue
+		}
+		if s.Dim(d).Up(0, r.Gran[d], rec.Dims[d]) != r.Codes[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Coverage filters records to the subset the region covers —
+// coverage(c) = { r in D | gamma(r.X_i) = c.v_i for all i }.
+func (r Region) Coverage(s *Schema, recs []Record) []Record {
+	var out []Record
+	for i := range recs {
+		if r.Covers(s, &recs[i]) {
+			out = append(out, recs[i])
+		}
+	}
+	return out
+}
+
+// ParentOf reports whether p is an ancestor region of r: p's
+// granularity is strictly coarser on at least one dimension, at least
+// as coarse everywhere, and r's codes generalize to p's (the paper's
+// c2 <_C c1 relation, relaxed to ancestors rather than immediate
+// parents).
+func (r Region) ParentOf(s *Schema, p Region) bool {
+	strict := false
+	for d := 0; d < s.NumDims(); d++ {
+		if r.Gran[d] > p.Gran[d] {
+			return false
+		}
+		if r.Gran[d] < p.Gran[d] {
+			strict = true
+		}
+		if s.Dim(d).Up(r.Gran[d], p.Gran[d], r.Codes[d]) != p.Codes[d] {
+			return false
+		}
+	}
+	return strict
+}
+
+// String renders the region in the paper's tuple notation.
+func (r Region) String(s *Schema) string {
+	c := NewKeyCodec(s, r.Gran)
+	sub := make([]int64, 0, c.Width())
+	for d := 0; d < s.NumDims(); d++ {
+		if r.Gran[d] != s.Dim(d).ALL() {
+			sub = append(sub, r.Codes[d])
+		}
+	}
+	return c.Format(c.FromCodes(sub))
+}

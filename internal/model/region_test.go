@@ -1,0 +1,65 @@
+package model
+
+import "testing"
+
+func TestRegionCoverage(t *testing.T) {
+	s := testSchema(t)
+	g, _ := s.Normalize(Gran{1, LevelALL})
+	c := NewKeyCodec(s, g)
+	k := c.FromCodes([]int64{52})
+	r := RegionOf(c, k)
+	if r.Codes[0] != 52 || r.Codes[1] != 0 {
+		t.Fatalf("RegionOf = %+v", r)
+	}
+	recs := []Record{
+		{Dims: []int64{520, 1}, Ms: []float64{1}}, // covered (520/10 = 52)
+		{Dims: []int64{529, 9}, Ms: []float64{2}}, // covered
+		{Dims: []int64{530, 1}, Ms: []float64{3}}, // not covered
+	}
+	cov := r.Coverage(s, recs)
+	if len(cov) != 2 {
+		t.Fatalf("coverage = %d records, want 2", len(cov))
+	}
+	if !r.Covers(s, &recs[0]) || r.Covers(s, &recs[2]) {
+		t.Error("Covers disagrees with Coverage")
+	}
+	if got := r.String(s); got != "A:52" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRegionParentOf(t *testing.T) {
+	s := testSchema(t)
+	fineG, _ := s.Normalize(Gran{0, 0})
+	midG, _ := s.Normalize(Gran{1, LevelALL})
+	fine := Region{Gran: fineG, Codes: []int64{523, 7}}
+	parent := Region{Gran: midG, Codes: []int64{52, 0}}
+	notParent := Region{Gran: midG, Codes: []int64{53, 0}}
+	if !fine.ParentOf(s, parent) {
+		t.Error("ancestor not recognized")
+	}
+	if fine.ParentOf(s, notParent) {
+		t.Error("non-ancestor accepted")
+	}
+	// Not strictly coarser: a region is not its own parent.
+	if fine.ParentOf(s, fine) {
+		t.Error("region is its own parent")
+	}
+	// Finer "parent" rejected.
+	if parent.ParentOf(s, fine) {
+		t.Error("finer region accepted as ancestor")
+	}
+}
+
+func TestRegionAllGran(t *testing.T) {
+	s := testSchema(t)
+	c := NewKeyCodec(s, s.AllGran())
+	r := RegionOf(c, c.FromCodes(nil))
+	rec := Record{Dims: []int64{1, 2}}
+	if !r.Covers(s, &rec) {
+		t.Error("ALL region must cover everything")
+	}
+	if got := r.String(s); got != "ALL" {
+		t.Errorf("String = %q", got)
+	}
+}

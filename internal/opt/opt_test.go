@@ -1,0 +1,186 @@
+package opt
+
+import (
+	"testing"
+
+	"awra/internal/agg"
+	"awra/internal/core"
+	"awra/internal/model"
+	"awra/internal/plan"
+)
+
+func schema3(t *testing.T) *model.Schema {
+	t.Helper()
+	s, err := model.NewSchema([]*model.Dimension{
+		model.FixedFanout("A", 3, 10),
+		model.FixedFanout("B", 3, 10),
+		model.FixedFanout("C", 3, 10),
+	}, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCandidatesCoverRelevantLevels(t *testing.T) {
+	s := schema3(t)
+	c, err := core.NewWorkflow(s).
+		Basic("x", model.Gran{0, 1, model.LevelALL}, agg.Count, -1).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := Candidates(c, 0)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	// Only dims A (level 0) and B (level 1) are relevant: keys use
+	// exactly those.
+	for _, k := range cands {
+		for _, p := range k {
+			if p.Dim == 2 {
+				t.Fatalf("key %v uses irrelevant dimension C", k)
+			}
+			if p.Dim == 0 && p.Lvl != 0 {
+				t.Fatalf("key %v uses irrelevant level for A", k)
+			}
+			if p.Dim == 1 && p.Lvl != 1 {
+				t.Fatalf("key %v uses irrelevant level for B", k)
+			}
+		}
+	}
+	// Expect: <A>, <B>, <A,B>, <B,A> = 4 candidates.
+	if len(cands) != 4 {
+		t.Errorf("got %d candidates, want 4", len(cands))
+	}
+	if got := Candidates(c, 2); len(got) != 2 {
+		t.Errorf("maxKeys not honored: %d", len(got))
+	}
+}
+
+func TestCandidatesDegenerate(t *testing.T) {
+	s := schema3(t)
+	c, err := core.NewWorkflow(s).
+		Basic("total", s.AllGran(), agg.Count, -1).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cands := Candidates(c, 0)
+	if len(cands) != 1 {
+		t.Fatalf("degenerate workflow should yield one fallback key, got %d", len(cands))
+	}
+}
+
+func TestBestPrefersCoveringKey(t *testing.T) {
+	s := schema3(t)
+	// A measure at (A:L0, B:L0): the best sort key should cover both
+	// dimensions so nearly nothing stays live.
+	c, err := core.NewWorkflow(s).
+		Basic("x", model.Gran{0, 0, model.LevelALL}, agg.Count, -1).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &plan.Stats{BaseCard: []float64{1000, 1000, 1000}}
+	best, err := Best(c, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best.Key) != 2 {
+		t.Fatalf("best key %v should cover both dimensions", best.Key.String(s))
+	}
+	p, err := plan.Build(c, best.Key, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Nodes[0].EstCells != 1 {
+		t.Errorf("best key leaves %v cells live, want 1", p.Nodes[0].EstCells)
+	}
+}
+
+func TestBruteForceOrdering(t *testing.T) {
+	s := schema3(t)
+	c, err := core.NewWorkflow(s).
+		Basic("x", model.Gran{0, 0, model.LevelALL}, agg.Count, -1).
+		Basic("y", model.Gran{model.LevelALL, 0, 0}, agg.Count, -1).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	choices, err := BruteForce(c, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(choices); i++ {
+		if choices[i].EstBytes < choices[i-1].EstBytes {
+			t.Fatal("choices not sorted by footprint")
+		}
+	}
+}
+
+func TestGreedyFindsReasonableKey(t *testing.T) {
+	s := schema3(t)
+	c, err := core.NewWorkflow(s).
+		Basic("x", model.Gran{0, 0, 0}, agg.Count, -1).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &plan.Stats{BaseCard: []float64{1000, 1000, 1000}}
+	greedy, err := Greedy(c, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := Best(c, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Greedy should be within 10x of brute force here (it is in fact
+	// equal for this symmetric workload).
+	if greedy.EstBytes > 10*best.EstBytes {
+		t.Errorf("greedy %v (%.0f) much worse than brute force %v (%.0f)",
+			greedy.Key.String(s), greedy.EstBytes, best.Key.String(s), best.EstBytes)
+	}
+}
+
+func TestGreedyDegenerate(t *testing.T) {
+	s := schema3(t)
+	c, err := core.NewWorkflow(s).
+		Basic("total", s.AllGran(), agg.Count, -1).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := Greedy(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Key) == 0 {
+		t.Error("greedy returned empty key")
+	}
+}
+
+func TestBestHighDimensionalFallsBackToGreedy(t *testing.T) {
+	dims := make([]*model.Dimension, 7)
+	names := "ABCDEFG"
+	for i := range dims {
+		dims[i] = model.FixedFanout(string(names[i]), 2, 10)
+	}
+	s, err := model.NewSchema(dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := make(model.Gran, 7)
+	c, err := core.NewWorkflow(s).Basic("x", gr, agg.Count, -1).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := Best(c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Key) == 0 {
+		t.Error("high-dimensional Best returned empty key")
+	}
+}

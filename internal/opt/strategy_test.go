@@ -1,0 +1,118 @@
+package opt
+
+import (
+	"testing"
+
+	"awra/internal/agg"
+	"awra/internal/core"
+	"awra/internal/model"
+	"awra/internal/plan"
+)
+
+func TestChooseLadder(t *testing.T) {
+	s := schema3(t)
+	// One fine-grained measure: single-scan needs ~card(A0)*card(B0)
+	// cells; a covering sort key streams it in ~1 cell.
+	c, err := core.NewWorkflow(s).
+		Basic("fine", model.Gran{0, 0, model.LevelALL}, agg.Count, -1).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &plan.Stats{BaseCard: []float64{1000, 1000, 1000}, Records: 1e9}
+
+	// Plenty of memory: simple scan wins (no sort).
+	d, err := Choose(c, st, 1e12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Strategy != StrategySingleScan {
+		t.Errorf("huge budget: strategy = %v", d.Strategy)
+	}
+	if d.SingleScanBytes <= 0 || d.SortScanBytes <= 0 {
+		t.Errorf("estimates missing: %+v", d)
+	}
+
+	// Tight budget: streaming fits where hashing everything does not.
+	d, err = Choose(c, st, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Strategy != StrategySortScan {
+		t.Errorf("tight budget: strategy = %v (single=%.0f sort=%.0f)",
+			d.Strategy, d.SingleScanBytes, d.SortScanBytes)
+	}
+	if len(d.Key) == 0 {
+		t.Error("no sort key chosen")
+	}
+
+	// Budget below even the best streaming plan: multi-pass.
+	conflict, err := core.NewWorkflow(s).
+		Basic("byA", model.Gran{0, model.LevelALL, model.LevelALL}, agg.Count, -1).
+		Basic("byB", model.Gran{model.LevelALL, 0, model.LevelALL}, agg.Count, -1).
+		Basic("byC", model.Gran{model.LevelALL, model.LevelALL, 0}, agg.Count, -1).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = Choose(conflict, st, 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Strategy != StrategyMultiPass {
+		t.Errorf("impossible budget: strategy = %v (single=%.0f sort=%.0f)",
+			d.Strategy, d.SingleScanBytes, d.SortScanBytes)
+	}
+
+	// Default budget (0): the paper's large-data regime for a huge
+	// single-scan estimate.
+	d, err = Choose(c, st, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Strategy == StrategyMultiPass {
+		t.Errorf("default budget escalated to multipass: %+v", d)
+	}
+
+	for _, str := range []Strategy{StrategySingleScan, StrategySortScan, StrategyMultiPass} {
+		if str.String() == "" {
+			t.Error("empty strategy name")
+		}
+	}
+}
+
+// TestChooseMatchesPaperScenarios mirrors the two Section 7.2 regimes:
+// the escalation query's tiny intermediate picks simple scan; a
+// fine-grained workload under the same budget picks sort/scan.
+func TestChooseMatchesPaperScenarios(t *testing.T) {
+	s := schema3(t)
+	small, err := core.NewWorkflow(s).
+		Basic("coarse", model.Gran{2, model.LevelALL, model.LevelALL}, agg.Count, -1).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &plan.Stats{BaseCard: []float64{1000, 1000, 1000}, Records: 1e8}
+	budget := 8.0 * (1 << 20)
+	d, err := Choose(small, st, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Strategy != StrategySingleScan {
+		t.Errorf("tiny intermediate: %v", d.Strategy)
+	}
+	big, err := core.NewWorkflow(s).
+		Basic("fine", model.Gran{0, 0, 0}, agg.Count, -1).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = Choose(big, st, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Strategy != StrategySortScan {
+		t.Errorf("huge intermediate: %v (single=%.0f sort=%.0f)",
+			d.Strategy, d.SingleScanBytes, d.SortScanBytes)
+	}
+}

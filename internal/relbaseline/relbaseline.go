@@ -1,0 +1,613 @@
+// Package relbaseline is the relational comparator used by the
+// benchmark harness, standing in for the commercial RDBMS of the
+// paper's Section 7 experiments. It evaluates each output measure as
+// an independent SQL-style query over the algebra translation of the
+// workflow (Tables 2-4 give the SQL equivalents), in the classic
+// materializing operator-at-a-time style of a relational engine:
+//
+//   - every measure is evaluated from scratch — shared sub-expressions
+//     are recomputed per reference, which is exactly the cost shape of
+//     nested sub-queries without common-subexpression reuse;
+//   - every operator spools its full result to disk before the next
+//     operator reads it (no inter-operator streaming);
+//   - every GROUP BY — over the fact table or over an intermediate —
+//     is evaluated by external sort + group scan;
+//   - match and combine joins build an in-memory hash of the smaller
+//     (aggregated) side and probe it while scanning the spooled outer.
+//
+// What this baseline deliberately does NOT do is the paper's
+// contribution: sharing one sorted scan across measures and streaming
+// finalized groups between operators. The relative cost of those
+// choices is the experiment.
+package relbaseline
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"awra/internal/agg"
+	"awra/internal/core"
+	"awra/internal/model"
+	"awra/internal/storage"
+)
+
+// Options configures a run.
+type Options struct {
+	// TempDir receives materialized intermediates and sort runs.
+	TempDir string
+	// ChunkRecords tunes the external sort.
+	ChunkRecords int
+}
+
+// Stats reports what the baseline did.
+type Stats struct {
+	FactScans   int // end-to-end reads of the fact file
+	Sorts       int // external sorts (fact or intermediate)
+	Materials   int // operator results spooled to disk
+	RowsSpooled int64
+	SortTime    time.Duration
+	TotalTime   time.Duration
+}
+
+// Result holds the computed tables, keyed by output measure name.
+type Result struct {
+	Tables map[string]*core.Table
+	Stats  Stats
+}
+
+// rel is a spooled relation: a record file of full-length granularity
+// codes plus the single measure column M.
+type rel struct {
+	path  string
+	gran  model.Gran
+	codec *model.KeyCodec
+}
+
+type evaluator struct {
+	c     *core.Compiled
+	fact  string
+	opts  Options
+	stats *Stats
+	seq   int
+	temps []string
+}
+
+// Run evaluates every output measure of the workflow independently.
+func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
+	return RunMeasures(c, factPath, c.Outputs(), opts)
+}
+
+// RunMeasures evaluates only the named measures, one independent
+// query each. Benchmarks use it to compare engines on the final
+// measure of a workflow, matching the paper's single-query SQL runs.
+func RunMeasures(c *core.Compiled, factPath string, names []string, opts Options) (*Result, error) {
+	if opts.TempDir == "" {
+		opts.TempDir = os.TempDir()
+	}
+	start := time.Now()
+	res := &Result{Tables: make(map[string]*core.Table)}
+	ev := &evaluator{c: c, fact: factPath, opts: opts, stats: &res.Stats}
+	defer ev.cleanup()
+	for _, name := range names {
+		e, err := core.Translate(c, name)
+		if err != nil {
+			return nil, fmt.Errorf("relbaseline: %w", err)
+		}
+		r, err := ev.eval(e)
+		if err != nil {
+			return nil, fmt.Errorf("relbaseline: measure %q: %w", name, err)
+		}
+		tbl, err := ev.load(r)
+		if err != nil {
+			return nil, fmt.Errorf("relbaseline: measure %q: %w", name, err)
+		}
+		res.Tables[name] = tbl
+	}
+	res.Stats.TotalTime = time.Since(start)
+	return res, nil
+}
+
+func (ev *evaluator) cleanup() {
+	for _, p := range ev.temps {
+		os.Remove(p)
+	}
+}
+
+func (ev *evaluator) tempFile(tag string) string {
+	ev.seq++
+	p := filepath.Join(ev.opts.TempDir, fmt.Sprintf("awra-rel-%d-%s-%d.tmp", os.Getpid(), tag, ev.seq))
+	ev.temps = append(ev.temps, p)
+	return p
+}
+
+// spool creates a writer for a new intermediate relation at gran.
+func (ev *evaluator) spool(tag string, s *model.Schema) (*storage.Writer, string, error) {
+	path := ev.tempFile(tag)
+	w, err := storage.Create(path, s.NumDims(), 1)
+	if err != nil {
+		return nil, "", err
+	}
+	ev.stats.Materials++
+	return w, path, nil
+}
+
+// keyOf builds the region key of a full-codes row.
+func keyOf(codec *model.KeyCodec, s *model.Schema, gran model.Gran, codes []int64) model.Key {
+	sub := make([]int64, 0, codec.Width())
+	for d := 0; d < s.NumDims(); d++ {
+		if gran[d] != s.Dim(d).ALL() {
+			sub = append(sub, codes[d])
+		}
+	}
+	return codec.FromCodes(sub)
+}
+
+// load reads a spooled relation into a core.Table.
+func (ev *evaluator) load(r *rel) (*core.Table, error) {
+	tbl := core.NewTable(ev.c.Schema, r.gran)
+	reader, err := storage.Open(r.path)
+	if err != nil {
+		return nil, err
+	}
+	defer reader.Close()
+	var rec model.Record
+	for {
+		ok, err := reader.Next(&rec)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return tbl, nil
+		}
+		tbl.Rows[keyOf(tbl.Codec, ev.c.Schema, r.gran, rec.Dims)] = rec.Ms[0]
+	}
+}
+
+// loadMap reads a spooled relation into a key->value hash (the build
+// side of a hash join).
+func (ev *evaluator) loadMap(r *rel) (map[model.Key]float64, error) {
+	tbl, err := ev.load(r)
+	if err != nil {
+		return nil, err
+	}
+	return tbl.Rows, nil
+}
+
+func (ev *evaluator) eval(e *core.Expr) (*rel, error) {
+	switch e.Kind {
+	case core.AggExpr:
+		return ev.evalAgg(e)
+	case core.SelectExpr:
+		return ev.evalSelect(e)
+	case core.MatchJoinExpr:
+		return ev.evalMatchJoin(e)
+	case core.CombineJoinExpr:
+		return ev.evalCombineJoin(e)
+	default:
+		return nil, fmt.Errorf("cannot evaluate %v as a measure table", e.Kind)
+	}
+}
+
+// evalFactFile resolves a fact-like expression (D or sigma(D) chains)
+// to a record file, materializing selections.
+func (ev *evaluator) evalFactFile(e *core.Expr) (string, error) {
+	if e.Kind == core.FactExpr {
+		return ev.fact, nil
+	}
+	in, err := ev.evalFactFile(e.Children()[0])
+	if err != nil {
+		return "", err
+	}
+	r, err := storage.Open(in)
+	if err != nil {
+		return "", err
+	}
+	defer r.Close()
+	ev.stats.FactScans++
+	out := ev.tempFile("sel")
+	w, err := storage.Create(out, r.Header().NumDims, r.Header().NumMeasures)
+	if err != nil {
+		return "", err
+	}
+	ev.stats.Materials++
+	var rec model.Record
+	for {
+		ok, err := r.Next(&rec)
+		if err != nil {
+			w.Close()
+			return "", err
+		}
+		if !ok {
+			break
+		}
+		if e.Pred.Eval(rec.Dims, rec.Ms) {
+			if err := w.Write(&rec); err != nil {
+				w.Close()
+				return "", err
+			}
+		}
+	}
+	ev.stats.RowsSpooled += w.Count()
+	return out, w.Close()
+}
+
+// evalAgg is the GROUP BY of Table 2: external sort by the group key,
+// then a group scan, spooled to disk.
+func (ev *evaluator) evalAgg(e *core.Expr) (*rel, error) {
+	sch := e.Schema()
+	gran := e.Gran()
+	in := e.Children()[0]
+
+	var (
+		inPath   string
+		inIsFact bool
+		srcGran  model.Gran
+	)
+	if in.IsFactLike() {
+		p, err := ev.evalFactFile(in)
+		if err != nil {
+			return nil, err
+		}
+		inPath, inIsFact = p, true
+	} else {
+		r, err := ev.eval(in)
+		if err != nil {
+			return nil, err
+		}
+		inPath, srcGran = r.path, r.gran
+	}
+
+	// Map a row to its group codes at the target granularity.
+	groupCodes := func(dims []int64, out []int64) {
+		for d := 0; d < sch.NumDims(); d++ {
+			if inIsFact {
+				out[d] = sch.Dim(d).Up(0, gran[d], dims[d])
+			} else {
+				out[d] = sch.Dim(d).Up(srcGran[d], gran[d], dims[d])
+			}
+		}
+	}
+	ga := make([]int64, sch.NumDims())
+	gb := make([]int64, sch.NumDims())
+	less := func(a, b *model.Record) bool {
+		groupCodes(a.Dims, ga)
+		groupCodes(b.Dims, gb)
+		for d := range ga {
+			if ga[d] != gb[d] {
+				return ga[d] < gb[d]
+			}
+		}
+		return false
+	}
+	sorted := ev.tempFile("srt")
+	t0 := time.Now()
+	if _, err := storage.SortFile(inPath, sorted, less, storage.SortOptions{
+		ChunkRecords: ev.opts.ChunkRecords, TempDir: ev.opts.TempDir,
+	}); err != nil {
+		return nil, err
+	}
+	ev.stats.SortTime += time.Since(t0)
+	ev.stats.Sorts++
+	if inIsFact {
+		ev.stats.FactScans++
+	}
+
+	r, err := storage.Open(sorted)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	w, outPath, err := ev.spool("agg", sch)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		rec     model.Record
+		curKey  []int64
+		curAgg  agg.Aggregator
+		haveKey bool
+	)
+	outRec := model.Record{Dims: make([]int64, sch.NumDims()), Ms: make([]float64, 1)}
+	flush := func() error {
+		if !haveKey {
+			return nil
+		}
+		copy(outRec.Dims, curKey)
+		outRec.Ms[0] = curAgg.Final()
+		return w.Write(&outRec)
+	}
+	sameKey := func(a, b []int64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	for {
+		ok, err := r.Next(&rec)
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		groupCodes(rec.Dims, ga)
+		if !haveKey || !sameKey(ga, curKey) {
+			if err := flush(); err != nil {
+				w.Close()
+				return nil, err
+			}
+			curKey = append(curKey[:0], ga...)
+			curAgg = e.Agg.New()
+			haveKey = true
+		}
+		switch {
+		case inIsFact && e.FactMeasure >= 0:
+			curAgg.Update(rec.Ms[e.FactMeasure])
+		case inIsFact:
+			curAgg.Update(0)
+		default:
+			curAgg.Update(rec.Ms[0])
+		}
+	}
+	if err := flush(); err != nil {
+		w.Close()
+		return nil, err
+	}
+	ev.stats.RowsSpooled += w.Count()
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return &rel{path: outPath, gran: gran, codec: model.NewKeyCodec(sch, gran)}, nil
+}
+
+// evalSelect filters a spooled relation into a new spool.
+func (ev *evaluator) evalSelect(e *core.Expr) (*rel, error) {
+	src, err := ev.eval(e.Children()[0])
+	if err != nil {
+		return nil, err
+	}
+	sch := e.Schema()
+	r, err := storage.Open(src.path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	w, outPath, err := ev.spool("sel", sch)
+	if err != nil {
+		return nil, err
+	}
+	var rec model.Record
+	for {
+		ok, err := r.Next(&rec)
+		if err != nil {
+			w.Close()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		if e.Pred.Eval(rec.Dims, rec.Ms) {
+			if err := w.Write(&rec); err != nil {
+				w.Close()
+				return nil, err
+			}
+		}
+	}
+	ev.stats.RowsSpooled += w.Count()
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return &rel{path: outPath, gran: src.gran, codec: src.codec}, nil
+}
+
+// evalMatchJoin is the LEFT OUTER JOIN + GROUP BY of Table 3: build a
+// hash on T, probe while scanning the spooled S, spool the output.
+func (ev *evaluator) evalMatchJoin(e *core.Expr) (*rel, error) {
+	sch := e.Schema()
+	s, err := ev.eval(e.Children()[0])
+	if err != nil {
+		return nil, err
+	}
+	t, err := ev.eval(e.Children()[1])
+	if err != nil {
+		return nil, err
+	}
+
+	// Build side: T, keyed for the probe.
+	var tMap map[model.Key]float64
+	switch e.Cond.Kind {
+	case core.MatchSelf, core.MatchParentChild, core.MatchSibling:
+		tMap, err = ev.loadMap(t)
+		if err != nil {
+			return nil, err
+		}
+	case core.MatchChildParent:
+		// Hash-aggregate T up to S's granularity (the output size is
+		// |S|, not |T|).
+		tMap = nil
+	default:
+		return nil, fmt.Errorf("unknown match kind %v", e.Cond.Kind)
+	}
+
+	var cpAggs map[model.Key]agg.Aggregator
+	if e.Cond.Kind == core.MatchChildParent {
+		cpAggs = make(map[model.Key]agg.Aggregator)
+		r, err := storage.Open(t.path)
+		if err != nil {
+			return nil, err
+		}
+		sCodec := model.NewKeyCodec(sch, s.gran)
+		var rec model.Record
+		codes := make([]int64, sch.NumDims())
+		for {
+			ok, nerr := r.Next(&rec)
+			if nerr != nil {
+				r.Close()
+				return nil, nerr
+			}
+			if !ok {
+				break
+			}
+			for d := 0; d < sch.NumDims(); d++ {
+				codes[d] = sch.Dim(d).Up(t.gran[d], s.gran[d], rec.Dims[d])
+			}
+			k := keyOf(sCodec, sch, s.gran, codes)
+			a, ok := cpAggs[k]
+			if !ok {
+				a = e.Agg.New()
+				cpAggs[k] = a
+			}
+			a.Update(rec.Ms[0])
+		}
+		r.Close()
+	}
+
+	sCodec := model.NewKeyCodec(sch, s.gran)
+	tCodec := model.NewKeyCodec(sch, t.gran)
+	r, err := storage.Open(s.path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	w, outPath, err := ev.spool("mj", sch)
+	if err != nil {
+		return nil, err
+	}
+	var rec model.Record
+	out := model.Record{Dims: make([]int64, sch.NumDims()), Ms: make([]float64, 1)}
+	codes := make([]int64, sch.NumDims())
+	for {
+		ok, nerr := r.Next(&rec)
+		if nerr != nil {
+			w.Close()
+			return nil, nerr
+		}
+		if !ok {
+			break
+		}
+		sk := keyOf(sCodec, sch, s.gran, rec.Dims)
+		a := e.Agg.New()
+		switch e.Cond.Kind {
+		case core.MatchSelf:
+			if v, ok := tMap[sCodec.UpTo(sk, tCodec)]; ok {
+				a.Update(v)
+			}
+		case core.MatchParentChild:
+			for d := 0; d < sch.NumDims(); d++ {
+				codes[d] = sch.Dim(d).Up(s.gran[d], t.gran[d], rec.Dims[d])
+			}
+			if v, ok := tMap[keyOf(tCodec, sch, t.gran, codes)]; ok {
+				a.Update(v)
+			}
+		case core.MatchChildParent:
+			if ca, ok := cpAggs[sk]; ok {
+				a = ca
+			}
+		case core.MatchSibling:
+			forEachWindowKey(sCodec, sk, e.Cond.Windows, func(nk model.Key) {
+				if v, ok := tMap[nk]; ok {
+					a.Update(v)
+				}
+			})
+		}
+		copy(out.Dims, rec.Dims)
+		out.Ms[0] = a.Final()
+		if err := w.Write(&out); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	ev.stats.RowsSpooled += w.Count()
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return &rel{path: outPath, gran: s.gran, codec: sCodec}, nil
+}
+
+func forEachWindowKey(c *model.KeyCodec, k model.Key, windows []core.Window, visit func(model.Key)) {
+	var rec func(cur model.Key, i int)
+	rec = func(cur model.Key, i int) {
+		if i == len(windows) {
+			visit(cur)
+			return
+		}
+		w := windows[i]
+		base := c.CodeAt(k, w.Dim)
+		for off := w.Lo; off <= w.Hi; off++ {
+			rec(c.WithCodeAt(cur, w.Dim, base+off), i+1)
+		}
+	}
+	rec(k, 0)
+}
+
+// evalCombineJoin is the n-ary LEFT OUTER equi-join of Table 4:
+// hash every T_i, scan the spooled S, spool the output.
+func (ev *evaluator) evalCombineJoin(e *core.Expr) (*rel, error) {
+	sch := e.Schema()
+	children := e.Children()
+	s, err := ev.eval(children[0])
+	if err != nil {
+		return nil, err
+	}
+	tMaps := make([]map[model.Key]float64, len(children)-1)
+	for i, ch := range children[1:] {
+		// No memoization: each reference re-evaluates, like a nested
+		// sub-query repeated in the SQL text.
+		tr, err := ev.eval(ch)
+		if err != nil {
+			return nil, err
+		}
+		tMaps[i], err = ev.loadMap(tr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sCodec := model.NewKeyCodec(sch, s.gran)
+	r, err := storage.Open(s.path)
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	w, outPath, err := ev.spool("cj", sch)
+	if err != nil {
+		return nil, err
+	}
+	var rec model.Record
+	out := model.Record{Dims: make([]int64, sch.NumDims()), Ms: make([]float64, 1)}
+	vals := make([]float64, len(children))
+	for {
+		ok, nerr := r.Next(&rec)
+		if nerr != nil {
+			w.Close()
+			return nil, nerr
+		}
+		if !ok {
+			break
+		}
+		sk := keyOf(sCodec, sch, s.gran, rec.Dims)
+		vals[0] = rec.Ms[0]
+		for i, m := range tMaps {
+			if v, ok := m[sk]; ok {
+				vals[i+1] = v
+			} else {
+				vals[i+1] = agg.Null()
+			}
+		}
+		copy(out.Dims, rec.Dims)
+		out.Ms[0] = e.Combine.Eval(vals)
+		if err := w.Write(&out); err != nil {
+			w.Close()
+			return nil, err
+		}
+	}
+	ev.stats.RowsSpooled += w.Count()
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return &rel{path: outPath, gran: s.gran, codec: sCodec}, nil
+}

@@ -1,0 +1,109 @@
+package relbaseline
+
+import (
+	"path/filepath"
+	"testing"
+
+	"awra/internal/agg"
+	"awra/internal/core"
+	"awra/internal/gen"
+	"awra/internal/model"
+	"awra/internal/storage"
+)
+
+func setup(t *testing.T) (*model.Schema, *core.Compiled, string, string) {
+	t.Helper()
+	s, recs, err := gen.SynthRecords(2000, gen.SynthConfig{Dims: 2, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	fact := filepath.Join(dir, "fact.rec")
+	if err := storage.WriteAll(fact, 2, 1, recs); err != nil {
+		t.Fatal(err)
+	}
+	all := model.LevelALL
+	c, err := core.NewWorkflow(s).
+		Basic("cnt", model.Gran{1, 1}, agg.Count, -1).
+		Rollup("up", model.Gran{2, all}, "cnt", agg.Sum).
+		Sliding("win", "up", agg.Avg, []core.Window{{Dim: 0, Lo: -1, Hi: 1}}).
+		Combine("ratio", []string{"up", "win"}, core.Ratio(0, 1)).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, c, fact, dir
+}
+
+func TestRunMeasuresSubset(t *testing.T) {
+	_, c, fact, dir := setup(t)
+	full, err := Run(c, fact, Options{TempDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := RunMeasures(c, fact, []string{"ratio"}, Options{TempDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub.Tables) != 1 {
+		t.Fatalf("subset returned %d tables", len(sub.Tables))
+	}
+	if !full.Tables["ratio"].Equal(sub.Tables["ratio"], 1e-9) {
+		t.Fatal("subset evaluation differs from full run")
+	}
+	// The full run recomputes everything per measure: strictly more
+	// sorts than the single-measure run.
+	if full.Stats.Sorts <= sub.Stats.Sorts {
+		t.Errorf("full run sorts %d <= subset sorts %d; no per-measure recomputation?",
+			full.Stats.Sorts, sub.Stats.Sorts)
+	}
+	if sub.Stats.Materials == 0 || sub.Stats.RowsSpooled == 0 {
+		t.Errorf("materialization stats empty: %+v", sub.Stats)
+	}
+	if sub.Stats.TotalTime <= 0 {
+		t.Errorf("total time not recorded")
+	}
+}
+
+func TestSpoolCleanup(t *testing.T) {
+	_, c, fact, dir := setup(t)
+	if _, err := RunMeasures(c, fact, []string{"up"}, Options{TempDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	// Only the fact file should remain.
+	entries, err := filepath.Glob(filepath.Join(dir, "awra-rel-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Errorf("leftover spool files: %v", entries)
+	}
+}
+
+func TestMissingFactFile(t *testing.T) {
+	_, c, _, dir := setup(t)
+	if _, err := Run(c, filepath.Join(dir, "missing.rec"), Options{TempDir: dir}); err == nil {
+		t.Fatal("missing fact file accepted")
+	}
+}
+
+func TestFactSelectionMaterialized(t *testing.T) {
+	s, _, fact, dir := setup(t)
+	c, err := core.NewWorkflow(s).
+		Basic("filtered", model.Gran{1, model.LevelALL}, agg.Count, -1,
+			core.Where(core.MWhere(0, core.Gt, 50))).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(c, fact, Options{TempDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.FactScans < 2 {
+		t.Errorf("sigma(D) should scan + re-read the fact file: %+v", res.Stats)
+	}
+	if len(res.Tables["filtered"].Rows) == 0 {
+		t.Error("filter dropped everything unexpectedly")
+	}
+}

@@ -1,0 +1,210 @@
+// Package resultstore persists computed measure tables to disk and
+// loads them back: one record file per measure (full-granularity codes
+// plus the value) and a JSON manifest describing the measures and
+// their granularities. It gives workflows a materialization layer —
+// run an expensive workflow once, then slice, export, or join the
+// results in later sessions without recomputation.
+package resultstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"awra/internal/core"
+	"awra/internal/model"
+	"awra/internal/storage"
+)
+
+const manifestName = "awra-results.json"
+
+// MeasureInfo describes one stored measure in the manifest.
+type MeasureInfo struct {
+	Name string `json:"name"`
+	File string `json:"file"`
+	// Domains lists the domain name per dimension (granularity), using
+	// "ALL" for D_ALL components; validated against the schema on load.
+	Domains []string `json:"domains"`
+	Rows    int64    `json:"rows"`
+}
+
+// Manifest indexes a result directory.
+type Manifest struct {
+	// Dimensions lists the schema's dimension names, for validation.
+	Dimensions []string      `json:"dimensions"`
+	Measures   []MeasureInfo `json:"measures"`
+}
+
+// Save writes the tables into dir (created if needed) with a manifest.
+// Measure names become file names, so they are sanitized.
+func Save(dir string, schema *model.Schema, tables map[string]*core.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	man := Manifest{}
+	for i := 0; i < schema.NumDims(); i++ {
+		man.Dimensions = append(man.Dimensions, schema.Dim(i).Name())
+	}
+	// Deterministic order.
+	names := make([]string, 0, len(tables))
+	for name := range tables {
+		names = append(names, name)
+	}
+	sortStrings(names)
+	for _, name := range names {
+		tbl := tables[name]
+		file := sanitize(name) + ".rec"
+		info := MeasureInfo{Name: name, File: file, Rows: int64(len(tbl.Rows))}
+		for d := 0; d < schema.NumDims(); d++ {
+			info.Domains = append(info.Domains, schema.Dim(d).DomainName(tbl.Gran[d]))
+		}
+		w, err := storage.Create(filepath.Join(dir, file), schema.NumDims(), 1)
+		if err != nil {
+			return err
+		}
+		rec := model.Record{Dims: make([]int64, schema.NumDims()), Ms: make([]float64, 1)}
+		for _, k := range tbl.SortedKeys() {
+			copy(rec.Dims, tbl.Codec.FullDecode(k))
+			rec.Ms[0] = tbl.Rows[k]
+			if err := w.Write(&rec); err != nil {
+				w.Close()
+				return err
+			}
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+		man.Measures = append(man.Measures, info)
+	}
+	b, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, manifestName), b, 0o644)
+}
+
+// ReadManifest loads and parses a result directory's manifest.
+func ReadManifest(dir string) (*Manifest, error) {
+	b, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	var man Manifest
+	if err := json.Unmarshal(b, &man); err != nil {
+		return nil, fmt.Errorf("resultstore: corrupt manifest: %w", err)
+	}
+	return &man, nil
+}
+
+// Load reads every stored measure back, validating granularities
+// against the schema.
+func Load(dir string, schema *model.Schema) (map[string]*core.Table, error) {
+	man, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(man.Dimensions) != schema.NumDims() {
+		return nil, fmt.Errorf("resultstore: manifest has %d dimensions, schema has %d",
+			len(man.Dimensions), schema.NumDims())
+	}
+	for i, name := range man.Dimensions {
+		if schema.Dim(i).Name() != name {
+			return nil, fmt.Errorf("resultstore: dimension %d is %q in the manifest but %q in the schema",
+				i, name, schema.Dim(i).Name())
+		}
+	}
+	out := make(map[string]*core.Table, len(man.Measures))
+	for _, info := range man.Measures {
+		tbl, err := loadMeasure(dir, schema, info)
+		if err != nil {
+			return nil, fmt.Errorf("resultstore: measure %q: %w", info.Name, err)
+		}
+		out[info.Name] = tbl
+	}
+	return out, nil
+}
+
+// LoadMeasure reads one stored measure by name.
+func LoadMeasure(dir string, schema *model.Schema, name string) (*core.Table, error) {
+	man, err := ReadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, info := range man.Measures {
+		if info.Name == name {
+			return loadMeasure(dir, schema, info)
+		}
+	}
+	return nil, fmt.Errorf("resultstore: no stored measure %q in %s", name, dir)
+}
+
+func loadMeasure(dir string, schema *model.Schema, info MeasureInfo) (*core.Table, error) {
+	if len(info.Domains) != schema.NumDims() {
+		return nil, fmt.Errorf("granularity has %d components, schema has %d dimensions",
+			len(info.Domains), schema.NumDims())
+	}
+	gran := make(model.Gran, schema.NumDims())
+	for d, dom := range info.Domains {
+		l, err := schema.Dim(d).LevelByName(dom)
+		if err != nil {
+			return nil, err
+		}
+		gran[d] = l
+	}
+	tbl := core.NewTable(schema, gran)
+	r, err := storage.Open(filepath.Join(dir, info.File))
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	var rec model.Record
+	codes := make([]int64, 0, schema.NumDims())
+	for {
+		ok, err := r.Next(&rec)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		codes = codes[:0]
+		for d := 0; d < schema.NumDims(); d++ {
+			if gran[d] != schema.Dim(d).ALL() {
+				codes = append(codes, rec.Dims[d])
+			}
+		}
+		tbl.Rows[tbl.Codec.FromCodes(codes)] = rec.Ms[0]
+	}
+	if int64(len(tbl.Rows)) != info.Rows {
+		return nil, fmt.Errorf("expected %d rows, loaded %d (duplicate or missing regions)",
+			info.Rows, len(tbl.Rows))
+	}
+	return tbl, nil
+}
+
+func sanitize(name string) string {
+	out := make([]rune, 0, len(name))
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+func sortStrings(xs []string) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// jsonMarshal is exposed for tests that rewrite manifests.
+func jsonMarshal(man *Manifest) ([]byte, error) {
+	return json.MarshalIndent(man, "", "  ")
+}

@@ -1,0 +1,120 @@
+package storage
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"awra/internal/model"
+)
+
+// ExportCSV writes a record file as CSV with a header row of the given
+// column names (dimension names followed by measure names).
+func ExportCSV(recPath, csvPath string, cols []string) error {
+	r, err := Open(recPath)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	hdr := r.Header()
+	if len(cols) != hdr.NumDims+hdr.NumMeasures {
+		return fmt.Errorf("storage: %d column names for %d attributes", len(cols), hdr.NumDims+hdr.NumMeasures)
+	}
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return fmt.Errorf("storage: create %s: %w", csvPath, err)
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write(cols); err != nil {
+		f.Close()
+		return err
+	}
+	row := make([]string, len(cols))
+	var rec model.Record
+	for {
+		ok, err := r.Next(&rec)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		if !ok {
+			break
+		}
+		for i, v := range rec.Dims {
+			row[i] = strconv.FormatInt(v, 10)
+		}
+		for i, v := range rec.Ms {
+			row[hdr.NumDims+i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := w.Write(row); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ImportCSV reads a CSV file with a header row into a record file. The
+// first numDims columns are parsed as int64 dimension codes and the
+// remainder as float64 measures.
+func ImportCSV(csvPath, recPath string, numDims int) (int64, error) {
+	f, err := os.Open(csvPath)
+	if err != nil {
+		return 0, fmt.Errorf("storage: open %s: %w", csvPath, err)
+	}
+	defer f.Close()
+	cr := csv.NewReader(f)
+	cr.ReuseRecord = true
+	header, err := cr.Read()
+	if err != nil {
+		return 0, fmt.Errorf("storage: read CSV header: %w", err)
+	}
+	if numDims > len(header) {
+		return 0, fmt.Errorf("storage: CSV has %d columns, need at least %d dimensions", len(header), numDims)
+	}
+	numMs := len(header) - numDims
+	w, err := Create(recPath, numDims, numMs)
+	if err != nil {
+		return 0, err
+	}
+	rec := model.Record{Dims: make([]int64, numDims), Ms: make([]float64, numMs)}
+	line := 1
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			w.f.Close()
+			return 0, fmt.Errorf("storage: CSV line %d: %w", line, err)
+		}
+		for i := 0; i < numDims; i++ {
+			rec.Dims[i], err = strconv.ParseInt(row[i], 10, 64)
+			if err != nil {
+				w.f.Close()
+				return 0, fmt.Errorf("storage: CSV line %d, column %q: %w", line, header[i], err)
+			}
+		}
+		for i := 0; i < numMs; i++ {
+			rec.Ms[i], err = strconv.ParseFloat(row[numDims+i], 64)
+			if err != nil {
+				w.f.Close()
+				return 0, fmt.Errorf("storage: CSV line %d, column %q: %w", line, header[numDims+i], err)
+			}
+		}
+		if err := w.Write(&rec); err != nil {
+			w.f.Close()
+			return 0, err
+		}
+	}
+	n := w.Count()
+	return n, w.Close()
+}

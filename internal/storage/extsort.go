@@ -1,0 +1,276 @@
+package storage
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"awra/internal/model"
+)
+
+func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
+func mathFloat64frombits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Less orders records; SortFile and MergeSources use it.
+type Less func(a, b *model.Record) bool
+
+// SortOptions tunes the external sort.
+type SortOptions struct {
+	// ChunkRecords is the number of records sorted in memory per run.
+	// Zero selects a default sized for roughly 64 MB runs.
+	ChunkRecords int
+	// TempDir is where run files are placed; empty uses the output
+	// file's directory.
+	TempDir string
+	// Parallel sorts and writes run files on Workers goroutines while
+	// the input keeps streaming. Memory grows to roughly
+	// Workers x ChunkRecords records.
+	Parallel bool
+	// Workers bounds the run-sorting goroutines when Parallel is set;
+	// zero uses GOMAXPROCS.
+	Workers int
+}
+
+func (o SortOptions) chunk(recordBytes int) int {
+	if o.ChunkRecords > 0 {
+		return o.ChunkRecords
+	}
+	if recordBytes <= 0 {
+		recordBytes = 64
+	}
+	c := (64 << 20) / recordBytes
+	if c < 1024 {
+		c = 1024
+	}
+	return c
+}
+
+// SortStats reports what the sort did; the benchmark harness uses it
+// for the paper's sort-vs-scan cost breakdown (Figure 6(e)).
+type SortStats struct {
+	Records int64
+	Runs    int
+}
+
+// SortFile sorts a record file into a new file using an external merge
+// sort: sorted runs of ChunkRecords records are spilled to temporary
+// files and k-way merged with a heap. The input file is not modified.
+func SortFile(inPath, outPath string, less Less, opts SortOptions) (SortStats, error) {
+	var stats SortStats
+	in, err := Open(inPath)
+	if err != nil {
+		return stats, err
+	}
+	defer in.Close()
+	hdr := in.Header()
+	chunk := opts.chunk(hdr.recordBytes())
+	tempDir := opts.TempDir
+	if tempDir == "" {
+		tempDir = filepath.Dir(outPath)
+	}
+
+	// Phase 1: produce sorted runs. In parallel mode, full chunks are
+	// handed to worker goroutines that sort and spill them while the
+	// input keeps streaming.
+	var (
+		runPaths []string
+		runSeq   int
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		workErr  error
+		sem      chan struct{}
+	)
+	defer func() {
+		wg.Wait()
+		for _, p := range runPaths {
+			os.Remove(p)
+		}
+	}()
+	if opts.Parallel {
+		w := opts.Workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		sem = make(chan struct{}, w)
+	}
+	writeRun := func(buf []model.Record, path string) error {
+		sort.SliceStable(buf, func(i, j int) bool { return less(&buf[i], &buf[j]) })
+		return WriteAll(path, hdr.NumDims, hdr.NumMeasures, buf)
+	}
+	buf := make([]model.Record, 0, chunk)
+	flushRun := func() error {
+		if len(buf) == 0 {
+			return nil
+		}
+		p := filepath.Join(tempDir, fmt.Sprintf("awra-run-%d-%d.tmp", os.Getpid(), runSeq))
+		runSeq++
+		runPaths = append(runPaths, p)
+		if !opts.Parallel {
+			err := writeRun(buf, p)
+			buf = buf[:0]
+			return err
+		}
+		mu.Lock()
+		err := workErr
+		mu.Unlock()
+		if err != nil {
+			return err
+		}
+		chunkBuf := buf
+		buf = make([]model.Record, 0, chunk)
+		sem <- struct{}{}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := writeRun(chunkBuf, p); err != nil {
+				mu.Lock()
+				if workErr == nil {
+					workErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+		return nil
+	}
+	for {
+		var rec model.Record
+		ok, err := in.Next(&rec)
+		if err != nil {
+			return stats, err
+		}
+		if !ok {
+			break
+		}
+		stats.Records++
+		buf = append(buf, rec)
+		if len(buf) >= chunk {
+			if err := flushRun(); err != nil {
+				return stats, err
+			}
+		}
+	}
+
+	out, err := Create(outPath, hdr.NumDims, hdr.NumMeasures)
+	if err != nil {
+		return stats, err
+	}
+
+	// Single-run (or in-memory) fast path.
+	if len(runPaths) == 0 {
+		sort.SliceStable(buf, func(i, j int) bool { return less(&buf[i], &buf[j]) })
+		for i := range buf {
+			if err := out.Write(&buf[i]); err != nil {
+				out.f.Close()
+				return stats, err
+			}
+		}
+		stats.Runs = 1
+		return stats, out.Close()
+	}
+	if err := flushRun(); err != nil {
+		out.f.Close()
+		return stats, err
+	}
+	wg.Wait()
+	if workErr != nil {
+		out.f.Close()
+		return stats, workErr
+	}
+	stats.Runs = len(runPaths)
+
+	// Phase 2: k-way merge.
+	sources := make([]Source, len(runPaths))
+	for i, p := range runPaths {
+		r, err := Open(p)
+		if err != nil {
+			out.f.Close()
+			return stats, err
+		}
+		sources[i] = r
+	}
+	err = MergeSources(sources, less, func(rec *model.Record) error { return out.Write(rec) })
+	for _, s := range sources {
+		s.Close()
+	}
+	if err != nil {
+		out.f.Close()
+		return stats, err
+	}
+	return stats, out.Close()
+}
+
+// SortRecords sorts an in-memory record slice (stable).
+func SortRecords(recs []model.Record, less Less) {
+	sort.SliceStable(recs, func(i, j int) bool { return less(&recs[i], &recs[j]) })
+}
+
+type mergeItem struct {
+	rec model.Record
+	src int
+}
+
+type mergeHeap struct {
+	items []mergeItem
+	less  Less
+}
+
+func (h *mergeHeap) Len() int { return len(h.items) }
+func (h *mergeHeap) Less(i, j int) bool {
+	if h.less(&h.items[i].rec, &h.items[j].rec) {
+		return true
+	}
+	if h.less(&h.items[j].rec, &h.items[i].rec) {
+		return false
+	}
+	return h.items[i].src < h.items[j].src // stability across runs
+}
+func (h *mergeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *mergeHeap) Push(x interface{}) { h.items = append(h.items, x.(mergeItem)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// MergeSources merges already-sorted sources into a single sorted
+// stream, invoking emit for every record in order.
+func MergeSources(sources []Source, less Less, emit func(*model.Record) error) error {
+	h := &mergeHeap{less: less}
+	for i, s := range sources {
+		var rec model.Record
+		ok, err := s.Next(&rec)
+		if err != nil {
+			return err
+		}
+		if ok {
+			h.items = append(h.items, mergeItem{rec: rec, src: i})
+		}
+	}
+	heap.Init(h)
+	for h.Len() > 0 {
+		it := h.items[0]
+		if err := emit(&it.rec); err != nil {
+			return err
+		}
+		var rec model.Record
+		ok, err := sources[it.src].Next(&rec)
+		if err != nil {
+			return err
+		}
+		if ok {
+			h.items[0] = mergeItem{rec: rec, src: it.src}
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,273 @@
+// Package storage provides the fact-table substrate for the engines:
+// a fixed-width binary record format with self-describing headers,
+// buffered readers and writers, CSV import/export, and an external
+// merge sort. The paper's evaluation framework is built on "multiple
+// passes of sorting and scanning over the original dataset"; this
+// package is that sorting/scanning layer.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"awra/internal/model"
+)
+
+// File layout: a 32-byte header followed by fixed-width records. Each
+// record is NumDims int64 values then NumMeasures float64 values, all
+// little-endian.
+const (
+	magic         = "AWRA"
+	formatVersion = 1
+	headerSize    = 32
+)
+
+// ErrCorrupt is returned when a file fails structural validation.
+var ErrCorrupt = errors.New("storage: corrupt record file")
+
+// Header describes the contents of a record file.
+type Header struct {
+	NumDims     int
+	NumMeasures int
+	Count       int64
+}
+
+func (h Header) recordBytes() int { return 8 * (h.NumDims + h.NumMeasures) }
+
+func (h Header) marshal() []byte {
+	b := make([]byte, headerSize)
+	copy(b, magic)
+	binary.LittleEndian.PutUint32(b[4:], formatVersion)
+	binary.LittleEndian.PutUint32(b[8:], uint32(h.NumDims))
+	binary.LittleEndian.PutUint32(b[12:], uint32(h.NumMeasures))
+	binary.LittleEndian.PutUint64(b[16:], uint64(h.Count))
+	return b
+}
+
+func unmarshalHeader(b []byte) (Header, error) {
+	var h Header
+	if len(b) < headerSize || string(b[:4]) != magic {
+		return h, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(b[4:]); v != formatVersion {
+		return h, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	h.NumDims = int(binary.LittleEndian.Uint32(b[8:]))
+	h.NumMeasures = int(binary.LittleEndian.Uint32(b[12:]))
+	h.Count = int64(binary.LittleEndian.Uint64(b[16:]))
+	if h.NumDims < 0 || h.NumDims > 1<<16 || h.NumMeasures < 0 || h.NumMeasures > 1<<16 {
+		return h, fmt.Errorf("%w: implausible shape %d dims, %d measures", ErrCorrupt, h.NumDims, h.NumMeasures)
+	}
+	return h, nil
+}
+
+// Writer writes records to a file. It buffers writes and fixes up the
+// record count in the header on Close.
+type Writer struct {
+	f     *os.File
+	w     *bufio.Writer
+	hdr   Header
+	buf   []byte
+	count int64
+}
+
+// Create opens a new record file for writing, truncating any existing
+// file at the path.
+func Create(path string, numDims, numMeasures int) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: create %s: %w", path, err)
+	}
+	w := &Writer{
+		f:   f,
+		w:   bufio.NewWriterSize(f, 1<<20),
+		hdr: Header{NumDims: numDims, NumMeasures: numMeasures},
+		buf: make([]byte, 8*(numDims+numMeasures)),
+	}
+	if _, err := w.w.Write(w.hdr.marshal()); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: write header: %w", err)
+	}
+	return w, nil
+}
+
+// Write appends one record. The record's shape must match the file's.
+func (w *Writer) Write(r *model.Record) error {
+	if len(r.Dims) != w.hdr.NumDims || len(r.Ms) != w.hdr.NumMeasures {
+		return fmt.Errorf("storage: record shape (%d,%d) does not match file (%d,%d)",
+			len(r.Dims), len(r.Ms), w.hdr.NumDims, w.hdr.NumMeasures)
+	}
+	b := w.buf
+	for i, v := range r.Dims {
+		binary.LittleEndian.PutUint64(b[8*i:], uint64(v))
+	}
+	off := 8 * len(r.Dims)
+	for i, v := range r.Ms {
+		binary.LittleEndian.PutUint64(b[off+8*i:], mathFloat64bits(v))
+	}
+	if _, err := w.w.Write(b); err != nil {
+		return fmt.Errorf("storage: write record: %w", err)
+	}
+	w.count++
+	return nil
+}
+
+// Count returns the number of records written so far.
+func (w *Writer) Count() int64 { return w.count }
+
+// Close flushes buffered data, rewrites the header with the final
+// record count, and closes the file.
+func (w *Writer) Close() error {
+	if err := w.w.Flush(); err != nil {
+		w.f.Close()
+		return fmt.Errorf("storage: flush: %w", err)
+	}
+	w.hdr.Count = w.count
+	if _, err := w.f.WriteAt(w.hdr.marshal(), 0); err != nil {
+		w.f.Close()
+		return fmt.Errorf("storage: rewrite header: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return fmt.Errorf("storage: close: %w", err)
+	}
+	return nil
+}
+
+// Reader reads records from a file sequentially.
+type Reader struct {
+	f    *os.File
+	r    *bufio.Reader
+	hdr  Header
+	buf  []byte
+	read int64
+}
+
+// Open opens a record file for reading and validates its header.
+func Open(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", path, err)
+	}
+	br := bufio.NewReaderSize(f, 1<<20)
+	hb := make([]byte, headerSize)
+	if _, err := io.ReadFull(br, hb); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: read header of %s: %w (%w)", path, err, ErrCorrupt)
+	}
+	hdr, err := unmarshalHeader(hb)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: %s: %w", path, err)
+	}
+	return &Reader{f: f, r: br, hdr: hdr, buf: make([]byte, hdr.recordBytes())}, nil
+}
+
+// Header returns the file's header.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Next reads the next record into rec, resizing its slices as needed.
+// It returns false at clean end-of-file.
+func (r *Reader) Next(rec *model.Record) (bool, error) {
+	if r.read >= r.hdr.Count {
+		return false, nil
+	}
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return false, fmt.Errorf("storage: truncated file (record %d of %d): %w (%w)", r.read, r.hdr.Count, err, ErrCorrupt)
+	}
+	r.read++
+	if cap(rec.Dims) < r.hdr.NumDims {
+		rec.Dims = make([]int64, r.hdr.NumDims)
+	}
+	rec.Dims = rec.Dims[:r.hdr.NumDims]
+	if cap(rec.Ms) < r.hdr.NumMeasures {
+		rec.Ms = make([]float64, r.hdr.NumMeasures)
+	}
+	rec.Ms = rec.Ms[:r.hdr.NumMeasures]
+	for i := range rec.Dims {
+		rec.Dims[i] = int64(binary.LittleEndian.Uint64(r.buf[8*i:]))
+	}
+	off := 8 * r.hdr.NumDims
+	for i := range rec.Ms {
+		rec.Ms[i] = mathFloat64frombits(binary.LittleEndian.Uint64(r.buf[off+8*i:]))
+	}
+	return true, nil
+}
+
+// Close closes the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// Source is a sequential stream of records; engines consume fact
+// tables and materialized measure tables through it.
+type Source interface {
+	// Next fills rec with the next record, returning false at the end.
+	Next(rec *model.Record) (bool, error)
+	// Close releases resources.
+	Close() error
+}
+
+// FileSource adapts a Reader to Source. (Reader already satisfies it.)
+var _ Source = (*Reader)(nil)
+
+// SliceSource streams an in-memory record slice.
+type SliceSource struct {
+	Recs []model.Record
+	pos  int
+}
+
+// Next implements Source.
+func (s *SliceSource) Next(rec *model.Record) (bool, error) {
+	if s.pos >= len(s.Recs) {
+		return false, nil
+	}
+	src := &s.Recs[s.pos]
+	s.pos++
+	rec.Dims = append(rec.Dims[:0], src.Dims...)
+	rec.Ms = append(rec.Ms[:0], src.Ms...)
+	return true, nil
+}
+
+// Close implements Source.
+func (s *SliceSource) Close() error { return nil }
+
+// Reset rewinds the source to the beginning.
+func (s *SliceSource) Reset() { s.pos = 0 }
+
+// WriteAll writes a record slice to a file.
+func WriteAll(path string, numDims, numMeasures int, recs []model.Record) error {
+	w, err := Create(path, numDims, numMeasures)
+	if err != nil {
+		return err
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			w.f.Close()
+			return err
+		}
+	}
+	return w.Close()
+}
+
+// ReadAll loads an entire record file into memory.
+func ReadAll(path string) ([]model.Record, Header, error) {
+	r, err := Open(path)
+	if err != nil {
+		return nil, Header{}, err
+	}
+	defer r.Close()
+	recs := make([]model.Record, 0, r.hdr.Count)
+	for {
+		var rec model.Record
+		ok, err := r.Next(&rec)
+		if err != nil {
+			return nil, r.hdr, err
+		}
+		if !ok {
+			return recs, r.hdr, nil
+		}
+		recs = append(recs, rec)
+	}
+}

@@ -1,0 +1,394 @@
+package storage
+
+import (
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"awra/internal/model"
+)
+
+func randRecords(rng *rand.Rand, n, nd, nm int) []model.Record {
+	recs := make([]model.Record, n)
+	for i := range recs {
+		recs[i] = model.Record{Dims: make([]int64, nd), Ms: make([]float64, nm)}
+		for j := range recs[i].Dims {
+			recs[i].Dims[j] = rng.Int63n(1000) - 500
+		}
+		for j := range recs[i].Ms {
+			recs[i].Ms[j] = rng.NormFloat64() * 100
+		}
+	}
+	return recs
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.rec")
+	rng := rand.New(rand.NewSource(1))
+	recs := randRecords(rng, 500, 3, 2)
+	if err := WriteAll(path, 3, 2, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, hdr, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.NumDims != 3 || hdr.NumMeasures != 2 || hdr.Count != 500 {
+		t.Fatalf("header = %+v", hdr)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, wrote %d", len(got), len(recs))
+	}
+	for i := range recs {
+		for j := range recs[i].Dims {
+			if got[i].Dims[j] != recs[i].Dims[j] {
+				t.Fatalf("record %d dim %d mismatch", i, j)
+			}
+		}
+		for j := range recs[i].Ms {
+			if got[i].Ms[j] != recs[i].Ms[j] {
+				t.Fatalf("record %d measure %d mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestSpecialFloatValues(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.rec")
+	recs := []model.Record{
+		{Dims: []int64{1}, Ms: []float64{math.NaN()}},
+		{Dims: []int64{2}, Ms: []float64{math.Inf(1)}},
+		{Dims: []int64{3}, Ms: []float64{math.Inf(-1)}},
+	}
+	if err := WriteAll(path, 1, 1, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got[0].Ms[0]) || !math.IsInf(got[1].Ms[0], 1) || !math.IsInf(got[2].Ms[0], -1) {
+		t.Errorf("special values corrupted: %v %v %v", got[0].Ms[0], got[1].Ms[0], got[2].Ms[0])
+	}
+}
+
+func TestWriterRejectsWrongShape(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(filepath.Join(dir, "t.rec"), 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.Write(&model.Record{Dims: []int64{1}, Ms: []float64{1}}); err == nil {
+		t.Error("wrong dim count accepted")
+	}
+	if err := w.Write(&model.Record{Dims: []int64{1, 2}, Ms: nil}); err == nil {
+		t.Error("wrong measure count accepted")
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Open(filepath.Join(dir, "missing.rec")); err == nil {
+		t.Error("missing file opened")
+	}
+	bad := filepath.Join(dir, "bad.rec")
+	if err := os.WriteFile(bad, []byte("not a record file, definitely not 32 bytes of header"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); err == nil {
+		t.Error("bad magic accepted")
+	}
+	short := filepath.Join(dir, "short.rec")
+	if err := os.WriteFile(short, []byte("AW"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(short); err == nil {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestTruncatedBody(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.rec")
+	recs := randRecords(rand.New(rand.NewSource(2)), 10, 2, 1)
+	if err := WriteAll(path, 2, 1, recs); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-10], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ReadAll(path)
+	if err == nil {
+		t.Fatal("truncated body read without error")
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	recs := randRecords(rand.New(rand.NewSource(3)), 5, 2, 1)
+	s := &SliceSource{Recs: recs}
+	var rec model.Record
+	n := 0
+	for {
+		ok, err := s.Next(&rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if rec.Dims[0] != recs[n].Dims[0] {
+			t.Fatalf("record %d mismatch", n)
+		}
+		n++
+	}
+	if n != 5 {
+		t.Fatalf("streamed %d records", n)
+	}
+	s.Reset()
+	ok, _ := s.Next(&rec)
+	if !ok {
+		t.Error("Reset did not rewind")
+	}
+	if err := s.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func dimLess(a, b *model.Record) bool {
+	for i := range a.Dims {
+		if a.Dims[i] != b.Dims[i] {
+			return a.Dims[i] < b.Dims[i]
+		}
+	}
+	return false
+}
+
+func TestSortFileSmall(t *testing.T) {
+	testSortFile(t, 100, SortOptions{})
+}
+
+func TestSortFileMultiRun(t *testing.T) {
+	testSortFile(t, 5000, SortOptions{ChunkRecords: 128})
+}
+
+func testSortFile(t *testing.T, n int, opts SortOptions) {
+	t.Helper()
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.rec")
+	out := filepath.Join(dir, "out.rec")
+	rng := rand.New(rand.NewSource(4))
+	recs := randRecords(rng, n, 2, 1)
+	if err := WriteAll(in, 2, 1, recs); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := SortFile(in, out, dimLess, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != int64(n) {
+		t.Errorf("stats.Records = %d, want %d", stats.Records, n)
+	}
+	got, hdr, err := ReadAll(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Count != int64(n) {
+		t.Errorf("output count = %d", hdr.Count)
+	}
+	for i := 0; i+1 < len(got); i++ {
+		if dimLess(&got[i+1], &got[i]) {
+			t.Fatalf("output not sorted at %d: %v > %v", i, got[i].Dims, got[i+1].Dims)
+		}
+	}
+	// Multiset equality: compare measure sums and per-position dim sums.
+	var sumIn, sumOut float64
+	for i := range recs {
+		sumIn += recs[i].Ms[0] + float64(recs[i].Dims[0])*1e-3
+		sumOut += got[i].Ms[0] + float64(got[i].Dims[0])*1e-3
+	}
+	if math.Abs(sumIn-sumOut) > 1e-6 {
+		t.Error("output is not a permutation of input")
+	}
+	// Run files must have been cleaned up.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.Name() != "in.rec" && e.Name() != "out.rec" {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestSortFileParallel(t *testing.T) {
+	testSortFile(t, 5000, SortOptions{ChunkRecords: 128, Parallel: true, Workers: 4})
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.rec")
+	seq := filepath.Join(dir, "seq.rec")
+	par := filepath.Join(dir, "par.rec")
+	recs := randRecords(rand.New(rand.NewSource(9)), 3000, 2, 1)
+	if err := WriteAll(in, 2, 1, recs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SortFile(in, seq, dimLess, SortOptions{ChunkRecords: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SortFile(in, par, dimLess, SortOptions{ChunkRecords: 100, Parallel: true}); err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := ReadAll(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := ReadAll(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Dims[0] != b[i].Dims[0] || a[i].Dims[1] != b[i].Dims[1] || a[i].Ms[0] != b[i].Ms[0] {
+			t.Fatalf("parallel and sequential sorts disagree at record %d", i)
+		}
+	}
+}
+
+func TestSortIsPermutationQuick(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(vals []int16) bool {
+		i++
+		in := filepath.Join(dir, "in.rec")
+		out := filepath.Join(dir, "out.rec")
+		recs := make([]model.Record, len(vals))
+		counts := map[int64]int{}
+		for j, v := range vals {
+			recs[j] = model.Record{Dims: []int64{int64(v)}, Ms: []float64{}}
+			counts[int64(v)]++
+		}
+		if err := WriteAll(in, 1, 0, recs); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := SortFile(in, out, dimLess, SortOptions{ChunkRecords: 4}); err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := ReadAll(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := int64(math.MinInt64)
+		for _, r := range got {
+			if r.Dims[0] < prev {
+				return false
+			}
+			prev = r.Dims[0]
+			counts[r.Dims[0]]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return len(got) == len(recs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeSourcesStability(t *testing.T) {
+	// Records comparing equal must come out in source order.
+	a := &SliceSource{Recs: []model.Record{
+		{Dims: []int64{1}, Ms: []float64{0}},
+		{Dims: []int64{3}, Ms: []float64{0}},
+	}}
+	b := &SliceSource{Recs: []model.Record{
+		{Dims: []int64{1}, Ms: []float64{1}},
+		{Dims: []int64{2}, Ms: []float64{1}},
+	}}
+	var got []model.Record
+	err := MergeSources([]Source{a, b}, dimLess, func(r *model.Record) error {
+		got = append(got, r.Clone())
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDims := []int64{1, 1, 2, 3}
+	wantMs := []float64{0, 1, 1, 0}
+	for i := range got {
+		if got[i].Dims[0] != wantDims[i] || got[i].Ms[0] != wantMs[i] {
+			t.Fatalf("merge[%d] = %v/%v, want %d/%v", i, got[i].Dims[0], got[i].Ms[0], wantDims[i], wantMs[i])
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	rec1 := filepath.Join(dir, "a.rec")
+	csvPath := filepath.Join(dir, "a.csv")
+	rec2 := filepath.Join(dir, "b.rec")
+	recs := randRecords(rand.New(rand.NewSource(5)), 50, 2, 1)
+	if err := WriteAll(rec1, 2, 1, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportCSV(rec1, csvPath, []string{"a", "b", "m"}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := ImportCSV(csvPath, rec2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("imported %d records", n)
+	}
+	got, _, err := ReadAll(rec2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if got[i].Dims[0] != recs[i].Dims[0] || got[i].Ms[0] != recs[i].Ms[0] {
+			t.Fatalf("record %d corrupted in CSV round trip", i)
+		}
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("a,b\nx,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ImportCSV(bad, filepath.Join(dir, "o.rec"), 1); err == nil {
+		t.Error("non-integer dimension accepted")
+	}
+	if _, err := ImportCSV(bad, filepath.Join(dir, "o.rec"), 5); err == nil {
+		t.Error("too many dims accepted")
+	}
+	if _, err := ImportCSV(filepath.Join(dir, "none.csv"), filepath.Join(dir, "o.rec"), 1); err == nil {
+		t.Error("missing csv accepted")
+	}
+	badm := filepath.Join(dir, "badm.csv")
+	if err := os.WriteFile(badm, []byte("a,m\n1,zz\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ImportCSV(badm, filepath.Join(dir, "o.rec"), 1); err == nil {
+		t.Error("non-numeric measure accepted")
+	}
+	rec := filepath.Join(dir, "x.rec")
+	if err := WriteAll(rec, 1, 0, []model.Record{{Dims: []int64{1}, Ms: []float64{}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ExportCSV(rec, filepath.Join(dir, "x.csv"), []string{"a", "extra"}); err == nil {
+		t.Error("wrong column count accepted")
+	}
+}

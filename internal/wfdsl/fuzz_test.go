@@ -1,0 +1,36 @@
+package wfdsl
+
+import (
+	"awra/internal/core"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the DSL parser never panics and that anything it
+// accepts compiles into a consistent workflow.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleNet)
+	f.Add("schema net\nbasic a gran(t=Hour) agg=count\n")
+	f.Add("schema synth dims=2\nbasic a gran(A1=L0) agg=count\nsliding s src=a agg=avg window A1 -2..2\n")
+	f.Add("schema net\nbasic a gran(t=Hour) agg=count where \"m0 > 1 and dim U = 3\"\n")
+	f.Add("# comment only\n")
+	f.Add("schema net\ncombine c src=a,b fc=ratio\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		p, err := Parse(text)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if p.Schema == nil || p.Compiled == nil {
+			t.Fatal("accepted input produced nil results")
+		}
+		// Accepted workflows must translate to algebra (Theorem 2).
+		for _, name := range p.Compiled.Outputs() {
+			if strings.HasPrefix(name, "__") {
+				continue
+			}
+			if _, err := core.Translate(p.Compiled, name); err != nil {
+				t.Fatalf("accepted measure %q fails translation: %v", name, err)
+			}
+		}
+	})
+}

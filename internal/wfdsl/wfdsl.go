@@ -1,0 +1,413 @@
+// Package wfdsl parses a small text syntax for aggregation workflows,
+// used by the awquery command line tool. One declaration per line:
+//
+//	schema net
+//	basic   Count   gran(t=Hour, U=IP) agg=count
+//	basic   Busy    gran(t=Hour) agg=sum m=0 where "m0 > 5"
+//	rollup  sCount  gran(t=Hour) src=Count agg=count where "m0 > 5"
+//	parent  pShare  gran(t=Day) src=Monthly agg=sum
+//	sliding avg6    src=sCount agg=avg window t -5..0
+//	combine ratio   src=avg6,sCount fc=ratio
+//
+// Lines starting with '#' are comments. Schemas are chosen from the
+// built-in catalog: "net" (the paper's Table 1 network-log schema) or
+// "synth [dims=4] [depth=3] [fanout=10] [measures=1]".
+package wfdsl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"awra/internal/agg"
+	"awra/internal/core"
+	"awra/internal/gen"
+	"awra/internal/model"
+)
+
+// Parsed is the result of parsing a workflow file.
+type Parsed struct {
+	Schema   *model.Schema
+	Workflow *core.Workflow
+	Compiled *core.Compiled
+}
+
+// Parse parses the DSL text and compiles the workflow.
+func Parse(text string) (*Parsed, error) {
+	var (
+		schema *model.Schema
+		wf     *core.Workflow
+	)
+	lines := strings.Split(text, "\n")
+	for ln, raw := range lines {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields, err := tokenize(line)
+		if err != nil {
+			return nil, fmt.Errorf("wfdsl: line %d: %w", ln+1, err)
+		}
+		switch fields[0] {
+		case "schema":
+			if schema != nil {
+				return nil, fmt.Errorf("wfdsl: line %d: schema declared twice", ln+1)
+			}
+			schema, err = parseSchema(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("wfdsl: line %d: %w", ln+1, err)
+			}
+			wf = core.NewWorkflow(schema)
+		case "basic", "rollup", "parent", "sliding", "combine":
+			if wf == nil {
+				return nil, fmt.Errorf("wfdsl: line %d: declare the schema first", ln+1)
+			}
+			if err := parseMeasure(schema, wf, fields); err != nil {
+				return nil, fmt.Errorf("wfdsl: line %d: %w", ln+1, err)
+			}
+		default:
+			return nil, fmt.Errorf("wfdsl: line %d: unknown declaration %q", ln+1, fields[0])
+		}
+	}
+	if wf == nil {
+		return nil, fmt.Errorf("wfdsl: no schema declaration")
+	}
+	c, err := wf.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return &Parsed{Schema: schema, Workflow: wf, Compiled: c}, nil
+}
+
+// tokenize splits a line into fields, keeping double-quoted strings
+// (used for where-clauses) as single tokens without the quotes.
+func tokenize(line string) ([]string, error) {
+	var out []string
+	for i := 0; i < len(line); {
+		for i < len(line) && (line[i] == ' ' || line[i] == '\t') {
+			i++
+		}
+		if i >= len(line) {
+			break
+		}
+		if line[i] == '"' {
+			j := strings.IndexByte(line[i+1:], '"')
+			if j < 0 {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			out = append(out, line[i+1:i+1+j])
+			i += j + 2
+			continue
+		}
+		j := i
+		for j < len(line) && line[j] != ' ' && line[j] != '\t' {
+			j++
+		}
+		out = append(out, line[i:j])
+		i = j
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty line")
+	}
+	return out, nil
+}
+
+func parseSchema(args []string) (*model.Schema, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("schema needs a name (net or synth)")
+	}
+	switch args[0] {
+	case "net":
+		return gen.NetSchema()
+	case "synth":
+		cfg := gen.SynthConfig{}
+		for _, a := range args[1:] {
+			k, v, ok := strings.Cut(a, "=")
+			if !ok {
+				return nil, fmt.Errorf("bad synth option %q", a)
+			}
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("bad synth option %q: %v", a, err)
+			}
+			switch k {
+			case "dims":
+				cfg.Dims = n
+			case "depth":
+				cfg.Depth = n
+			case "fanout":
+				cfg.Fanout = n
+			case "measures":
+				cfg.Measures = n
+			default:
+				return nil, fmt.Errorf("unknown synth option %q", k)
+			}
+		}
+		return gen.SynthSchema(cfg)
+	}
+	return nil, fmt.Errorf("unknown schema %q (net, synth)", args[0])
+}
+
+// parseGran parses "gran(t=Hour, U=IP)" (spaces optional).
+func parseGran(s *model.Schema, tok string) (model.Gran, error) {
+	if !strings.HasPrefix(tok, "gran(") || !strings.HasSuffix(tok, ")") {
+		return nil, fmt.Errorf("expected gran(...), got %q", tok)
+	}
+	body := tok[len("gran(") : len(tok)-1]
+	parts := map[string]string{}
+	if strings.TrimSpace(body) != "" {
+		for _, p := range strings.Split(body, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(p), "=")
+			if !ok {
+				return nil, fmt.Errorf("bad granularity component %q", p)
+			}
+			parts[strings.TrimSpace(k)] = strings.TrimSpace(v)
+		}
+	}
+	return s.MakeGran(parts)
+}
+
+// parsePred parses a where-clause: conjunctions of "mI op const" and
+// "dim NAME op const" joined by "and".
+func parsePred(s *model.Schema, text string) (core.Predicate, error) {
+	var preds []core.Predicate
+	for _, clause := range strings.Split(text, " and ") {
+		fields := strings.Fields(clause)
+		if len(fields) == 4 && fields[0] == "dim" {
+			dim, err := s.DimIndex(fields[1])
+			if err != nil {
+				return core.Predicate{}, err
+			}
+			op, err := parseOp(fields[2])
+			if err != nil {
+				return core.Predicate{}, err
+			}
+			c, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil {
+				return core.Predicate{}, fmt.Errorf("bad constant %q", fields[3])
+			}
+			preds = append(preds, core.DimWhere(dim, op, c))
+			continue
+		}
+		if len(fields) == 3 && strings.HasPrefix(fields[0], "m") {
+			idx := 0
+			if fields[0] != "m" {
+				var err error
+				idx, err = strconv.Atoi(fields[0][1:])
+				if err != nil {
+					return core.Predicate{}, fmt.Errorf("bad measure reference %q", fields[0])
+				}
+			}
+			op, err := parseOp(fields[1])
+			if err != nil {
+				return core.Predicate{}, err
+			}
+			c, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return core.Predicate{}, fmt.Errorf("bad constant %q", fields[2])
+			}
+			preds = append(preds, core.MWhere(idx, op, c))
+			continue
+		}
+		return core.Predicate{}, fmt.Errorf("cannot parse clause %q (want \"mI op c\" or \"dim NAME op c\")", clause)
+	}
+	if len(preds) == 1 {
+		return preds[0], nil
+	}
+	return core.And(preds...), nil
+}
+
+func parseOp(s string) (core.CmpOp, error) {
+	switch s {
+	case "<":
+		return core.Lt, nil
+	case "<=":
+		return core.Le, nil
+	case "=", "==":
+		return core.Eq, nil
+	case "!=", "<>":
+		return core.Ne, nil
+	case ">=":
+		return core.Ge, nil
+	case ">":
+		return core.Gt, nil
+	}
+	return 0, fmt.Errorf("unknown comparison operator %q", s)
+}
+
+// parseWindow parses "window DIM LO..HI" already split into tokens
+// ("window", dim, "lo..hi").
+func parseWindow(s *model.Schema, dim, span string) (core.Window, error) {
+	d, err := s.DimIndex(dim)
+	if err != nil {
+		return core.Window{}, err
+	}
+	lo, hi, ok := strings.Cut(span, "..")
+	if !ok {
+		return core.Window{}, fmt.Errorf("bad window span %q (want LO..HI)", span)
+	}
+	l, err := strconv.ParseInt(lo, 10, 64)
+	if err != nil {
+		return core.Window{}, fmt.Errorf("bad window bound %q", lo)
+	}
+	h, err := strconv.ParseInt(hi, 10, 64)
+	if err != nil {
+		return core.Window{}, fmt.Errorf("bad window bound %q", hi)
+	}
+	return core.Window{Dim: d, Lo: l, Hi: h}, nil
+}
+
+func parseCombineFunc(name string, n int) (core.CombineFunc, error) {
+	switch {
+	case name == "ratio":
+		if n != 2 {
+			return core.CombineFunc{}, fmt.Errorf("fc=ratio needs exactly 2 sources")
+		}
+		return core.Ratio(0, 1), nil
+	case name == "diff":
+		if n != 2 {
+			return core.CombineFunc{}, fmt.Errorf("fc=diff needs exactly 2 sources")
+		}
+		return core.Diff(0, 1), nil
+	case name == "sum":
+		return core.SumOf(), nil
+	case name == "max":
+		return core.MaxOf(), nil
+	case strings.HasPrefix(name, "pick"):
+		i, err := strconv.Atoi(name[4:])
+		if err != nil || i < 0 || i >= n {
+			return core.CombineFunc{}, fmt.Errorf("bad fc %q", name)
+		}
+		return core.Pick(i), nil
+	}
+	return core.CombineFunc{}, fmt.Errorf("unknown fc %q (ratio, diff, sum, max, pickN)", name)
+}
+
+func parseAgg(v string) (agg.Kind, error) { return agg.ParseKind(v) }
+
+// parseMeasure handles one measure declaration line.
+func parseMeasure(s *model.Schema, wf *core.Workflow, fields []string) error {
+	if len(fields) < 2 {
+		return fmt.Errorf("%s needs a measure name", fields[0])
+	}
+	kind, name := fields[0], fields[1]
+	var (
+		gran     model.Gran
+		srcs     []string
+		aggKind  = agg.Count
+		aggSet   bool
+		factM    = -1
+		fcName   string
+		windows  []core.Window
+		opts     []core.MeasureOpt
+		baseName string
+	)
+	i := 2
+	for i < len(fields) {
+		tok := fields[i]
+		switch {
+		case strings.HasPrefix(tok, "gran("):
+			// gran(...) may have been split on spaces; rejoin.
+			j := i
+			for !strings.HasSuffix(fields[j], ")") {
+				j++
+				if j >= len(fields) {
+					return fmt.Errorf("unterminated gran(...)")
+				}
+			}
+			joined := strings.Join(fields[i:j+1], " ")
+			g, err := parseGran(s, joined)
+			if err != nil {
+				return err
+			}
+			gran = g
+			i = j + 1
+		case strings.HasPrefix(tok, "src="):
+			for _, n := range strings.Split(tok[4:], ",") {
+				srcs = append(srcs, strings.TrimSpace(n))
+			}
+			i++
+		case strings.HasPrefix(tok, "agg="):
+			k, err := parseAgg(tok[4:])
+			if err != nil {
+				return err
+			}
+			aggKind, aggSet = k, true
+			i++
+		case strings.HasPrefix(tok, "m="):
+			n, err := strconv.Atoi(tok[2:])
+			if err != nil {
+				return fmt.Errorf("bad measure index %q", tok)
+			}
+			factM = n
+			i++
+		case strings.HasPrefix(tok, "fc="):
+			fcName = tok[3:]
+			i++
+		case strings.HasPrefix(tok, "base="):
+			baseName = tok[5:]
+			i++
+		case tok == "window":
+			if i+2 >= len(fields) {
+				return fmt.Errorf("window needs DIM LO..HI")
+			}
+			w, err := parseWindow(s, fields[i+1], fields[i+2])
+			if err != nil {
+				return err
+			}
+			windows = append(windows, w)
+			i += 3
+		case tok == "where":
+			if i+1 >= len(fields) {
+				return fmt.Errorf("where needs a quoted clause")
+			}
+			p, err := parsePred(s, fields[i+1])
+			if err != nil {
+				return err
+			}
+			opts = append(opts, core.Where(p))
+			i += 2
+		default:
+			return fmt.Errorf("unknown option %q", tok)
+		}
+	}
+	if baseName != "" {
+		opts = append(opts, core.WithBase(baseName))
+	}
+
+	switch kind {
+	case "basic":
+		if gran == nil {
+			return fmt.Errorf("basic measure needs gran(...)")
+		}
+		if aggSet && aggKind != agg.Count && aggKind != agg.ConstZero && factM < 0 {
+			return fmt.Errorf("agg=%v needs m=<index>", aggKind)
+		}
+		wf.Basic(name, gran, aggKind, factM, opts...)
+	case "rollup":
+		if gran == nil || len(srcs) != 1 {
+			return fmt.Errorf("rollup needs gran(...) and exactly one src=")
+		}
+		wf.Rollup(name, gran, srcs[0], aggKind, opts...)
+	case "parent":
+		if gran == nil || len(srcs) != 1 {
+			return fmt.Errorf("parent needs gran(...) and exactly one src=")
+		}
+		wf.FromParent(name, gran, srcs[0], aggKind, opts...)
+	case "sliding":
+		if len(srcs) != 1 || len(windows) == 0 {
+			return fmt.Errorf("sliding needs src= and at least one window")
+		}
+		wf.Sliding(name, srcs[0], aggKind, windows, opts...)
+	case "combine":
+		if len(srcs) == 0 || fcName == "" {
+			return fmt.Errorf("combine needs src= and fc=")
+		}
+		fc, err := parseCombineFunc(fcName, len(srcs))
+		if err != nil {
+			return err
+		}
+		wf.Combine(name, srcs, fc, opts...)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package wfdsl
+
+import (
+	"strings"
+	"testing"
+
+	"awra/internal/agg"
+	"awra/internal/core"
+)
+
+const sampleNet = `
+# busy-source analysis over the network schema
+schema net
+basic   Count   gran(t=Hour, U=IP) agg=count
+rollup  sCount  gran(t=Hour) src=Count agg=count where "m0 > 5"
+rollup  sSum    gran(t=Hour) src=Count agg=sum where "m0 > 5"
+sliding avg6    src=sCount agg=avg window t 0..5
+combine ratio   src=avg6,sCount fc=ratio
+`
+
+func TestParseSampleNet(t *testing.T) {
+	p, err := Parse(sampleNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema.NumDims() != 4 {
+		t.Errorf("dims = %d", p.Schema.NumDims())
+	}
+	outs := p.Compiled.Outputs()
+	if len(outs) != 5 {
+		t.Fatalf("outputs = %v", outs)
+	}
+	m, err := p.Compiled.MeasureByName("sCount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Kind != core.KindRollup || m.Filter == nil || m.Agg != agg.Count {
+		t.Errorf("sCount = %+v", m)
+	}
+	m, _ = p.Compiled.MeasureByName("avg6")
+	if m.Kind != core.KindSibling || len(m.Windows) != 1 || m.Windows[0].Hi != 5 {
+		t.Errorf("avg6 = %+v", m)
+	}
+	m, _ = p.Compiled.MeasureByName("ratio")
+	if m.Kind != core.KindCombine || len(m.Sources) != 2 {
+		t.Errorf("ratio = %+v", m)
+	}
+}
+
+func TestParseSynthSchema(t *testing.T) {
+	p, err := Parse(`
+schema synth dims=2 depth=2 fanout=4 measures=2
+basic total gran(A1=L1) agg=sum m=1
+parent share gran(A1=L0) src=total agg=sum
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Schema.NumDims() != 2 || p.Schema.NumMeasures() != 2 {
+		t.Errorf("schema %d/%d", p.Schema.NumDims(), p.Schema.NumMeasures())
+	}
+	m, _ := p.Compiled.MeasureByName("share")
+	if m.Kind != core.KindFromParent {
+		t.Errorf("share kind = %v", m.Kind)
+	}
+}
+
+func TestParseWhereVariants(t *testing.T) {
+	p, err := Parse(`
+schema synth
+basic a gran(A1=L1) agg=count where "m0 >= 2 and dim A2 = 3"
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := p.Compiled.MeasureByName("a")
+	if m.Filter == nil {
+		t.Fatal("filter lost")
+	}
+	if !m.Filter.Eval([]int64{0, 3, 0, 0}, []float64{2}) {
+		t.Error("conjunction misfired")
+	}
+	if m.Filter.Eval([]int64{0, 4, 0, 0}, []float64{2}) {
+		t.Error("dim clause ignored")
+	}
+}
+
+func TestParseCombineFuncs(t *testing.T) {
+	base := `
+schema synth
+basic a gran(A1=L1) agg=count
+basic b gran(A1=L1) agg=count
+`
+	for _, fc := range []string{"ratio", "diff", "sum", "max", "pick1"} {
+		_, err := Parse(base + "combine c src=a,b fc=" + fc + "\n")
+		if err != nil {
+			t.Errorf("fc=%s: %v", fc, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"no schema", "basic a gran(A1=L0) agg=count", "declare the schema first"},
+		{"schema twice", "schema net\nschema net", "declared twice"},
+		{"unknown schema", "schema oracle", "unknown schema"},
+		{"bad synth opt", "schema synth bogus=1", "unknown synth option"},
+		{"bad synth val", "schema synth dims=x", "bad synth option"},
+		{"unknown decl", "schema net\nfrobnicate a", "unknown declaration"},
+		{"no gran", "schema net\nbasic a agg=count", "needs gran"},
+		{"bad gran dim", "schema net\nbasic a gran(zz=Hour) agg=count", "no dimension"},
+		{"bad gran domain", "schema net\nbasic a gran(t=Fortnight) agg=count", "no domain"},
+		{"bad agg", "schema net\nbasic a gran(t=Hour) agg=mode", "unknown aggregation"},
+		{"sum no m", "schema net\nbasic a gran(t=Hour) agg=sum", "needs m="},
+		{"bad op", `schema net` + "\n" + `basic a gran(t=Hour) agg=count where "m0 ~ 3"`, "comparison operator"},
+		{"bad clause", `schema net` + "\n" + `basic a gran(t=Hour) agg=count where "frogs"`, "cannot parse clause"},
+		{"unterminated quote", "schema net\nbasic a gran(t=Hour) where \"m0 > 1", "unterminated quote"},
+		{"rollup no src", "schema net\nbasic a gran(t=Hour) agg=count\nrollup r gran(t=Day)", "exactly one src"},
+		{"sliding no window", "schema net\nbasic a gran(t=Hour) agg=count\nsliding s src=a", "at least one window"},
+		{"bad window span", "schema net\nbasic a gran(t=Hour) agg=count\nsliding s src=a window t 1to2", "bad window span"},
+		{"bad window dim", "schema net\nbasic a gran(t=Hour) agg=count\nsliding s src=a window zz 0..1", "no dimension"},
+		{"combine no fc", "schema net\nbasic a gran(t=Hour) agg=count\ncombine c src=a", "needs src= and fc="},
+		{"bad fc", "schema net\nbasic a gran(t=Hour) agg=count\ncombine c src=a fc=mode", "unknown fc"},
+		{"ratio arity", "schema net\nbasic a gran(t=Hour) agg=count\ncombine c src=a fc=ratio", "exactly 2 sources"},
+		{"unknown option", "schema net\nbasic a gran(t=Hour) agg=count banana", "unknown option"},
+		{"empty", "\n\n# nothing\n", "no schema"},
+		{"unterminated gran", "schema net\nbasic a gran(t=Hour", "unterminated gran"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.text)
+		if err == nil {
+			t.Errorf("%s: parsed without error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestParseBaseOption(t *testing.T) {
+	p, err := Parse(`
+schema synth
+basic cells gran(A1=L1) agg=count
+basic vals  gran(A1=L1) agg=sum m=0
+sliding w src=vals agg=sum window A1 -1..1 base=cells
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := p.Compiled.MeasureByName("w")
+	i, _ := p.Compiled.Index("cells")
+	if m.Base != i {
+		t.Error("base= ignored")
+	}
+}
