@@ -33,6 +33,7 @@ import (
 	"awra/internal/agg"
 	"awra/internal/core"
 	"awra/internal/model"
+	"awra/internal/obs"
 	"awra/internal/storage"
 )
 
@@ -190,6 +191,24 @@ var (
 	Translate = core.Translate
 	Eval      = core.Eval
 )
+
+// Observability re-exports: pass a *Recorder through
+// QueryOptions.Recorder to collect a span tree and engine metrics for
+// a query, then render it with FormatTree, Snapshot, or
+// WritePrometheus.
+type (
+	// Recorder collects spans and metrics for one query (nil is a
+	// valid no-op recorder).
+	Recorder = obs.Recorder
+	// Span is one timed phase of a query.
+	Span = obs.Span
+	// MetricsSnapshot is a point-in-time JSON-serializable view of a
+	// recorder.
+	MetricsSnapshot = obs.Snapshot
+)
+
+// NewRecorder creates an empty observability recorder.
+var NewRecorder = obs.New
 
 // Storage helpers.
 var (

@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"awra/internal/exec/multipass"
+	"awra/internal/exec/partscan"
 	"awra/internal/exec/singlescan"
 	"awra/internal/exec/sortscan"
+	"awra/internal/obs"
 	"awra/internal/opt"
 	"awra/internal/plan"
 	"awra/internal/relbaseline"
@@ -35,6 +37,11 @@ const (
 	// simple scan when every hash table fits the budget, otherwise the
 	// best-key sort/scan, otherwise multi-pass.
 	EngineAuto
+	// EnginePartScan hash-partitions the fact file on a chosen
+	// dimension/level and runs an independent sort/scan per partition in
+	// parallel. Requires a file input and a partition-valid workflow
+	// (see QueryOptions.PartitionDim).
+	EnginePartScan
 )
 
 func (e Engine) String() string {
@@ -49,6 +56,8 @@ func (e Engine) String() string {
 		return "relational"
 	case EngineAuto:
 		return "auto"
+	case EnginePartScan:
+		return "partscan"
 	}
 	return fmt.Sprintf("Engine(%d)", int(e))
 }
@@ -66,8 +75,10 @@ func ParseEngine(name string) (Engine, error) {
 		return EngineRelational, nil
 	case "auto":
 		return EngineAuto, nil
+	case "partscan":
+		return EnginePartScan, nil
 	}
-	return 0, fmt.Errorf("aw: unknown engine %q (auto, sortscan, singlescan, multipass, relational)", name)
+	return 0, fmt.Errorf("aw: unknown engine %q (auto, sortscan, singlescan, multipass, partscan, relational)", name)
 }
 
 // QueryOptions configures Query.
@@ -93,6 +104,17 @@ type QueryOptions struct {
 	// fact file (one extra sampling scan) before planning, instead of
 	// relying on BaseCards or defaults. File inputs only.
 	AutoStats bool
+	// PartitionDim and PartitionLevel choose the partition unit for
+	// EnginePartScan (dimension index and hierarchy level).
+	PartitionDim   int
+	PartitionLevel Level
+	// Partitions is the EnginePartScan worker count (>= 1; 0 means
+	// max(Workers, 1)).
+	Partitions int
+	// Recorder, if non-nil, collects the query's span tree (rooted at a
+	// "query" span) and engine metrics. A nil recorder is a no-op; the
+	// engines then keep private recorders so their Stats stay complete.
+	Recorder *Recorder
 }
 
 // Input is a fact-table source for Query.
@@ -126,6 +148,9 @@ func QueryCompiled(c *Compiled, in Input, opts ...QueryOptions) (Results, error)
 	if len(opts) > 0 {
 		o = opts[0]
 	}
+	qSpan := o.Recorder.Start(obs.SpanQuery)
+	defer qSpan.End()
+	qrec := o.Recorder.At(qSpan)
 	if o.AutoStats {
 		if in.path == "" {
 			return nil, fmt.Errorf("aw: AutoStats requires a file input")
@@ -138,8 +163,21 @@ func QueryCompiled(c *Compiled, in Input, opts ...QueryOptions) (Results, error)
 	}
 	st := &plan.Stats{BaseCard: o.BaseCards}
 
+	// chooseKey runs the optimizer under an "optimize" span.
+	chooseKey := func() (SortKey, error) {
+		optSpan := qrec.Start(obs.SpanOptimize)
+		defer optSpan.End()
+		ch, err := opt.Best(c, st, qrec.At(optSpan))
+		if err != nil {
+			return nil, err
+		}
+		return ch.Key, nil
+	}
+
 	if o.Engine == EngineAuto {
-		d, err := opt.Choose(c, st, float64(o.MemoryBudget))
+		optSpan := qrec.Start(obs.SpanOptimize)
+		d, err := opt.Choose(c, st, float64(o.MemoryBudget), qrec.At(optSpan))
+		optSpan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -156,12 +194,14 @@ func QueryCompiled(c *Compiled, in Input, opts ...QueryOptions) (Results, error)
 		}
 	}
 
+	qSpan.SetAttr("engine", o.Engine.String())
+
 	// In-memory input paths.
 	if in.path == "" {
 		switch o.Engine {
 		case EngineSingleScan:
 			res, err := singlescan.Run(c, &storage.SliceSource{Recs: in.recs}, singlescan.Options{
-				MemoryBudget: o.MemoryBudget, TempDir: o.TempDir,
+				MemoryBudget: o.MemoryBudget, TempDir: o.TempDir, Recorder: qrec,
 			})
 			if err != nil {
 				return nil, err
@@ -170,11 +210,10 @@ func QueryCompiled(c *Compiled, in Input, opts ...QueryOptions) (Results, error)
 		case EngineSortScan:
 			key := o.SortKey
 			if key == nil {
-				ch, err := opt.Best(c, st)
-				if err != nil {
+				var err error
+				if key, err = chooseKey(); err != nil {
 					return nil, err
 				}
-				key = ch.Key
 			}
 			nk, err := SortKey(key).Normalize(c.Schema)
 			if err != nil {
@@ -182,12 +221,14 @@ func QueryCompiled(c *Compiled, in Input, opts ...QueryOptions) (Results, error)
 			}
 			sorted := make([]Record, len(in.recs))
 			copy(sorted, in.recs)
+			sortSpan := qrec.Start(obs.SpanSort)
 			storage.SortRecords(sorted, func(a, b *Record) bool { return nk.RecordLess(c.Schema, a, b) })
+			sortSpan.End()
 			pl, err := plan.Build(c, nk, st)
 			if err != nil {
 				return nil, err
 			}
-			res, err := sortscan.RunSorted(c, pl, &storage.SliceSource{Recs: sorted})
+			res, err := sortscan.RunSorted(c, pl, &storage.SliceSource{Recs: sorted}, qrec)
 			if err != nil {
 				return nil, err
 			}
@@ -201,15 +242,15 @@ func QueryCompiled(c *Compiled, in Input, opts ...QueryOptions) (Results, error)
 	case EngineSortScan:
 		key := o.SortKey
 		if key == nil {
-			ch, err := opt.Best(c, st)
-			if err != nil {
+			var err error
+			if key, err = chooseKey(); err != nil {
 				return nil, err
 			}
-			key = ch.Key
 		}
 		res, err := sortscan.Run(c, in.path, sortscan.Options{
 			SortKey: key, TempDir: o.TempDir, Stats: st,
 			ParallelSort: o.Workers > 1, SortWorkers: o.Workers,
+			Recorder: qrec,
 		})
 		if err != nil {
 			return nil, err
@@ -223,10 +264,10 @@ func QueryCompiled(c *Compiled, in Input, opts ...QueryOptions) (Results, error)
 		defer r.Close()
 		var res *singlescan.Result
 		if o.Workers > 1 {
-			res, err = singlescan.RunParallel(c, r, o.Workers, singlescan.Options{TempDir: o.TempDir, MemoryBudget: o.MemoryBudget})
+			res, err = singlescan.RunParallel(c, r, o.Workers, singlescan.Options{TempDir: o.TempDir, MemoryBudget: o.MemoryBudget, Recorder: qrec})
 		} else {
 			res, err = singlescan.Run(c, r, singlescan.Options{
-				MemoryBudget: o.MemoryBudget, TempDir: o.TempDir,
+				MemoryBudget: o.MemoryBudget, TempDir: o.TempDir, Recorder: qrec,
 			})
 		}
 		if err != nil {
@@ -236,13 +277,42 @@ func QueryCompiled(c *Compiled, in Input, opts ...QueryOptions) (Results, error)
 	case EngineMultiPass:
 		res, err := multipass.Run(c, in.path, multipass.Options{
 			MemoryBudget: float64(o.MemoryBudget), Stats: st, TempDir: o.TempDir,
+			Recorder: qrec,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return res.Tables, nil
+	case EnginePartScan:
+		key := o.SortKey
+		if key == nil {
+			var err error
+			if key, err = chooseKey(); err != nil {
+				return nil, err
+			}
+		}
+		parts := o.Partitions
+		if parts < 1 {
+			parts = o.Workers
+		}
+		if parts < 1 {
+			parts = 1
+		}
+		res, err := partscan.Run(c, in.path, partscan.Options{
+			PartitionDim:   o.PartitionDim,
+			PartitionLevel: o.PartitionLevel,
+			Partitions:     parts,
+			SortKey:        key,
+			TempDir:        o.TempDir,
+			Stats:          st,
+			Recorder:       qrec,
 		})
 		if err != nil {
 			return nil, err
 		}
 		return res.Tables, nil
 	case EngineRelational:
-		res, err := relbaseline.Run(c, in.path, relbaseline.Options{TempDir: o.TempDir})
+		res, err := relbaseline.Run(c, in.path, relbaseline.Options{TempDir: o.TempDir, Recorder: qrec})
 		if err != nil {
 			return nil, err
 		}

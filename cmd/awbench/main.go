@@ -18,21 +18,30 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof handlers on -httpaddr
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
+	"awra/aw"
 	"awra/internal/bench"
 )
 
 func main() {
 	var (
-		dir    = flag.String("dir", "", "working directory for datasets and temporaries (required)")
-		fig    = flag.String("fig", "all", "figure id to regenerate, or 'all'")
-		scale  = flag.Float64("scale", 1.0, "dataset size multiplier")
-		seed   = flag.Int64("seed", 2006, "dataset generation seed")
-		budget = flag.Int64("budget", 8<<20, "single-scan memory budget in bytes")
-		list   = flag.Bool("list", false, "list available figures and exit")
-		quiet  = flag.Bool("q", false, "suppress progress output")
+		dir      = flag.String("dir", "", "working directory for datasets and temporaries (required)")
+		fig      = flag.String("fig", "all", "figure id to regenerate, or 'all'")
+		scale    = flag.Float64("scale", 1.0, "dataset size multiplier")
+		seed     = flag.Int64("seed", 2006, "dataset generation seed")
+		budget   = flag.Int64("budget", 8<<20, "single-scan memory budget in bytes")
+		list     = flag.Bool("list", false, "list available figures and exit")
+		quiet    = flag.Bool("q", false, "suppress progress output")
+		jsonOut  = flag.Bool("json", false, "print figures as JSON (rows plus metrics snapshot) instead of text tables")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to FILE")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to FILE")
+		httpAddr = flag.String("httpaddr", "", "serve live /metrics (Prometheus), /debug/vars, and /debug/pprof on this address while running")
 	)
 	flag.Parse()
 
@@ -58,11 +67,67 @@ func main() {
 		cfg.Progress = os.Stderr
 	}
 
+	if *httpAddr != "" {
+		// One shared recorder so the live endpoints see every figure's
+		// metrics as they accumulate.
+		rec := aw.NewRecorder()
+		cfg.Recorder = rec
+		rec.Publish("awra")
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			rec.WritePrometheus(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "awbench: http:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "awbench: serving /metrics, /debug/vars, /debug/pprof on %s\n", *httpAddr)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	writeMemProfile := func() {
+		if *memProf == "" {
+			return
+		}
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(err)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		f.Close()
+	}
+
+	emit := func(f *bench.Figure) {
+		if *jsonOut {
+			if err := f.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+			return
+		}
+		f.Fprint(os.Stdout)
+	}
 	if *fig == "all" {
 		figs, err := bench.All(cfg)
 		for _, f := range figs {
-			f.Fprint(os.Stdout)
+			emit(f)
 		}
+		writeMemProfile()
 		if err != nil {
 			fatal(err)
 		}
@@ -72,7 +137,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	f.Fprint(os.Stdout)
+	emit(f)
+	writeMemProfile()
 }
 
 func fatal(err error) {

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"awra/aw"
 	"awra/internal/wfdsl"
@@ -29,7 +30,7 @@ func main() {
 	var (
 		wfPath  = flag.String("wf", "", "workflow file (required)")
 		data    = flag.String("data", "", "binary record file to query")
-		engine  = flag.String("engine", "sortscan", "engine: sortscan, singlescan, multipass, relational")
+		engine  = flag.String("engine", "sortscan", "engine: auto, sortscan, singlescan, multipass, partscan, relational")
 		measure = flag.String("measure", "", "print only this measure (default: all)")
 		limit   = flag.Int("limit", 20, "max rows to print per measure (0 = all)")
 		budget  = flag.Int64("budget", 0, "memory budget in bytes (singlescan spill / multipass per-pass)")
@@ -41,6 +42,11 @@ func main() {
 		auto    = flag.Bool("autostats", false, "feed sampled statistics to the sort-order optimizer")
 		save    = flag.String("save", "", "persist all computed measures into this directory (resultstore)")
 		load    = flag.String("load", "", "print measures previously saved into this directory instead of recomputing")
+		trace   = flag.Bool("trace", false, "print the query's span tree (per-phase times and percentages) to stderr")
+		metrics = flag.String("metrics", "", "write the query's metrics snapshot as JSON to FILE (\"-\" = stdout)")
+		partDim = flag.String("partdim", "", "partscan: partition dimension, by name or index (default: dimension 0)")
+		partLvl = flag.Int("partlevel", 0, "partscan: partition hierarchy level (0 = base)")
+		parts   = flag.Int("partitions", 0, "partscan: partition/worker count (default: -workers, else 1)")
 	)
 	flag.Parse()
 	if *wfPath == "" {
@@ -98,6 +104,27 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	pd := 0
+	if *partDim != "" {
+		pd = -1
+		for d := 0; d < parsed.Schema.NumDims(); d++ {
+			if parsed.Schema.Dim(d).Name() == *partDim {
+				pd = d
+				break
+			}
+		}
+		if pd < 0 {
+			n, aerr := strconv.Atoi(*partDim)
+			if aerr != nil {
+				fatal(fmt.Errorf("unknown dimension %q", *partDim))
+			}
+			pd = n
+		}
+	}
+	var rec *aw.Recorder
+	if *trace || *metrics != "" {
+		rec = aw.NewRecorder()
+	}
 	var res aw.Results
 	if *load != "" {
 		res, err = aw.LoadResults(*load, parsed.Schema)
@@ -106,13 +133,40 @@ func main() {
 		}
 	} else {
 		res, err = aw.QueryCompiled(c, aw.FromFile(*data), aw.QueryOptions{
-			Engine:       eng,
-			MemoryBudget: *budget,
-			Workers:      *workers,
-			AutoStats:    *auto,
+			Engine:         eng,
+			MemoryBudget:   *budget,
+			Workers:        *workers,
+			AutoStats:      *auto,
+			PartitionDim:   pd,
+			PartitionLevel: aw.Level(*partLvl),
+			Partitions:     *parts,
+			Recorder:       rec,
 		})
 		if err != nil {
 			fatal(err)
+		}
+	}
+	if *trace {
+		fmt.Fprint(os.Stderr, rec.FormatTree())
+	}
+	if *metrics != "" {
+		snap := rec.Snapshot()
+		if *metrics == "-" {
+			if err := snap.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
+			}
+		} else {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				fatal(err)
+			}
+			if err := snap.WriteJSON(f); err != nil {
+				f.Close()
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
 		}
 	}
 	if *save != "" {

@@ -33,7 +33,7 @@ func AblKey(cfg Config) (*Figure, error) {
 		return nil, err
 	}
 	st := &plan.Stats{BaseCard: SynthStats(sc)}
-	choices, err := opt.BruteForce(w, st, 0)
+	choices, err := opt.BruteForce(w, st, 0, cfg.Recorder)
 	if err != nil {
 		return nil, err
 	}
@@ -46,7 +46,7 @@ func AblKey(cfg Config) (*Figure, error) {
 	} {
 		t0 := time.Now()
 		res, err := sortscan.Run(w, fact, sortscan.Options{
-			SortKey: pick.ch.Key, TempDir: cfg.Dir, Stats: st,
+			SortKey: pick.ch.Key, TempDir: cfg.Dir, Stats: st, Recorder: cfg.Recorder,
 		})
 		if err != nil {
 			return nil, err
@@ -97,7 +97,8 @@ func AblPar(cfg Config) (*Figure, error) {
 		res, err := partscan.Run(w, fact, partscan.Options{
 			PartitionDim: 0, PartitionLevel: day, Partitions: parts,
 			SortKey: key, TempDir: cfg.Dir,
-			Stats: &plan.Stats{BaseCard: cards},
+			Stats:    &plan.Stats{BaseCard: cards},
+			Recorder: cfg.Recorder,
 		})
 		if err != nil {
 			return nil, err
@@ -131,7 +132,7 @@ func AblFlush(cfg Config) (*Figure, error) {
 		return nil, err
 	}
 	st := &plan.Stats{BaseCard: SynthStats(sc)}
-	best, err := opt.Best(w, st)
+	best, err := opt.Best(w, st, cfg.Recorder)
 	if err != nil {
 		return nil, err
 	}
@@ -146,6 +147,7 @@ func AblFlush(cfg Config) (*Figure, error) {
 		res, err := sortscan.Run(w, fact, sortscan.Options{
 			SortKey: best.Key, TempDir: cfg.Dir, Stats: st,
 			DisableEarlyFlush: mode.disable,
+			Recorder:          cfg.Recorder,
 		})
 		if err != nil {
 			return nil, err

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -14,6 +15,7 @@ import (
 	"awra/internal/exec/sortscan"
 	"awra/internal/gen"
 	"awra/internal/model"
+	"awra/internal/obs"
 	"awra/internal/opt"
 	"awra/internal/plan"
 	"awra/internal/relbaseline"
@@ -35,6 +37,12 @@ type Config struct {
 	SingleScanBudget int64
 	// Progress, if non-nil, receives progress lines.
 	Progress io.Writer
+	// Recorder collects engine metrics across the figure's runs; its
+	// snapshot is attached to the Figure (Metrics). Nil allocates a
+	// private recorder per Run call, so each figure's snapshot covers
+	// only its own runs. Supply one (e.g. for a live -httpaddr view) to
+	// accumulate across figures instead.
+	Recorder *obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -46,6 +54,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SingleScanBudget == 0 {
 		c.SingleScanBudget = 8 << 20
+	}
+	if c.Recorder == nil {
+		c.Recorder = obs.New()
 	}
 	return c
 }
@@ -69,11 +80,21 @@ func (c Config) size(units int) int64 {
 
 // Figure is one regenerated table/plot: rows of labelled series values.
 type Figure struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+	// Metrics is the recorder snapshot covering the figure's engine
+	// runs, so the performance trajectory is machine-diffable.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+}
+
+// WriteJSON writes the figure (rows plus metrics snapshot) as JSON.
+func (f *Figure) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
 }
 
 // Fprint renders the figure as an aligned text table.
@@ -140,15 +161,16 @@ func (c Config) netFile(n int64) (string, gen.NetConfig, error) {
 
 // timeSortScan runs the sort/scan engine with an optimizer-chosen key.
 func (c Config) timeSortScan(w *core.Compiled, fact string, cards []float64) (time.Duration, sortscan.Stats, error) {
-	choice, err := opt.Best(w, &plan.Stats{BaseCard: cards})
+	choice, err := opt.Best(w, &plan.Stats{BaseCard: cards}, c.Recorder)
 	if err != nil {
 		return 0, sortscan.Stats{}, err
 	}
 	t0 := time.Now()
 	res, err := sortscan.Run(w, fact, sortscan.Options{
-		SortKey: choice.Key,
-		TempDir: c.Dir,
-		Stats:   &plan.Stats{BaseCard: cards},
+		SortKey:  choice.Key,
+		TempDir:  c.Dir,
+		Stats:    &plan.Stats{BaseCard: cards},
+		Recorder: c.Recorder,
 	})
 	if err != nil {
 		return 0, sortscan.Stats{}, err
@@ -169,6 +191,7 @@ func (c Config) timeSingleScan(w *core.Compiled, fact string) (time.Duration, si
 	res, err := singlescan.Run(w, r, singlescan.Options{
 		MemoryBudget: c.SingleScanBudget,
 		TempDir:      c.Dir,
+		Recorder:     c.Recorder,
 	})
 	if err != nil {
 		return 0, singlescan.Stats{}, err
@@ -180,7 +203,7 @@ func (c Config) timeSingleScan(w *core.Compiled, fact string) (time.Duration, si
 // measures only (one SQL query per final measure, like the paper).
 func (c Config) timeDB(w *core.Compiled, fact string, finals []string) (time.Duration, relbaseline.Stats, error) {
 	t0 := time.Now()
-	res, err := relbaseline.RunMeasures(w, fact, finals, relbaseline.Options{TempDir: c.Dir})
+	res, err := relbaseline.RunMeasures(w, fact, finals, relbaseline.Options{TempDir: c.Dir, Recorder: c.Recorder})
 	if err != nil {
 		return 0, relbaseline.Stats{}, err
 	}
@@ -539,13 +562,21 @@ func IDs() []string {
 	return out
 }
 
-// Run regenerates one figure by id.
+// Run regenerates one figure by id and attaches the recorder snapshot
+// covering its engine runs.
 func Run(id string, cfg Config) (*Figure, error) {
 	r, ok := runners[strings.ToLower(id)]
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown figure %q (have %s)", id, strings.Join(IDs(), ", "))
 	}
-	return r(cfg)
+	cfg = cfg.withDefaults()
+	f, err := r(cfg)
+	if f != nil {
+		snap := cfg.Recorder.Snapshot()
+		snap.Spans = nil // span trees grow unboundedly across runs; keep figures compact
+		f.Metrics = &snap
+	}
+	return f, err
 }
 
 // All regenerates every figure.

@@ -18,6 +18,7 @@ import (
 	"awra/internal/core"
 	"awra/internal/exec/sortscan"
 	"awra/internal/model"
+	"awra/internal/obs"
 	"awra/internal/opt"
 	"awra/internal/plan"
 )
@@ -33,6 +34,10 @@ type Options struct {
 	TempDir string
 	// ChunkRecords tunes the external sort.
 	ChunkRecords int
+	// Recorder, if non-nil, receives one "pass" span per sort/scan
+	// iteration (each containing the sortscan engine's spans) plus a
+	// "combine" span, and the standard engine metrics.
+	Recorder *obs.Recorder
 }
 
 // Pass describes one sort/scan iteration of the chosen plan.
@@ -158,10 +163,15 @@ func PlanPasses(c *core.Compiled, budget float64, stats *plan.Stats) ([]Pass, er
 // Run plans the passes and executes them over the fact file, then
 // combines cross-pass composites.
 func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
+	orec := opts.Recorder
+	if orec == nil {
+		orec = obs.New()
+	}
 	passes, err := PlanPasses(c, opts.MemoryBudget, opts.Stats)
 	if err != nil {
 		return nil, err
 	}
+	orec.Counter(obs.MPasses).Add(int64(len(passes)))
 	res := &Result{Tables: make(map[string]*core.Table)}
 	res.Stats.Passes = passes
 
@@ -185,12 +195,16 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("multipass: pass workflow: %w", err)
 		}
+		passSpan := orec.Start(obs.SpanPass)
+		passSpan.SetAttr("key", p.SortKey.String(c.Schema))
 		pr, err := sortscan.Run(sub, factPath, sortscan.Options{
 			SortKey:      p.SortKey,
 			TempDir:      opts.TempDir,
 			ChunkRecords: opts.ChunkRecords,
 			Stats:        opts.Stats,
+			Recorder:     orec.At(passSpan),
 		})
+		passSpan.End()
 		if err != nil {
 			return nil, fmt.Errorf("multipass: pass %s: %w", p.SortKey.String(c.Schema), err)
 		}
@@ -211,7 +225,8 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 
 	// Combine composites with traditional in-memory strategies, in
 	// topological order.
-	t0 := time.Now()
+	combSpan := orec.Start(obs.SpanCombine)
+	var combined int64
 	for i, m := range c.Measures {
 		if m.Kind == core.KindBasic {
 			continue
@@ -220,9 +235,12 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("multipass: combining %q: %w", m.Name, err)
 		}
+		combined += int64(len(tbl.Rows))
 		tables[i] = tbl
 	}
-	res.Stats.JoinTime = time.Since(t0)
+	combSpan.End()
+	res.Stats.JoinTime = combSpan.Duration()
+	orec.Counter(obs.MCellsFinalized).Add(combined)
 
 	for _, name := range c.Outputs() {
 		i, _ := c.Index(name)

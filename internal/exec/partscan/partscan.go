@@ -37,6 +37,7 @@ import (
 	"awra/internal/core"
 	"awra/internal/exec/sortscan"
 	"awra/internal/model"
+	"awra/internal/obs"
 	"awra/internal/plan"
 	"awra/internal/storage"
 )
@@ -56,6 +57,10 @@ type Options struct {
 	ChunkRecords int
 	// Stats feeds footprint estimation (informational).
 	Stats *plan.Stats
+	// Recorder, if non-nil, receives a "partition" span for the split
+	// phase, one "scan"-rooted span subtree per partition, a "combine"
+	// span for concatenation, and the standard engine metrics.
+	Recorder *obs.Recorder
 }
 
 // Stats aggregates per-partition costs.
@@ -119,9 +124,16 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 	if opts.TempDir == "" {
 		opts.TempDir = os.TempDir()
 	}
+	orec := opts.Recorder
+	if orec == nil {
+		orec = obs.New()
+	}
+	orec.Counter(obs.MPartitions).Add(int64(opts.Partitions))
+	orec.Counter(obs.MFactScans).Add(1) // the split pass reads the fact file once
 
 	// Phase 1: split.
 	t0 := time.Now()
+	splitSpan := orec.Start(obs.SpanSplit)
 	r, err := storage.Open(factPath)
 	if err != nil {
 		return nil, err
@@ -170,6 +182,9 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 			return nil, err
 		}
 	}
+	splitSpan.SetAttr("records", fmt.Sprint(res.Stats.Records))
+	splitSpan.SetAttr("partitions", fmt.Sprint(opts.Partitions))
+	splitSpan.End()
 	res.Stats.PartitionTime = time.Since(t0)
 
 	// Phase 2: evaluate partitions in parallel.
@@ -182,21 +197,27 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < opts.Partitions; i++ {
 		wg.Add(1)
-		go func(i int) {
+		pSpan := orec.Start(obs.SpanPartition)
+		pSpan.SetAttr("part", fmt.Sprint(i))
+		go func(i int, pSpan *obs.Span) {
 			defer wg.Done()
+			defer pSpan.End()
 			pr, err := sortscan.Run(c, paths[i], sortscan.Options{
 				SortKey:      opts.SortKey,
 				TempDir:      opts.TempDir,
 				ChunkRecords: opts.ChunkRecords,
 				Stats:        opts.Stats,
+				Recorder:     orec.At(pSpan),
 			})
 			outs[i] = partOut{pr, err}
 			os.Remove(paths[i] + ".sorted")
-		}(i)
+		}(i, pSpan)
 	}
 	wg.Wait()
 	res.Stats.ScanTime = time.Since(t1)
 
+	combSpan := orec.Start(obs.SpanCombine)
+	defer combSpan.End()
 	res.Tables = make(map[string]*core.Table)
 	for _, name := range c.Outputs() {
 		m, _ := c.MeasureByName(name)

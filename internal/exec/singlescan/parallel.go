@@ -8,6 +8,7 @@ import (
 	"awra/internal/agg"
 	"awra/internal/core"
 	"awra/internal/model"
+	"awra/internal/obs"
 	"awra/internal/storage"
 )
 
@@ -29,6 +30,10 @@ func RunParallel(c *core.Compiled, src storage.Source, workers int, opts Options
 	}
 	if opts.MemoryBudget > 0 {
 		return nil, fmt.Errorf("singlescan: memory budgets apply to the sequential engine only")
+	}
+	orec := opts.Recorder
+	if orec == nil {
+		orec = obs.New()
 	}
 	start := time.Now()
 	var stats Stats
@@ -53,6 +58,8 @@ func RunParallel(c *core.Compiled, src storage.Source, workers int, opts Options
 		shards[i] = s
 	}
 
+	scanSpan := orec.Start(obs.SpanScan)
+	scanSpan.SetAttr("workers", fmt.Sprint(workers))
 	const batchSize = 512
 	type batch []model.Record
 	ch := make(chan batch, workers*2)
@@ -110,11 +117,20 @@ func RunParallel(c *core.Compiled, src storage.Source, workers int, opts Options
 	}
 	close(ch)
 	wg.Wait()
+	scanSpan.SetAttr("records", fmt.Sprint(stats.Records))
+	scanSpan.End()
 	if scanErr != nil {
 		return nil, scanErr
 	}
 
-	// Merge shards.
+	// Merge shards. Every shard entry was a created cell; the pre-merge
+	// total is the live-cell high-water mark for this engine.
+	var cellsCreated, cellsFinalized int64
+	for _, s := range shards {
+		for j := range s.aggs {
+			cellsCreated += int64(len(s.aggs[j]))
+		}
+	}
 	tables := make([]*core.Table, len(c.Measures))
 	for j, m := range basics {
 		merged := shards[0].aggs[j]
@@ -131,6 +147,7 @@ func RunParallel(c *core.Compiled, src storage.Source, workers int, opts Options
 		for k, a := range merged {
 			tbl.Rows[k] = a.Final()
 		}
+		cellsFinalized += int64(len(tbl.Rows))
 		i, err := c.Index(m.Name)
 		if err != nil {
 			return nil, err
@@ -140,7 +157,7 @@ func RunParallel(c *core.Compiled, src storage.Source, workers int, opts Options
 	stats.ScanTime = time.Since(start)
 
 	// Composite phase, identical to the sequential engine.
-	phase2 := time.Now()
+	compSpan := orec.Start(obs.SpanCombine)
 	for i, m := range c.Measures {
 		if m.Kind == core.KindBasic {
 			continue
@@ -149,9 +166,19 @@ func RunParallel(c *core.Compiled, src storage.Source, workers int, opts Options
 		if err != nil {
 			return nil, fmt.Errorf("singlescan: %w", err)
 		}
+		cellsFinalized += int64(len(tbl.Rows))
 		tables[i] = tbl
 	}
-	stats.CompositeTime = time.Since(phase2)
+	compSpan.End()
+	stats.CompositeTime = compSpan.Duration()
+
+	orec.Counter(obs.MRecordsScanned).Add(stats.Records)
+	orec.Counter(obs.MCellsCreated).Add(cellsCreated)
+	orec.Counter(obs.MCellsFinalized).Add(cellsFinalized)
+	orec.Counter(obs.MSpillEvents)
+	orec.Counter(obs.MSpillBytes)
+	orec.Gauge(obs.GLiveCellsHWM).SetMax(cellsCreated)
+	orec.Gauge(obs.GHashBytesHWM).SetMax(stats.PeakBytes)
 
 	res := &Result{Tables: make(map[string]*core.Table), Stats: stats}
 	for _, name := range c.Outputs() {

@@ -23,6 +23,7 @@ import (
 	"awra/internal/agg"
 	"awra/internal/core"
 	"awra/internal/model"
+	"awra/internal/obs"
 	"awra/internal/storage"
 )
 
@@ -33,6 +34,9 @@ type Options struct {
 	MemoryBudget int64
 	// TempDir receives spill files; empty uses os.TempDir().
 	TempDir string
+	// Recorder, if non-nil, receives the run's phase spans (scan,
+	// spill_merge, combine) and the standard engine metrics.
+	Recorder *obs.Recorder
 }
 
 // Stats reports what a run did.
@@ -60,13 +64,18 @@ type table struct {
 	aggs  map[model.Key]agg.Aggregator
 	bytes int64
 	// spill bookkeeping
-	spillPath string
-	spillGen  int64
-	writer    *storage.Writer
+	spillPath  string
+	spillGen   int64
+	writer     *storage.Writer
+	spillBytes int64 // bytes written to the spill file
 }
 
 // Run evaluates the workflow over the record source.
 func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
+	orec := opts.Recorder
+	if orec == nil {
+		orec = obs.New() // private recorder so Stats stays complete
+	}
 	start := time.Now()
 	tempDir := opts.TempDir
 	if tempDir == "" {
@@ -94,6 +103,8 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 
 	// Phase 1: one scan, all basic measures at once (Table 7 lines
 	// 3-7, without the sort).
+	scanSpan := orec.Start(obs.SpanScan)
+	var cellsCreated, liveCells, peakLive int64
 	var rec model.Record
 	for {
 		ok, err := src.Next(&rec)
@@ -114,6 +125,11 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 			if !ok {
 				a = m.Agg.New()
 				t.aggs[k] = a
+				cellsCreated++
+				liveCells++
+				if liveCells > peakLive {
+					peakLive = liveCells
+				}
 				delta := int64(len(k)) + int64(a.Bytes()) + 16
 				t.bytes += delta
 				totalBytes += delta
@@ -146,12 +162,17 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 			}
 			stats.Spills++
 			stats.SpilledEntries += n
+			liveCells -= n
 			totalBytes -= victim.bytes
 			victim.bytes = 0
 		}
 	}
+	scanSpan.SetAttr("records", fmt.Sprint(stats.Records))
+	scanSpan.End()
 
 	// Merge spilled partial states back (external sort + merge).
+	spillSpan := orec.Start(obs.SpanSpill)
+	var cellsFinalized int64
 	tables := make([]*core.Table, len(c.Measures))
 	for _, t := range basics {
 		var tbl *core.Table
@@ -163,7 +184,7 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 			}
 			stats.Spills++
 			var err error
-			tbl, err = t.mergeSpills(c.Schema, tempDir)
+			tbl, err = t.mergeSpills(c.Schema, tempDir, orec)
 			if err != nil {
 				return nil, err
 			}
@@ -173,17 +194,19 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 				tbl.Rows[k] = a.Final()
 			}
 		}
+		cellsFinalized += int64(len(tbl.Rows))
 		i, err := c.Index(t.m.Name)
 		if err != nil {
 			return nil, err
 		}
 		tables[i] = tbl
 	}
+	spillSpan.End()
 	stats.ScanTime = time.Since(start)
 
 	// Phase 2: composite measures in topological order (the
 	// workflow's compiled order).
-	phase2 := time.Now()
+	compSpan := orec.Start(obs.SpanCombine)
 	for i, m := range c.Measures {
 		if m.Kind == core.KindBasic {
 			continue
@@ -192,9 +215,11 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("singlescan: %w", err)
 		}
+		cellsFinalized += int64(len(tbl.Rows))
 		tables[i] = tbl
 	}
-	stats.CompositeTime = time.Since(phase2)
+	compSpan.End()
+	stats.CompositeTime = compSpan.Duration()
 
 	var peak2 int64
 	for i := range tables {
@@ -205,6 +230,20 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 	if peak2 > stats.PeakBytes {
 		stats.PeakBytes = peak2
 	}
+
+	// Publish the standard engine vocabulary (phase-boundary only).
+	var spilledBytes int64
+	for _, t := range basics {
+		spilledBytes += t.spillBytes
+	}
+	orec.Counter(obs.MRecordsScanned).Add(stats.Records)
+	orec.Counter(obs.MCellsCreated).Add(cellsCreated)
+	orec.Counter(obs.MCellsFinalized).Add(cellsFinalized)
+	orec.Counter(obs.MSpillEvents).Add(int64(stats.Spills))
+	orec.Counter(obs.MSpillBytes).Add(spilledBytes)
+	orec.Counter(obs.MSpilledEntries).Add(stats.SpilledEntries)
+	orec.Gauge(obs.GLiveCellsHWM).SetMax(peakLive)
+	orec.Gauge(obs.GHashBytesHWM).SetMax(stats.PeakBytes)
 
 	res := &Result{Tables: make(map[string]*core.Table), Stats: stats}
 	for _, name := range c.Outputs() {
@@ -227,6 +266,7 @@ func (t *table) spill(tempDir string) (int64, error) {
 		t.writer = w
 	}
 	var n int64
+	rowBytes := int64(8 * (t.m.Codec.Width() + 2 + 1))
 	rec := model.Record{Dims: make([]int64, t.m.Codec.Width()+2), Ms: make([]float64, 1)}
 	for k, a := range t.aggs {
 		codes := t.m.Codec.Decode(k)
@@ -241,6 +281,7 @@ func (t *table) spill(tempDir string) (int64, error) {
 			if err := t.writer.Write(&rec); err != nil {
 				return n, fmt.Errorf("singlescan: write spill: %w", err)
 			}
+			t.spillBytes += rowBytes
 		}
 		for j, v := range state {
 			rec.Dims[len(codes)+1] = int64(j)
@@ -248,6 +289,7 @@ func (t *table) spill(tempDir string) (int64, error) {
 			if err := t.writer.Write(&rec); err != nil {
 				return n, fmt.Errorf("singlescan: write spill: %w", err)
 			}
+			t.spillBytes += rowBytes
 		}
 		n++
 		delete(t.aggs, k)
@@ -258,7 +300,7 @@ func (t *table) spill(tempDir string) (int64, error) {
 
 // mergeSpills sorts the spill file by (key, generation, position),
 // restores per-generation states, and merges them per key.
-func (t *table) mergeSpills(s *model.Schema, tempDir string) (*core.Table, error) {
+func (t *table) mergeSpills(s *model.Schema, tempDir string, orec *obs.Recorder) (*core.Table, error) {
 	if err := t.writer.Close(); err != nil {
 		return nil, err
 	}
@@ -273,7 +315,7 @@ func (t *table) mergeSpills(s *model.Schema, tempDir string) (*core.Table, error
 		}
 		return false
 	}
-	if _, err := storage.SortFile(t.spillPath, sorted, less, storage.SortOptions{TempDir: tempDir}); err != nil {
+	if _, err := storage.SortFile(t.spillPath, sorted, less, storage.SortOptions{TempDir: tempDir, Recorder: orec}); err != nil {
 		return nil, fmt.Errorf("singlescan: sort spill: %w", err)
 	}
 	r, err := storage.Open(sorted)

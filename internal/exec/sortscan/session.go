@@ -6,6 +6,7 @@ import (
 
 	"awra/internal/core"
 	"awra/internal/model"
+	"awra/internal/obs"
 	"awra/internal/plan"
 )
 
@@ -23,6 +24,7 @@ type Session struct {
 	strict bool
 	closed bool
 	t0     time.Time
+	span   *obs.Span
 }
 
 // EmitFunc receives finalized measure values as they flush. The key
@@ -37,12 +39,20 @@ type SessionOptions struct {
 	// ValidateOrder rejects out-of-order pushes instead of silently
 	// producing wrong results (costs one comparison per record).
 	ValidateOrder bool
+	// Recorder, if non-nil, receives the session's scan span and
+	// engine metrics (published at Close).
+	Recorder *obs.Recorder
 }
 
 // NewSession starts a streaming evaluation under the given plan.
 func NewSession(c *core.Compiled, pl *plan.Plan, opts SessionOptions) *Session {
-	e := newEngine(c, pl, false)
+	rec := opts.Recorder
+	if rec == nil {
+		rec = obs.New()
+	}
+	e := newEngine(c, pl, false, rec)
 	s := &Session{e: e, strict: opts.ValidateOrder, t0: time.Now()}
+	s.span = rec.Start(obs.SpanScan)
 	for _, n := range e.nodes {
 		if n.m.Kind == core.KindBasic {
 			s.basics = append(s.basics, n)
@@ -99,7 +109,10 @@ func (s *Session) Close() (*Result, error) {
 			return nil, err
 		}
 	}
+	s.span.SetAttr("records", fmt.Sprint(s.e.stats.Records))
+	s.span.End()
 	s.e.stats.ScanTime = time.Since(s.t0)
+	s.e.publish()
 	res := &Result{Tables: make(map[string]*core.Table), Stats: s.e.stats, Plan: s.e.pl}
 	for _, name := range s.e.c.Outputs() {
 		i, _ := s.e.c.Index(name)
@@ -110,8 +123,8 @@ func (s *Session) Close() (*Result, error) {
 
 // newEngine builds the runtime node graph (shared by batch runs and
 // sessions).
-func newEngine(c *core.Compiled, pl *plan.Plan, noEarlyFlush bool) *engine {
-	e := &engine{c: c, pl: pl, noEarlyFlush: noEarlyFlush}
+func newEngine(c *core.Compiled, pl *plan.Plan, noEarlyFlush bool, rec *obs.Recorder) *engine {
+	e := &engine{c: c, pl: pl, noEarlyFlush: noEarlyFlush, rec: rec}
 	e.nodes = make([]*node, len(c.Measures))
 	for i, m := range c.Measures {
 		n := &node{

@@ -24,6 +24,7 @@ import (
 	"awra/internal/agg"
 	"awra/internal/core"
 	"awra/internal/model"
+	"awra/internal/obs"
 	"awra/internal/plan"
 	"awra/internal/storage"
 )
@@ -52,10 +53,18 @@ type Options struct {
 	ParallelSort bool
 	// SortWorkers bounds the parallel sort (0 = GOMAXPROCS).
 	SortWorkers int
+	// Recorder, if non-nil, receives the run's phase spans
+	// (sort/runs/merge, scan, finalize) and the standard engine
+	// metrics. Nil still produces a full Stats (a private recorder is
+	// used); hot loops never touch the recorder either way.
+	Recorder *obs.Recorder
 }
 
 // Stats reports a run's cost breakdown — the data behind the paper's
-// Figure 6(e) sort-vs-scan comparison — and memory behaviour.
+// Figure 6(e) sort-vs-scan comparison — and memory behaviour. It is a
+// fixed-shape view over the measurements the run's obs.Recorder
+// exports: the timing fields are span durations and the remaining
+// fields mirror the standard metric names.
 type Stats struct {
 	Records      int64
 	SortTime     time.Duration
@@ -134,11 +143,37 @@ type engine struct {
 	live         int64
 	noEarlyFlush bool
 	emit         EmitFunc
+	rec          *obs.Recorder
+	// Per-record tallies stay in plain fields (the scan loop never
+	// touches the recorder); publish() flushes them at end of run.
+	created   int64 // cells created
+	finalized int64 // cells flushed
+	wmAdv     int64 // watermark advances across all arcs
+}
+
+// publish flushes the engine's tallies into its recorder under the
+// standard metric names. It also registers the spill metrics so every
+// engine exports the same vocabulary even when nothing spilled.
+func (e *engine) publish() {
+	rec := e.rec
+	rec.Counter(obs.MRecordsScanned).Add(e.stats.Records)
+	rec.Counter(obs.MCellsCreated).Add(e.created)
+	rec.Counter(obs.MCellsFinalized).Add(e.finalized)
+	rec.Counter(obs.MFlushBatches).Add(e.stats.FlushBatches)
+	rec.Counter(obs.MWatermarkAdvances).Add(e.wmAdv)
+	rec.Counter(obs.MSpillEvents)
+	rec.Counter(obs.MSpillBytes)
+	rec.Gauge(obs.GLiveCellsHWM).SetMax(e.stats.PeakCells)
+	rec.Gauge(obs.GHashBytesHWM).SetMax(e.stats.PeakBytes)
 }
 
 // Run sorts the fact file by the sort key and evaluates the workflow
 // in one streaming pass.
 func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
+	rec := opts.Recorder
+	if rec == nil {
+		rec = obs.New() // private recorder so Stats stays complete
+	}
 	pl, err := plan.Build(c, opts.SortKey, opts.Stats)
 	if err != nil {
 		return nil, err
@@ -148,16 +183,20 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 	if !opts.AssumeSorted {
 		sorted := factPath + ".sorted"
 		defer os.Remove(sorted)
-		t0 := time.Now()
+		sortSpan := rec.Start(obs.SpanSort)
 		less := func(a, b *model.Record) bool { return pl.SortKey.RecordLess(c.Schema, a, b) }
 		ss, err := storage.SortFile(factPath, sorted, less, storage.SortOptions{
 			ChunkRecords: opts.ChunkRecords, TempDir: opts.TempDir,
 			Parallel: opts.ParallelSort, Workers: opts.SortWorkers,
+			Recorder: rec.At(sortSpan),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sortscan: sort: %w", err)
 		}
-		st.SortTime = time.Since(t0)
+		sortSpan.SetAttr("runs", fmt.Sprint(ss.Runs))
+		sortSpan.SetAttr("key", pl.SortKey.String(c.Schema))
+		sortSpan.End()
+		st.SortTime = sortSpan.Duration()
 		st.SortRuns = ss.Runs
 		scanPath = sorted
 	}
@@ -166,7 +205,7 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 		return nil, err
 	}
 	defer r.Close()
-	res, err := runSorted(c, pl, r, opts.DisableEarlyFlush)
+	res, err := runSorted(c, pl, r, opts.DisableEarlyFlush, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -176,14 +215,22 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 }
 
 // RunSorted evaluates the workflow over a source already ordered by
-// the plan's sort key.
-func RunSorted(c *core.Compiled, pl *plan.Plan, src storage.Source) (*Result, error) {
-	return runSorted(c, pl, src, false)
+// the plan's sort key. An optional recorder receives phase spans and
+// engine metrics.
+func RunSorted(c *core.Compiled, pl *plan.Plan, src storage.Source, recorder ...*obs.Recorder) (*Result, error) {
+	var rec *obs.Recorder
+	if len(recorder) > 0 {
+		rec = recorder[0]
+	}
+	return runSorted(c, pl, src, false, rec)
 }
 
-func runSorted(c *core.Compiled, pl *plan.Plan, src storage.Source, disableEarlyFlush bool) (*Result, error) {
-	e := newEngine(c, pl, disableEarlyFlush)
-	t0 := time.Now()
+func runSorted(c *core.Compiled, pl *plan.Plan, src storage.Source, disableEarlyFlush bool, obsRec *obs.Recorder) (*Result, error) {
+	if obsRec == nil {
+		obsRec = obs.New()
+	}
+	e := newEngine(c, pl, disableEarlyFlush, obsRec)
+	scanSpan := obsRec.Start(obs.SpanScan)
 	var rec model.Record
 	var basics []*node
 	for _, n := range e.nodes {
@@ -215,14 +262,19 @@ func runSorted(c *core.Compiled, pl *plan.Plan, src storage.Source, disableEarly
 			}
 		}
 	}
+	scanSpan.SetAttr("records", fmt.Sprint(e.stats.Records))
+	scanSpan.End()
 	// End of scan: flush everything in topological order (Table 7's
 	// final "flush the hash tables of all measures").
+	finSpan := obsRec.Start(obs.SpanFinalize)
 	for _, n := range e.nodes {
 		if err := e.finalizeNode(n, true); err != nil {
 			return nil, err
 		}
 	}
-	e.stats.ScanTime = time.Since(t0)
+	finSpan.End()
+	e.stats.ScanTime = scanSpan.Duration() + finSpan.Duration()
+	e.publish()
 
 	res := &Result{Tables: make(map[string]*core.Table), Stats: e.stats, Plan: pl}
 	for _, name := range c.Outputs() {
@@ -277,6 +329,7 @@ func (e *engine) scanRecord(n *node, rec *model.Record) {
 		arc.threshold = model.Key(b)
 		arc.seen = true
 		arc.advanced = true
+		e.wmAdv++
 	}
 
 	if m.Filter != nil && !m.Filter.Eval(rec.Dims, rec.Ms) {
@@ -312,6 +365,7 @@ func (e *engine) scanRecord(n *node, rec *model.Record) {
 		if !ok {
 			cl = &cell{agg: m.Agg.New(), inBase: true}
 			n.cells[k] = cl
+			e.created++
 			e.noteLive(1)
 		}
 		n.lastCellCodes = append(n.lastCellCodes[:0], sc...)
@@ -393,6 +447,7 @@ func (e *engine) finalizeNode(n *node, flush bool) error {
 		fe.proj = projectKey(sch, n.pl.OutOrder, nil, n.m.Codec, k)
 		batch = append(batch, fe)
 		delete(n.cells, k)
+		e.finalized++
 		e.noteLive(-1)
 	}
 	if len(batch) == 0 {
@@ -518,6 +573,7 @@ func (e *engine) deliver(n *node, role int, src *node, key model.Key, value floa
 		arc.threshold = pk
 		arc.seen = true
 		arc.advanced = true
+		e.wmAdv++
 	}
 
 	// baseRole: this delivery provides cells. It is the dedicated base
@@ -588,6 +644,7 @@ func (n *node) getCell(k model.Key, e *engine) *cell {
 			cl.agg = n.m.Agg.New()
 		}
 		n.cells[k] = cl
+		e.created++
 		e.noteLive(1)
 	}
 	return cl

@@ -1,0 +1,194 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Snapshot is a point-in-time, JSON-serializable view of a recorder:
+// every counter and gauge plus the span tree. Benchmark figures embed
+// snapshots so the performance trajectory is machine-diffable across
+// PRs.
+type Snapshot struct {
+	Counters map[string]int64 `json:"counters"`
+	Gauges   map[string]int64 `json:"gauges"`
+	Spans    []*SpanSnapshot  `json:"spans,omitempty"`
+}
+
+// SpanSnapshot is one span in a Snapshot.
+type SpanSnapshot struct {
+	Name       string            `json:"name"`
+	DurationUs int64             `json:"duration_us"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []*SpanSnapshot   `json:"children,omitempty"`
+}
+
+// Snapshot captures the recorder's current state. Nil-safe (returns an
+// empty snapshot).
+func (r *Recorder) Snapshot() Snapshot {
+	o := r.owner()
+	if o == nil {
+		return Snapshot{Counters: map[string]int64{}, Gauges: map[string]int64{}}
+	}
+	snap := Snapshot{Counters: o.counterValues(), Gauges: o.gaugeValues()}
+	o.mu.Lock()
+	for _, c := range o.root.children {
+		snap.Spans = append(snap.Spans, snapshotSpanLocked(c))
+	}
+	o.mu.Unlock()
+	return snap
+}
+
+func snapshotSpanLocked(s *Span) *SpanSnapshot {
+	d := s.duration
+	if !s.ended {
+		d = time.Since(s.start)
+	}
+	out := &SpanSnapshot{Name: s.name, DurationUs: d.Microseconds()}
+	if len(s.attrs) > 0 {
+		out.Attrs = make(map[string]string, len(s.attrs))
+		for _, a := range s.attrs {
+			out.Attrs[a.Key] = a.Value
+		}
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, snapshotSpanLocked(c))
+	}
+	return out
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus writes every counter and gauge in the Prometheus
+// text exposition format, prefixed "awra_". Nil-safe (writes nothing).
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	for _, name := range sortedNames(snap.Counters) {
+		if _, err := fmt.Fprintf(w, "# TYPE awra_%s counter\nawra_%s %d\n", name, name, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedNames(snap.Gauges) {
+		if _, err := fmt.Fprintf(w, "# TYPE awra_%s gauge\nawra_%s %d\n", name, name, snap.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expvarView adapts a Recorder to the expvar.Var interface: String
+// returns the JSON snapshot, so `expvar.Publish("awra", rec.Expvar())`
+// exposes the live registry at /debug/vars.
+type expvarView struct {
+	r *Recorder
+}
+
+func (v expvarView) String() string {
+	b, err := json.Marshal(v.r.Snapshot())
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+// Expvar returns an expvar-compatible live view of the recorder.
+func (r *Recorder) Expvar() expvar.Var { return expvarView{r: r} }
+
+var publishMu sync.Mutex
+
+// Publish registers the recorder's live view under the given expvar
+// name. Unlike expvar.Publish it tolerates re-publishing the same
+// name (the view is replaced). Nil-safe.
+func (r *Recorder) Publish(name string) {
+	if r == nil {
+		return
+	}
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if v := expvar.Get(name); v != nil {
+		if holder, ok := v.(*replaceableVar); ok {
+			holder.mu.Lock()
+			holder.v = r.Expvar()
+			holder.mu.Unlock()
+			return
+		}
+		return // name taken by someone else; leave it
+	}
+	expvar.Publish(name, &replaceableVar{v: r.Expvar()})
+}
+
+type replaceableVar struct {
+	mu sync.Mutex
+	v  expvar.Var
+}
+
+func (rv *replaceableVar) String() string {
+	rv.mu.Lock()
+	defer rv.mu.Unlock()
+	return rv.v.String()
+}
+
+// FormatTree renders the span tree with durations and per-phase
+// percentages of the parent span, one span per line:
+//
+//	query                      41.2ms
+//	  optimize                  1.1ms   2.7%
+//	  sort                     12.9ms  31.3%
+//	    runs                    9.0ms  69.8%
+//	    merge                   3.6ms  27.9%
+//	  scan                     26.8ms  65.0%
+//
+// Nil-safe (returns "").
+func (r *Recorder) FormatTree() string {
+	o := r.owner()
+	if o == nil {
+		return ""
+	}
+	var b strings.Builder
+	o.mu.Lock()
+	for _, c := range o.root.children {
+		formatSpanLocked(&b, c, 0, 0)
+	}
+	o.mu.Unlock()
+	return b.String()
+}
+
+func formatSpanLocked(b *strings.Builder, s *Span, depth int, parent time.Duration) {
+	d := s.duration
+	if !s.ended {
+		d = time.Since(s.start)
+	}
+	indent := strings.Repeat("  ", depth)
+	fmt.Fprintf(b, "%-*s %9s", 28, indent+s.name, fmtDuration(d))
+	if parent > 0 {
+		fmt.Fprintf(b, " %5.1f%%", 100*float64(d)/float64(parent))
+	}
+	for _, a := range s.attrs {
+		fmt.Fprintf(b, "  %s=%s", a.Key, a.Value)
+	}
+	b.WriteByte('\n')
+	for _, c := range s.children {
+		formatSpanLocked(b, c, depth+1, d)
+	}
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

@@ -16,8 +16,18 @@ import (
 
 	"awra/internal/core"
 	"awra/internal/model"
+	"awra/internal/obs"
 	"awra/internal/plan"
 )
+
+// recOf unwraps the optional trailing recorder argument used across
+// this package (kept variadic for call-site compatibility).
+func recOf(rec []*obs.Recorder) *obs.Recorder {
+	if len(rec) > 0 {
+		return rec[0]
+	}
+	return nil
+}
 
 // relevantLevels collects, per dimension, the levels that appear in
 // any measure's granularity (plus the sibling-window levels). Sort
@@ -94,9 +104,11 @@ type Choice struct {
 }
 
 // BruteForce scores every candidate sort key and returns them sorted
-// by estimated footprint, best first.
-func BruteForce(c *core.Compiled, stats *plan.Stats, maxKeys int) ([]Choice, error) {
+// by estimated footprint, best first. An optional recorder counts the
+// keys scored (opt_keys_scored).
+func BruteForce(c *core.Compiled, stats *plan.Stats, maxKeys int, rec ...*obs.Recorder) ([]Choice, error) {
 	cands := Candidates(c, maxKeys)
+	recOf(rec).Counter(obs.MOptKeysScored).Add(int64(len(cands)))
 	choices := make([]Choice, 0, len(cands))
 	for _, k := range cands {
 		p, err := plan.Build(c, k, stats)
@@ -114,17 +126,19 @@ func BruteForce(c *core.Compiled, stats *plan.Stats, maxKeys int) ([]Choice, err
 	return choices, nil
 }
 
-// Best returns the lowest-footprint sort key for the workflow.
-func Best(c *core.Compiled, stats *plan.Stats) (Choice, error) {
+// Best returns the lowest-footprint sort key for the workflow. An
+// optional recorder receives opt_keys_scored and opt_best_bytes.
+func Best(c *core.Compiled, stats *plan.Stats, rec ...*obs.Recorder) (Choice, error) {
 	maxKeys := 0
 	if c.Schema.NumDims() > 5 {
 		// Enumeration explodes combinatorially; fall back to greedy.
-		return Greedy(c, stats)
+		return Greedy(c, stats, rec...)
 	}
-	choices, err := BruteForce(c, stats, maxKeys)
+	choices, err := BruteForce(c, stats, maxKeys, rec...)
 	if err != nil {
 		return Choice{}, err
 	}
+	recOf(rec).Gauge(obs.GOptBestBytes).SetMax(int64(choices[0].EstBytes))
 	return choices[0], nil
 }
 
@@ -132,15 +146,17 @@ func Best(c *core.Compiled, stats *plan.Stats) (Choice, error) {
 // the (dimension, level) whose addition reduces the estimated
 // footprint the most. It evaluates O(d^2 * levels) plans instead of
 // O(d! * levels^d).
-func Greedy(c *core.Compiled, stats *plan.Stats) (Choice, error) {
+func Greedy(c *core.Compiled, stats *plan.Stats, rec ...*obs.Recorder) (Choice, error) {
 	levels := relevantLevels(c)
 	used := make([]bool, c.Schema.NumDims())
 	var key model.SortKey
 
+	scored := recOf(rec).Counter(obs.MOptKeysScored)
 	score := func(k model.SortKey) (float64, *plan.Plan, error) {
 		if len(k) == 0 {
 			return 1e300, nil, nil
 		}
+		scored.Add(1)
 		p, err := plan.Build(c, k, stats)
 		if err != nil {
 			return 0, nil, err
@@ -184,7 +200,9 @@ func Greedy(c *core.Compiled, stats *plan.Stats) (Choice, error) {
 		if err != nil {
 			return Choice{}, err
 		}
+		recOf(rec).Gauge(obs.GOptBestBytes).SetMax(int64(p.EstBytes))
 		return Choice{Key: p.SortKey, EstBytes: p.EstBytes, Plan: p}, nil
 	}
+	recOf(rec).Gauge(obs.GOptBestBytes).SetMax(int64(best))
 	return Choice{Key: bestPlan.SortKey, EstBytes: best, Plan: bestPlan}, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"awra/internal/core"
 	"awra/internal/model"
+	"awra/internal/obs"
 	"awra/internal/plan"
 )
 
@@ -80,12 +81,12 @@ func SingleScanFootprint(c *core.Compiled, stats *plan.Stats) float64 {
 // otherwise multi-pass. budget <= 0 means "plenty of memory", which
 // still prefers sort/scan once the single-scan estimate exceeds a
 // default 1 GiB working set (matching the paper's large-data regime).
-func Choose(c *core.Compiled, stats *plan.Stats, budget float64) (Decision, error) {
+func Choose(c *core.Compiled, stats *plan.Stats, budget float64, rec ...*obs.Recorder) (Decision, error) {
 	if budget <= 0 {
 		budget = 1 << 30
 	}
 	d := Decision{SingleScanBytes: SingleScanFootprint(c, stats)}
-	best, err := Best(c, stats)
+	best, err := Best(c, stats, rec...)
 	if err != nil {
 		return d, err
 	}

@@ -30,6 +30,7 @@ import (
 	"awra/internal/agg"
 	"awra/internal/core"
 	"awra/internal/model"
+	"awra/internal/obs"
 	"awra/internal/storage"
 )
 
@@ -39,6 +40,10 @@ type Options struct {
 	TempDir string
 	// ChunkRecords tunes the external sort.
 	ChunkRecords int
+	// Recorder, if non-nil, receives one "measure" span per evaluated
+	// measure (each holding that query's sort spans) and the standard
+	// engine metrics.
+	Recorder *obs.Recorder
 }
 
 // Stats reports what the baseline did.
@@ -72,6 +77,11 @@ type evaluator struct {
 	stats *Stats
 	seq   int
 	temps []string
+	// rec is the current measure's recorder view; scanned/finalized
+	// accumulate across operators and publish at end of run.
+	rec       *obs.Recorder
+	scanned   int64
+	finalized int64
 }
 
 // Run evaluates every output measure of the workflow independently.
@@ -86,11 +96,18 @@ func RunMeasures(c *core.Compiled, factPath string, names []string, opts Options
 	if opts.TempDir == "" {
 		opts.TempDir = os.TempDir()
 	}
+	orec := opts.Recorder
+	if orec == nil {
+		orec = obs.New()
+	}
 	start := time.Now()
 	res := &Result{Tables: make(map[string]*core.Table)}
 	ev := &evaluator{c: c, fact: factPath, opts: opts, stats: &res.Stats}
 	defer ev.cleanup()
 	for _, name := range names {
+		mSpan := orec.Start(obs.SpanMeasure)
+		mSpan.SetAttr("measure", name)
+		ev.rec = orec.At(mSpan)
 		e, err := core.Translate(c, name)
 		if err != nil {
 			return nil, fmt.Errorf("relbaseline: %w", err)
@@ -104,8 +121,19 @@ func RunMeasures(c *core.Compiled, factPath string, names []string, opts Options
 			return nil, fmt.Errorf("relbaseline: measure %q: %w", name, err)
 		}
 		res.Tables[name] = tbl
+		mSpan.End()
 	}
 	res.Stats.TotalTime = time.Since(start)
+	orec.Counter(obs.MRecordsScanned).Add(ev.scanned)
+	orec.Counter(obs.MCellsCreated).Add(ev.finalized) // one pass per cell: created == finalized
+	orec.Counter(obs.MCellsFinalized).Add(ev.finalized)
+	orec.Counter(obs.MFactScans).Add(int64(res.Stats.FactScans))
+	orec.Counter(obs.MSpillBytes).Add(res.Stats.RowsSpooled * int64(8*(c.Schema.NumDims()+1)))
+	orec.Counter(obs.MSpillEvents).Add(int64(res.Stats.Materials))
+	// Registered for vocabulary parity: no live frontier here, and the
+	// hash gauge only moves when a measure query joins a dimension map.
+	orec.Gauge(obs.GLiveCellsHWM)
+	orec.Gauge(obs.GHashBytesHWM)
 	return res, nil
 }
 
@@ -172,6 +200,7 @@ func (ev *evaluator) loadMap(r *rel) (map[model.Key]float64, error) {
 	if err != nil {
 		return nil, err
 	}
+	ev.rec.Gauge(obs.GHashBytesHWM).SetMax(int64(len(tbl.Rows)) * int64(tbl.Codec.KeyBytes()+24))
 	return tbl.Rows, nil
 }
 
@@ -283,11 +312,14 @@ func (ev *evaluator) evalAgg(e *core.Expr) (*rel, error) {
 	}
 	sorted := ev.tempFile("srt")
 	t0 := time.Now()
+	sortSpan := ev.rec.Start(obs.SpanSort)
 	if _, err := storage.SortFile(inPath, sorted, less, storage.SortOptions{
 		ChunkRecords: ev.opts.ChunkRecords, TempDir: ev.opts.TempDir,
+		Recorder: ev.rec.At(sortSpan),
 	}); err != nil {
 		return nil, err
 	}
+	sortSpan.End()
 	ev.stats.SortTime += time.Since(t0)
 	ev.stats.Sorts++
 	if inIsFact {
@@ -335,6 +367,9 @@ func (ev *evaluator) evalAgg(e *core.Expr) (*rel, error) {
 		if !ok {
 			break
 		}
+		if inIsFact {
+			ev.scanned++
+		}
 		groupCodes(rec.Dims, ga)
 		if !haveKey || !sameKey(ga, curKey) {
 			if err := flush(); err != nil {
@@ -358,6 +393,7 @@ func (ev *evaluator) evalAgg(e *core.Expr) (*rel, error) {
 		w.Close()
 		return nil, err
 	}
+	ev.finalized += w.Count()
 	ev.stats.RowsSpooled += w.Count()
 	if err := w.Close(); err != nil {
 		return nil, err

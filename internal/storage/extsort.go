@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"awra/internal/model"
+	"awra/internal/obs"
 )
 
 func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
@@ -34,6 +35,10 @@ type SortOptions struct {
 	// Workers bounds the run-sorting goroutines when Parallel is set;
 	// zero uses GOMAXPROCS.
 	Workers int
+	// Recorder, if non-nil, receives run/merge spans and the
+	// sort_runs, spill_events, spill_bytes, and heap_comparisons
+	// metrics.
+	Recorder *obs.Recorder
 }
 
 func (o SortOptions) chunk(recordBytes int) int {
@@ -62,6 +67,7 @@ type SortStats struct {
 // files and k-way merged with a heap. The input file is not modified.
 func SortFile(inPath, outPath string, less Less, opts SortOptions) (SortStats, error) {
 	var stats SortStats
+	rec := opts.Recorder // nil-safe: all obs calls no-op
 	in, err := Open(inPath)
 	if err != nil {
 		return stats, err
@@ -98,8 +104,13 @@ func SortFile(inPath, outPath string, less Less, opts SortOptions) (SortStats, e
 		}
 		sem = make(chan struct{}, w)
 	}
+	runsSpan := rec.Start(obs.SpanSortRuns)
+	spillEvents := rec.Counter(obs.MSpillEvents)
+	spillBytes := rec.Counter(obs.MSpillBytes)
 	writeRun := func(buf []model.Record, path string) error {
 		sort.SliceStable(buf, func(i, j int) bool { return less(&buf[i], &buf[j]) })
+		spillEvents.Add(1)
+		spillBytes.Add(int64(len(buf)) * int64(hdr.recordBytes()))
 		return WriteAll(path, hdr.NumDims, hdr.NumMeasures, buf)
 	}
 	buf := make([]model.Record, 0, chunk)
@@ -171,6 +182,8 @@ func SortFile(inPath, outPath string, less Less, opts SortOptions) (SortStats, e
 			}
 		}
 		stats.Runs = 1
+		runsSpan.End()
+		rec.Counter(obs.MSortRuns).Add(1)
 		return stats, out.Close()
 	}
 	if err := flushRun(); err != nil {
@@ -178,13 +191,17 @@ func SortFile(inPath, outPath string, less Less, opts SortOptions) (SortStats, e
 		return stats, err
 	}
 	wg.Wait()
+	runsSpan.End()
 	if workErr != nil {
 		out.f.Close()
 		return stats, workErr
 	}
 	stats.Runs = len(runPaths)
+	rec.Counter(obs.MSortRuns).Add(int64(stats.Runs))
 
 	// Phase 2: k-way merge.
+	mergeSpan := rec.Start(obs.SpanMerge)
+	mergeSpan.SetAttr("runs", fmt.Sprint(len(runPaths)))
 	sources := make([]Source, len(runPaths))
 	for i, p := range runPaths {
 		r, err := Open(p)
@@ -194,10 +211,12 @@ func SortFile(inPath, outPath string, less Less, opts SortOptions) (SortStats, e
 		}
 		sources[i] = r
 	}
-	err = MergeSources(sources, less, func(rec *model.Record) error { return out.Write(rec) })
+	cmps, err := mergeSources(sources, less, func(rec *model.Record) error { return out.Write(rec) })
 	for _, s := range sources {
 		s.Close()
 	}
+	rec.Counter(obs.MHeapComparisons).Add(cmps)
+	mergeSpan.End()
 	if err != nil {
 		out.f.Close()
 		return stats, err
@@ -218,10 +237,12 @@ type mergeItem struct {
 type mergeHeap struct {
 	items []mergeItem
 	less  Less
+	cmps  int64 // record comparisons, for the heap_comparisons metric
 }
 
 func (h *mergeHeap) Len() int { return len(h.items) }
 func (h *mergeHeap) Less(i, j int) bool {
+	h.cmps++
 	if h.less(&h.items[i].rec, &h.items[j].rec) {
 		return true
 	}
@@ -243,12 +264,19 @@ func (h *mergeHeap) Pop() interface{} {
 // MergeSources merges already-sorted sources into a single sorted
 // stream, invoking emit for every record in order.
 func MergeSources(sources []Source, less Less, emit func(*model.Record) error) error {
+	_, err := mergeSources(sources, less, emit)
+	return err
+}
+
+// mergeSources is MergeSources plus a count of the heap's record
+// comparisons (the merge-cost metric).
+func mergeSources(sources []Source, less Less, emit func(*model.Record) error) (int64, error) {
 	h := &mergeHeap{less: less}
 	for i, s := range sources {
 		var rec model.Record
 		ok, err := s.Next(&rec)
 		if err != nil {
-			return err
+			return h.cmps, err
 		}
 		if ok {
 			h.items = append(h.items, mergeItem{rec: rec, src: i})
@@ -258,12 +286,12 @@ func MergeSources(sources []Source, less Less, emit func(*model.Record) error) e
 	for h.Len() > 0 {
 		it := h.items[0]
 		if err := emit(&it.rec); err != nil {
-			return err
+			return h.cmps, err
 		}
 		var rec model.Record
 		ok, err := sources[it.src].Next(&rec)
 		if err != nil {
-			return err
+			return h.cmps, err
 		}
 		if ok {
 			h.items[0] = mergeItem{rec: rec, src: it.src}
@@ -272,5 +300,5 @@ func MergeSources(sources []Source, less Less, emit func(*model.Record) error) e
 			heap.Pop(h)
 		}
 	}
-	return nil
+	return h.cmps, nil
 }
