@@ -1,0 +1,135 @@
+package aw
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"awra/internal/obs"
+	"awra/internal/qguard"
+)
+
+// Typed errors returned by Run and RunCompiled. Match them with
+// errors.Is: engines wrap them with context but never hide them.
+var (
+	// ErrCanceled reports that the query's context was canceled.
+	ErrCanceled = qguard.ErrCanceled
+	// ErrDeadlineExceeded reports that the query's deadline (context or
+	// QueryOptions.Timeout) passed before the query finished.
+	ErrDeadlineExceeded = qguard.ErrDeadlineExceeded
+	// ErrBudgetExceeded reports that a hard resource guardrail
+	// (MaxLiveCells, MaxResultRows, MaxSpillBytes) tripped.
+	ErrBudgetExceeded = qguard.ErrBudgetExceeded
+)
+
+// BudgetError is the concrete error behind ErrBudgetExceeded; it names
+// the resource that tripped and the limit and observed values.
+type BudgetError = qguard.BudgetError
+
+// Budget resource names found in BudgetError.Resource.
+const (
+	ResLiveCells  = qguard.ResLiveCells
+	ResResultRows = qguard.ResResultRows
+	ResSpillBytes = qguard.ResSpillBytes
+)
+
+// AsBudgetError extracts a *BudgetError from an error chain.
+func AsBudgetError(err error) (*BudgetError, bool) { return qguard.AsBudget(err) }
+
+// Run compiles the workflow (if needed) and evaluates it under ctx:
+// canceling the context aborts the query promptly (engines check
+// cooperatively at scan strides) with ErrCanceled, and a context or
+// Timeout deadline surfaces as ErrDeadlineExceeded.
+func Run(ctx context.Context, w *Workflow, in Input, opts ...QueryOptions) (Results, error) {
+	c, err := w.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return RunCompiled(ctx, c, in, opts...)
+}
+
+// RunCompiled evaluates a compiled workflow under ctx. Beyond
+// cancellation, it is the robustness boundary of the library:
+//
+//   - hard guardrails (MaxLiveCells, MaxResultRows, MaxSpillBytes)
+//     turn runaway queries into ErrBudgetExceeded instead of OOM kills
+//     or unbounded outputs;
+//   - under EngineAuto, a sort/scan attempt that blows the live-cell
+//     budget is retried once as a multi-pass plan (the paper's
+//     Section 6 decision procedure, applied reactively when the
+//     optimizer's estimate proved wrong) — counted in
+//     fallback_engine_switches;
+//   - engine panics are recovered and returned as errors, so a bug in
+//     an evaluator cannot take down the caller's process.
+func RunCompiled(ctx context.Context, c *Compiled, in Input, opts ...QueryOptions) (res Results, err error) {
+	var o QueryOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if o.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+		defer cancel()
+	}
+	limits := qguard.Limits{
+		MaxLiveCells:    o.MaxLiveCells,
+		MaxResultRows:   o.MaxResultRows,
+		MaxSpillBytes:   o.MaxSpillBytes,
+		SkipCorruptRows: o.SkipCorruptRows,
+	}
+	g := qguard.New(ctx, limits)
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			if a, ok := r.(qguard.Abort); ok {
+				err = a.Err
+			} else {
+				err = fmt.Errorf("aw: internal error: %v\n%s", r, debug.Stack())
+			}
+		}
+		reportOutcome(o.Recorder, g, err)
+	}()
+
+	wasAuto := o.Engine == EngineAuto
+	var engine Engine
+	res, engine, err = runEngines(c, in, o, g)
+	if err != nil && wasAuto && engine == EngineSortScan {
+		if be, ok := qguard.AsBudget(err); ok && be.Resource == qguard.ResLiveCells {
+			// The optimizer judged one sort/scan pass affordable but the
+			// run-time frontier disagreed; degrade to multi-pass, whose
+			// per-pass footprints are planned under the budget.
+			o.Recorder.Counter(obs.MFallbackSwitches).Add(1)
+			retry := o
+			retry.Engine = EngineMultiPass
+			if retry.MemoryBudget <= 0 {
+				// Express the cell budget as a per-pass byte footprint for
+				// the multi-pass planner (~64 bytes per live cell, the
+				// planner's own cost model).
+				retry.MemoryBudget = limits.MaxLiveCells * 64
+			}
+			g = qguard.New(ctx, limits)
+			res, _, err = runEngines(c, in, retry, g)
+		}
+	}
+	return res, err
+}
+
+// reportOutcome publishes the robustness counters for one finished
+// attempt: cancellations, budget rejections, and degraded-mode corrupt
+// rows skipped.
+func reportOutcome(rec *Recorder, g *qguard.Guard, err error) {
+	if n := g.CorruptRows(); n > 0 {
+		rec.Counter(obs.MRowsCorruptSkipped).Add(n)
+	}
+	switch {
+	case err == nil:
+	case errors.Is(err, ErrCanceled), errors.Is(err, ErrDeadlineExceeded):
+		rec.Counter(obs.MQueriesCanceled).Add(1)
+	case errors.Is(err, ErrBudgetExceeded):
+		rec.Counter(obs.MBudgetRejections).Add(1)
+	}
+}

@@ -1,7 +1,9 @@
 package aw
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"awra/internal/exec/multipass"
 	"awra/internal/exec/partscan"
@@ -10,6 +12,7 @@ import (
 	"awra/internal/obs"
 	"awra/internal/opt"
 	"awra/internal/plan"
+	"awra/internal/qguard"
 	"awra/internal/relbaseline"
 	"awra/internal/resultstore"
 	"awra/internal/stats"
@@ -115,6 +118,25 @@ type QueryOptions struct {
 	// "query" span) and engine metrics. A nil recorder is a no-op; the
 	// engines then keep private recorders so their Stats stay complete.
 	Recorder *Recorder
+	// Timeout, if positive, bounds the query's wall-clock time; when it
+	// lapses the run aborts with ErrDeadlineExceeded. It composes with
+	// any deadline already on the context passed to Run.
+	Timeout time.Duration
+	// MaxLiveCells caps simultaneously live hash entries (the paper's
+	// memory frontier) across streaming engines. 0 = unlimited. Under
+	// EngineAuto, a sort/scan run that trips this guardrail is retried
+	// once as a multi-pass plan before the error is surfaced.
+	MaxLiveCells int64
+	// MaxResultRows caps total finalized output rows across all
+	// non-hidden measures. 0 = unlimited.
+	MaxResultRows int64
+	// MaxSpillBytes caps bytes written to disk by sorts and spills.
+	// 0 = unlimited.
+	MaxSpillBytes int64
+	// SkipCorruptRows degrades checksummed file reads: rows whose CRC
+	// does not verify are skipped and counted (rows_corrupt_skipped)
+	// instead of failing the query.
+	SkipCorruptRows bool
 }
 
 // Input is a fact-table source for Query.
@@ -133,31 +155,32 @@ func FromRecords(recs []Record) Input { return Input{recs: recs, n: len(recs)} }
 // Results maps measure names to their computed tables.
 type Results map[string]*Table
 
-// Query compiles the workflow (if needed) and evaluates it.
+// Query compiles the workflow (if needed) and evaluates it. It is
+// Run with a background context.
 func Query(w *Workflow, in Input, opts ...QueryOptions) (Results, error) {
-	c, err := w.Compile()
-	if err != nil {
-		return nil, err
-	}
-	return QueryCompiled(c, in, opts...)
+	return Run(context.Background(), w, in, opts...)
 }
 
-// QueryCompiled evaluates a compiled workflow.
+// QueryCompiled evaluates a compiled workflow with a background
+// context.
 func QueryCompiled(c *Compiled, in Input, opts ...QueryOptions) (Results, error) {
-	var o QueryOptions
-	if len(opts) > 0 {
-		o = opts[0]
-	}
+	return RunCompiled(context.Background(), c, in, opts...)
+}
+
+// runEngines dispatches one evaluation attempt to the selected engine
+// under the given guard, returning the engine that actually ran (the
+// EngineAuto decision resolved).
+func runEngines(c *Compiled, in Input, o QueryOptions, g *qguard.Guard) (Results, Engine, error) {
 	qSpan := o.Recorder.Start(obs.SpanQuery)
 	defer qSpan.End()
 	qrec := o.Recorder.At(qSpan)
 	if o.AutoStats {
 		if in.path == "" {
-			return nil, fmt.Errorf("aw: AutoStats requires a file input")
+			return nil, o.Engine, fmt.Errorf("aw: AutoStats requires a file input")
 		}
 		cards, err := CollectStats(in.path, 200000)
 		if err != nil {
-			return nil, err
+			return nil, o.Engine, err
 		}
 		o.BaseCards = cards
 	}
@@ -179,7 +202,7 @@ func QueryCompiled(c *Compiled, in Input, opts ...QueryOptions) (Results, error)
 		d, err := opt.Choose(c, st, float64(o.MemoryBudget), qrec.At(optSpan))
 		optSpan.End()
 		if err != nil {
-			return nil, err
+			return nil, o.Engine, err
 		}
 		switch d.Strategy {
 		case opt.StrategySingleScan:
@@ -201,40 +224,53 @@ func QueryCompiled(c *Compiled, in Input, opts ...QueryOptions) (Results, error)
 		switch o.Engine {
 		case EngineSingleScan:
 			res, err := singlescan.Run(c, &storage.SliceSource{Recs: in.recs}, singlescan.Options{
-				MemoryBudget: o.MemoryBudget, TempDir: o.TempDir, Recorder: qrec,
+				MemoryBudget: o.MemoryBudget, TempDir: o.TempDir, Recorder: qrec, Guard: g,
 			})
 			if err != nil {
-				return nil, err
+				return nil, o.Engine, err
 			}
-			return res.Tables, nil
+			return res.Tables, o.Engine, nil
 		case EngineSortScan:
 			key := o.SortKey
 			if key == nil {
 				var err error
 				if key, err = chooseKey(); err != nil {
-					return nil, err
+					return nil, o.Engine, err
 				}
 			}
 			nk, err := SortKey(key).Normalize(c.Schema)
 			if err != nil {
-				return nil, err
+				return nil, o.Engine, err
 			}
 			sorted := make([]Record, len(in.recs))
 			copy(sorted, in.recs)
 			sortSpan := qrec.Start(obs.SpanSort)
-			storage.SortRecords(sorted, func(a, b *Record) bool { return nk.RecordLess(c.Schema, a, b) })
+			var sortErr error
+			func() {
+				defer qguard.RecoverAbort(&sortErr)
+				var n int
+				storage.SortRecords(sorted, func(a, b *Record) bool {
+					if n++; n&4095 == 0 {
+						g.CheckAbort()
+					}
+					return nk.RecordLess(c.Schema, a, b)
+				})
+			}()
 			sortSpan.End()
+			if sortErr != nil {
+				return nil, o.Engine, sortErr
+			}
 			pl, err := plan.Build(c, nk, st)
 			if err != nil {
-				return nil, err
+				return nil, o.Engine, err
 			}
-			res, err := sortscan.RunSorted(c, pl, &storage.SliceSource{Recs: sorted}, qrec)
+			res, err := sortscan.RunSortedGuarded(c, pl, &storage.SliceSource{Recs: sorted}, g, qrec)
 			if err != nil {
-				return nil, err
+				return nil, o.Engine, err
 			}
-			return res.Tables, nil
+			return res.Tables, o.Engine, nil
 		default:
-			return nil, fmt.Errorf("aw: engine %v requires a file input (use FromFile)", o.Engine)
+			return nil, o.Engine, fmt.Errorf("aw: engine %v requires a file input (use FromFile)", o.Engine)
 		}
 	}
 
@@ -244,51 +280,51 @@ func QueryCompiled(c *Compiled, in Input, opts ...QueryOptions) (Results, error)
 		if key == nil {
 			var err error
 			if key, err = chooseKey(); err != nil {
-				return nil, err
+				return nil, o.Engine, err
 			}
 		}
 		res, err := sortscan.Run(c, in.path, sortscan.Options{
 			SortKey: key, TempDir: o.TempDir, Stats: st,
 			ParallelSort: o.Workers > 1, SortWorkers: o.Workers,
-			Recorder: qrec,
+			Recorder: qrec, Guard: g,
 		})
 		if err != nil {
-			return nil, err
+			return nil, o.Engine, err
 		}
-		return res.Tables, nil
+		return res.Tables, o.Engine, nil
 	case EngineSingleScan:
-		r, err := storage.Open(in.path)
+		r, err := storage.OpenGuarded(in.path, g)
 		if err != nil {
-			return nil, err
+			return nil, o.Engine, err
 		}
 		defer r.Close()
 		var res *singlescan.Result
 		if o.Workers > 1 {
-			res, err = singlescan.RunParallel(c, r, o.Workers, singlescan.Options{TempDir: o.TempDir, MemoryBudget: o.MemoryBudget, Recorder: qrec})
+			res, err = singlescan.RunParallel(c, r, o.Workers, singlescan.Options{TempDir: o.TempDir, MemoryBudget: o.MemoryBudget, Recorder: qrec, Guard: g})
 		} else {
 			res, err = singlescan.Run(c, r, singlescan.Options{
-				MemoryBudget: o.MemoryBudget, TempDir: o.TempDir, Recorder: qrec,
+				MemoryBudget: o.MemoryBudget, TempDir: o.TempDir, Recorder: qrec, Guard: g,
 			})
 		}
 		if err != nil {
-			return nil, err
+			return nil, o.Engine, err
 		}
-		return res.Tables, nil
+		return res.Tables, o.Engine, nil
 	case EngineMultiPass:
 		res, err := multipass.Run(c, in.path, multipass.Options{
 			MemoryBudget: float64(o.MemoryBudget), Stats: st, TempDir: o.TempDir,
-			Recorder: qrec,
+			Recorder: qrec, Guard: g,
 		})
 		if err != nil {
-			return nil, err
+			return nil, o.Engine, err
 		}
-		return res.Tables, nil
+		return res.Tables, o.Engine, nil
 	case EnginePartScan:
 		key := o.SortKey
 		if key == nil {
 			var err error
 			if key, err = chooseKey(); err != nil {
-				return nil, err
+				return nil, o.Engine, err
 			}
 		}
 		parts := o.Partitions
@@ -306,19 +342,20 @@ func QueryCompiled(c *Compiled, in Input, opts ...QueryOptions) (Results, error)
 			TempDir:        o.TempDir,
 			Stats:          st,
 			Recorder:       qrec,
+			Guard:          g,
 		})
 		if err != nil {
-			return nil, err
+			return nil, o.Engine, err
 		}
-		return res.Tables, nil
+		return res.Tables, o.Engine, nil
 	case EngineRelational:
-		res, err := relbaseline.Run(c, in.path, relbaseline.Options{TempDir: o.TempDir, Recorder: qrec})
+		res, err := relbaseline.Run(c, in.path, relbaseline.Options{TempDir: o.TempDir, Recorder: qrec, Guard: g})
 		if err != nil {
-			return nil, err
+			return nil, o.Engine, err
 		}
-		return res.Tables, nil
+		return res.Tables, o.Engine, nil
 	}
-	return nil, fmt.Errorf("aw: unknown engine %v", o.Engine)
+	return nil, o.Engine, fmt.Errorf("aw: unknown engine %v", o.Engine)
 }
 
 // CollectStats samples a fact file (up to sampleLimit records; 0 =

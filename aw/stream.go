@@ -1,9 +1,13 @@
 package aw
 
 import (
+	"context"
+	"time"
+
 	"awra/internal/exec/sortscan"
 	"awra/internal/opt"
 	"awra/internal/plan"
+	"awra/internal/qguard"
 )
 
 // Stream is a continuous evaluation session: records pushed in sort
@@ -15,6 +19,7 @@ type Stream struct {
 	s        *sortscan.Session
 	compiled *Compiled
 	key      SortKey
+	cancel   context.CancelFunc
 }
 
 // StreamOptions configures OpenStream.
@@ -29,6 +34,18 @@ type StreamOptions struct {
 	ValidateOrder bool
 	// BaseCards feeds the optimizer when SortKey is nil.
 	BaseCards []float64
+	// Recorder, if non-nil, receives the session's scan span and engine
+	// metrics.
+	Recorder *Recorder
+	// Timeout, if positive, bounds the session's wall-clock lifetime
+	// when opened with RunStream; once it lapses Push fails with
+	// ErrDeadlineExceeded. Ignored by OpenStream.
+	Timeout time.Duration
+	// MaxLiveCells caps the streaming frontier; a Push that grows it
+	// past the limit fails with ErrBudgetExceeded (RunStream only).
+	MaxLiveCells int64
+	// MaxResultRows caps finalized output rows (RunStream only).
+	MaxResultRows int64
 }
 
 // OpenStream compiles the workflow and starts a streaming session.
@@ -40,9 +57,49 @@ func OpenStream(w *Workflow, o StreamOptions) (*Stream, error) {
 	return OpenStreamCompiled(c, o)
 }
 
+// RunStream compiles the workflow and starts a streaming session bound
+// to ctx: canceling the context makes subsequent pushes fail with
+// ErrCanceled, and the StreamOptions guardrails (Timeout, MaxLiveCells,
+// MaxResultRows) are enforced cooperatively at push strides.
+func RunStream(ctx context.Context, w *Workflow, o StreamOptions) (*Stream, error) {
+	c, err := w.Compile()
+	if err != nil {
+		return nil, err
+	}
+	return RunStreamCompiled(ctx, c, o)
+}
+
+// RunStreamCompiled is RunStream over a compiled workflow.
+func RunStreamCompiled(ctx context.Context, c *Compiled, o StreamOptions) (*Stream, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var cancel context.CancelFunc
+	if o.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
+	}
+	g := qguard.New(ctx, qguard.Limits{
+		MaxLiveCells:  o.MaxLiveCells,
+		MaxResultRows: o.MaxResultRows,
+	})
+	st, err := openStreamCompiled(c, o, g)
+	if err != nil {
+		if cancel != nil {
+			cancel()
+		}
+		return nil, err
+	}
+	st.cancel = cancel
+	return st, nil
+}
+
 // OpenStreamCompiled starts a streaming session over a compiled
-// workflow.
+// workflow (no cancellation or guardrails; see RunStreamCompiled).
 func OpenStreamCompiled(c *Compiled, o StreamOptions) (*Stream, error) {
+	return openStreamCompiled(c, o, nil)
+}
+
+func openStreamCompiled(c *Compiled, o StreamOptions, g *qguard.Guard) (*Stream, error) {
 	st := &plan.Stats{BaseCard: o.BaseCards}
 	key := o.SortKey
 	if key == nil {
@@ -67,6 +124,8 @@ func OpenStreamCompiled(c *Compiled, o StreamOptions) (*Stream, error) {
 	s := sortscan.NewSession(c, pl, sortscan.SessionOptions{
 		Emit:          emit,
 		ValidateOrder: o.ValidateOrder,
+		Recorder:      o.Recorder,
+		Guard:         g,
 	})
 	return &Stream{s: s, compiled: c, key: nk}, nil
 }
@@ -87,8 +146,12 @@ func (st *Stream) Records() int64 { return st.s.Records() }
 // LiveCells reports the current streaming frontier size.
 func (st *Stream) LiveCells() int64 { return st.s.LiveCells() }
 
-// Close flushes everything and returns the complete results.
+// Close flushes everything and returns the complete results. It also
+// releases the session's deadline timer when one was set.
 func (st *Stream) Close() (Results, error) {
+	if st.cancel != nil {
+		defer st.cancel()
+	}
 	res, err := st.s.Close()
 	if err != nil {
 		return nil, err

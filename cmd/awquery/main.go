@@ -14,12 +14,24 @@
 //	rollup  sCount  gran(t=Hour) src=Count agg=count where "m0 > 5"
 //	sliding avg6    src=sCount agg=avg window t 0..5
 //	combine ratio   src=avg6,sCount fc=ratio
+//
+// Exit codes distinguish operational outcomes for scripting:
+//
+//	0  success
+//	1  genuine failure (bad input, I/O error, corrupt data, ...)
+//	2  usage error
+//	3  canceled or timed out (-timeout, SIGINT)
+//	4  a resource guardrail tripped (-max-result-rows, -max-live-cells,
+//	   -max-spill-bytes)
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 
 	"awra/aw"
@@ -47,6 +59,11 @@ func main() {
 		partDim = flag.String("partdim", "", "partscan: partition dimension, by name or index (default: dimension 0)")
 		partLvl = flag.Int("partlevel", 0, "partscan: partition hierarchy level (0 = base)")
 		parts   = flag.Int("partitions", 0, "partscan: partition/worker count (default: -workers, else 1)")
+		timeout = flag.Duration("timeout", 0, "abort the query after this duration (exit code 3)")
+		maxRows = flag.Int64("max-result-rows", 0, "fail once the result exceeds this many rows (exit code 4; 0 = unlimited)")
+		maxCell = flag.Int64("max-live-cells", 0, "cap simultaneously live aggregation cells (exit code 4; 0 = unlimited)")
+		maxSpil = flag.Int64("max-spill-bytes", 0, "cap bytes spilled to disk by sorts (exit code 4; 0 = unlimited)")
+		skipBad = flag.Bool("skip-corrupt", false, "skip and count checksum-failing rows instead of failing")
 	)
 	flag.Parse()
 	if *wfPath == "" {
@@ -132,16 +149,25 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		res, err = aw.QueryCompiled(c, aw.FromFile(*data), aw.QueryOptions{
-			Engine:         eng,
-			MemoryBudget:   *budget,
-			Workers:        *workers,
-			AutoStats:      *auto,
-			PartitionDim:   pd,
-			PartitionLevel: aw.Level(*partLvl),
-			Partitions:     *parts,
-			Recorder:       rec,
+		// SIGINT cancels the query cooperatively; the engines abort at
+		// their next scan stride and clean up temp files.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		res, err = aw.RunCompiled(ctx, c, aw.FromFile(*data), aw.QueryOptions{
+			Engine:          eng,
+			MemoryBudget:    *budget,
+			Workers:         *workers,
+			AutoStats:       *auto,
+			PartitionDim:    pd,
+			PartitionLevel:  aw.Level(*partLvl),
+			Partitions:      *parts,
+			Recorder:        rec,
+			Timeout:         *timeout,
+			MaxResultRows:   *maxRows,
+			MaxLiveCells:    *maxCell,
+			MaxSpillBytes:   *maxSpil,
+			SkipCorruptRows: *skipBad,
 		})
+		stop()
 		if err != nil {
 			fatal(err)
 		}
@@ -222,7 +248,17 @@ func main() {
 	}
 }
 
+// fatal reports the error and exits with a code that tells scripts
+// whether the query was canceled (3), rejected by a guardrail (4), or
+// genuinely failed (1).
 func fatal(err error) {
+	code := 1
+	switch {
+	case errors.Is(err, aw.ErrCanceled), errors.Is(err, aw.ErrDeadlineExceeded):
+		code = 3
+	case errors.Is(err, aw.ErrBudgetExceeded):
+		code = 4
+	}
 	fmt.Fprintln(os.Stderr, "awquery:", err)
-	os.Exit(1)
+	os.Exit(code)
 }

@@ -21,6 +21,7 @@ import (
 	"awra/internal/obs"
 	"awra/internal/opt"
 	"awra/internal/plan"
+	"awra/internal/qguard"
 )
 
 // Options configures a run.
@@ -38,6 +39,9 @@ type Options struct {
 	// iteration (each containing the sortscan engine's spans) plus a
 	// "combine" span, and the standard engine metrics.
 	Recorder *obs.Recorder
+	// Guard, if non-nil, enforces cancellation and resource budgets
+	// across every pass (checked inside each pass and between passes).
+	Guard *qguard.Guard
 }
 
 // Pass describes one sort/scan iteration of the chosen plan.
@@ -177,6 +181,9 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 
 	tables := make([]*core.Table, len(c.Measures))
 	for _, p := range passes {
+		if err := opts.Guard.Err(); err != nil {
+			return nil, err
+		}
 		// Build the pass sub-workflow: just this pass's basic
 		// measures, re-declared over the same schema.
 		w := core.NewWorkflow(c.Schema)
@@ -203,6 +210,7 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 			ChunkRecords: opts.ChunkRecords,
 			Stats:        opts.Stats,
 			Recorder:     orec.At(passSpan),
+			Guard:        opts.Guard,
 		})
 		passSpan.End()
 		if err != nil {
@@ -231,11 +239,19 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 		if m.Kind == core.KindBasic {
 			continue
 		}
+		if err := opts.Guard.Err(); err != nil {
+			return nil, err
+		}
 		tbl, err := core.ComputeComposite(c, m, tables)
 		if err != nil {
 			return nil, fmt.Errorf("multipass: combining %q: %w", m.Name, err)
 		}
 		combined += int64(len(tbl.Rows))
+		if !m.Hidden {
+			if err := opts.Guard.NoteResultRows(int64(len(tbl.Rows))); err != nil {
+				return nil, err
+			}
+		}
 		tables[i] = tbl
 	}
 	combSpan.End()

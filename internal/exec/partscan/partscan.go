@@ -39,6 +39,7 @@ import (
 	"awra/internal/model"
 	"awra/internal/obs"
 	"awra/internal/plan"
+	"awra/internal/qguard"
 	"awra/internal/storage"
 )
 
@@ -61,6 +62,9 @@ type Options struct {
 	// phase, one "scan"-rooted span subtree per partition, a "combine"
 	// span for concatenation, and the standard engine metrics.
 	Recorder *obs.Recorder
+	// Guard, if non-nil, enforces cancellation and resource budgets
+	// during the split and inside every partition's sort/scan.
+	Guard *qguard.Guard
 }
 
 // Stats aggregates per-partition costs.
@@ -134,7 +138,7 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 	// Phase 1: split.
 	t0 := time.Now()
 	splitSpan := orec.Start(obs.SpanSplit)
-	r, err := storage.Open(factPath)
+	r, err := storage.OpenGuarded(factPath, opts.Guard)
 	if err != nil {
 		return nil, err
 	}
@@ -208,6 +212,7 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 				ChunkRecords: opts.ChunkRecords,
 				Stats:        opts.Stats,
 				Recorder:     orec.At(pSpan),
+				Guard:        opts.Guard,
 			})
 			outs[i] = partOut{pr, err}
 			os.Remove(paths[i] + ".sorted")

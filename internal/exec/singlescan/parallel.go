@@ -106,6 +106,12 @@ func RunParallel(c *core.Compiled, src storage.Source, workers int, opts Options
 			break
 		}
 		stats.Records++
+		if stats.Records&255 == 0 {
+			if err := opts.Guard.Err(); err != nil {
+				scanErr = err
+				break
+			}
+		}
 		cur = append(cur, rec.Clone())
 		if len(cur) == batchSize {
 			ch <- cur
@@ -131,8 +137,14 @@ func RunParallel(c *core.Compiled, src storage.Source, workers int, opts Options
 			cellsCreated += int64(len(s.aggs[j]))
 		}
 	}
+	if err := opts.Guard.NoteLiveCells(cellsCreated); err != nil {
+		return nil, err
+	}
 	tables := make([]*core.Table, len(c.Measures))
 	for j, m := range basics {
+		if err := opts.Guard.Err(); err != nil {
+			return nil, err
+		}
 		merged := shards[0].aggs[j]
 		for _, s := range shards[1:] {
 			for k, a := range s.aggs[j] {
@@ -148,6 +160,11 @@ func RunParallel(c *core.Compiled, src storage.Source, workers int, opts Options
 			tbl.Rows[k] = a.Final()
 		}
 		cellsFinalized += int64(len(tbl.Rows))
+		if !m.Hidden {
+			if err := opts.Guard.NoteResultRows(int64(len(tbl.Rows))); err != nil {
+				return nil, err
+			}
+		}
 		i, err := c.Index(m.Name)
 		if err != nil {
 			return nil, err
@@ -162,11 +179,19 @@ func RunParallel(c *core.Compiled, src storage.Source, workers int, opts Options
 		if m.Kind == core.KindBasic {
 			continue
 		}
+		if err := opts.Guard.Err(); err != nil {
+			return nil, err
+		}
 		tbl, err := core.ComputeComposite(c, m, tables)
 		if err != nil {
 			return nil, fmt.Errorf("singlescan: %w", err)
 		}
 		cellsFinalized += int64(len(tbl.Rows))
+		if !m.Hidden {
+			if err := opts.Guard.NoteResultRows(int64(len(tbl.Rows))); err != nil {
+				return nil, err
+			}
+		}
 		tables[i] = tbl
 	}
 	compSpan.End()

@@ -24,6 +24,7 @@ import (
 	"awra/internal/core"
 	"awra/internal/model"
 	"awra/internal/obs"
+	"awra/internal/qguard"
 	"awra/internal/storage"
 )
 
@@ -37,6 +38,10 @@ type Options struct {
 	// Recorder, if non-nil, receives the run's phase spans (scan,
 	// spill_merge, combine) and the standard engine metrics.
 	Recorder *obs.Recorder
+	// Guard, if non-nil, enforces cancellation and resource budgets.
+	// Checks happen at scan strides and phase boundaries, so budgets
+	// may overshoot slightly before the run aborts.
+	Guard *qguard.Guard
 }
 
 // Stats reports what a run did.
@@ -68,6 +73,7 @@ type table struct {
 	spillGen   int64
 	writer     *storage.Writer
 	spillBytes int64 // bytes written to the spill file
+	guard      *qguard.Guard
 }
 
 // Run evaluates the workflow over the record source.
@@ -87,7 +93,7 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 	var totalBytes int64
 	for _, m := range c.Measures {
 		if m.Kind == core.KindBasic {
-			basics = append(basics, &table{m: m, aggs: make(map[model.Key]agg.Aggregator)})
+			basics = append(basics, &table{m: m, aggs: make(map[model.Key]agg.Aggregator), guard: opts.Guard})
 		}
 	}
 	defer func() {
@@ -115,6 +121,14 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 			break
 		}
 		stats.Records++
+		if stats.Records&255 == 0 {
+			if err := opts.Guard.Err(); err != nil {
+				return nil, err
+			}
+			if err := opts.Guard.NoteLiveCells(liveCells); err != nil {
+				return nil, err
+			}
+		}
 		for _, t := range basics {
 			m := t.m
 			if m.Filter != nil && !m.Filter.Eval(rec.Dims, rec.Ms) {
@@ -175,6 +189,9 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 	var cellsFinalized int64
 	tables := make([]*core.Table, len(c.Measures))
 	for _, t := range basics {
+		if err := opts.Guard.Err(); err != nil {
+			return nil, err
+		}
 		var tbl *core.Table
 		if t.spillPath != "" {
 			// Spill the in-memory remainder so everything is on disk,
@@ -195,6 +212,11 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 			}
 		}
 		cellsFinalized += int64(len(tbl.Rows))
+		if !t.m.Hidden {
+			if err := opts.Guard.NoteResultRows(int64(len(tbl.Rows))); err != nil {
+				return nil, err
+			}
+		}
 		i, err := c.Index(t.m.Name)
 		if err != nil {
 			return nil, err
@@ -211,11 +233,19 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 		if m.Kind == core.KindBasic {
 			continue
 		}
+		if err := opts.Guard.Err(); err != nil {
+			return nil, err
+		}
 		tbl, err := core.ComputeComposite(c, m, tables)
 		if err != nil {
 			return nil, fmt.Errorf("singlescan: %w", err)
 		}
 		cellsFinalized += int64(len(tbl.Rows))
+		if !m.Hidden {
+			if err := opts.Guard.NoteResultRows(int64(len(tbl.Rows))); err != nil {
+				return nil, err
+			}
+		}
 		tables[i] = tbl
 	}
 	compSpan.End()
@@ -266,6 +296,7 @@ func (t *table) spill(tempDir string) (int64, error) {
 		t.writer = w
 	}
 	var n int64
+	bytesBefore := t.spillBytes
 	rowBytes := int64(8 * (t.m.Codec.Width() + 2 + 1))
 	rec := model.Record{Dims: make([]int64, t.m.Codec.Width()+2), Ms: make([]float64, 1)}
 	for k, a := range t.aggs {
@@ -295,6 +326,9 @@ func (t *table) spill(tempDir string) (int64, error) {
 		delete(t.aggs, k)
 	}
 	t.spillGen++
+	if err := t.guard.NoteSpill(t.spillBytes - bytesBefore); err != nil {
+		return n, err
+	}
 	return n, nil
 }
 
@@ -315,10 +349,10 @@ func (t *table) mergeSpills(s *model.Schema, tempDir string, orec *obs.Recorder)
 		}
 		return false
 	}
-	if _, err := storage.SortFile(t.spillPath, sorted, less, storage.SortOptions{TempDir: tempDir, Recorder: orec}); err != nil {
+	if _, err := storage.SortFile(t.spillPath, sorted, less, storage.SortOptions{TempDir: tempDir, Recorder: orec, Guard: t.guard}); err != nil {
 		return nil, fmt.Errorf("singlescan: sort spill: %w", err)
 	}
-	r, err := storage.Open(sorted)
+	r, err := storage.OpenGuarded(sorted, t.guard)
 	if err != nil {
 		return nil, err
 	}
@@ -372,7 +406,13 @@ func (t *table) mergeSpills(s *model.Schema, tempDir string, orec *obs.Recorder)
 		if !ok {
 			break
 		}
-		k := t.m.Codec.FromCodes(rec.Dims[:width])
+		if len(rec.Dims) < width+2 {
+			return nil, fmt.Errorf("singlescan: malformed spill row: %d codes, want %d", len(rec.Dims), width+2)
+		}
+		k, err := t.m.Codec.FromCodesChecked(rec.Dims[:width])
+		if err != nil {
+			return nil, fmt.Errorf("singlescan: malformed spill row: %w", err)
+		}
 		gen := rec.Dims[width]
 		if !haveKey || k != curKey {
 			if err := flushKey(); err != nil {

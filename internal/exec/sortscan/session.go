@@ -8,6 +8,7 @@ import (
 	"awra/internal/model"
 	"awra/internal/obs"
 	"awra/internal/plan"
+	"awra/internal/qguard"
 )
 
 // Session evaluates a workflow over a continuous, ordered record feed
@@ -42,6 +43,9 @@ type SessionOptions struct {
 	// Recorder, if non-nil, receives the session's scan span and
 	// engine metrics (published at Close).
 	Recorder *obs.Recorder
+	// Guard, if non-nil, makes Push fail with the guard's typed error
+	// once the session's context is canceled or a budget trips.
+	Guard *qguard.Guard
 }
 
 // NewSession starts a streaming evaluation under the given plan.
@@ -51,6 +55,7 @@ func NewSession(c *core.Compiled, pl *plan.Plan, opts SessionOptions) *Session {
 		rec = obs.New()
 	}
 	e := newEngine(c, pl, false, rec)
+	e.guard = opts.Guard
 	s := &Session{e: e, strict: opts.ValidateOrder, t0: time.Now()}
 	s.span = rec.Start(obs.SpanScan)
 	for _, n := range e.nodes {
@@ -77,6 +82,11 @@ func (s *Session) Push(rec *model.Record) error {
 		s.last = &cl
 	}
 	s.e.stats.Records++
+	if s.e.stats.Records&255 == 0 {
+		if err := s.e.checkGuard(); err != nil {
+			return err
+		}
+	}
 	for _, n := range s.basics {
 		s.e.scanRecord(n, rec)
 	}

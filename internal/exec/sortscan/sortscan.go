@@ -26,6 +26,7 @@ import (
 	"awra/internal/model"
 	"awra/internal/obs"
 	"awra/internal/plan"
+	"awra/internal/qguard"
 	"awra/internal/storage"
 )
 
@@ -58,6 +59,11 @@ type Options struct {
 	// metrics. Nil still produces a full Stats (a private recorder is
 	// used); hot loops never touch the recorder either way.
 	Recorder *obs.Recorder
+	// Guard, if non-nil, makes the run cooperatively cancelable and
+	// enforces resource budgets (live cells, result rows, spill bytes).
+	// Budgets are checked at scan strides and flush boundaries, so a
+	// small overshoot within one stride is possible by design.
+	Guard *qguard.Guard
 }
 
 // Stats reports a run's cost breakdown — the data behind the paper's
@@ -144,6 +150,7 @@ type engine struct {
 	noEarlyFlush bool
 	emit         EmitFunc
 	rec          *obs.Recorder
+	guard        *qguard.Guard
 	// Per-record tallies stay in plain fields (the scan loop never
 	// touches the recorder); publish() flushes them at end of run.
 	created   int64 // cells created
@@ -188,7 +195,7 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 		ss, err := storage.SortFile(factPath, sorted, less, storage.SortOptions{
 			ChunkRecords: opts.ChunkRecords, TempDir: opts.TempDir,
 			Parallel: opts.ParallelSort, Workers: opts.SortWorkers,
-			Recorder: rec.At(sortSpan),
+			Recorder: rec.At(sortSpan), Guard: opts.Guard,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sortscan: sort: %w", err)
@@ -200,12 +207,12 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 		st.SortRuns = ss.Runs
 		scanPath = sorted
 	}
-	r, err := storage.Open(scanPath)
+	r, err := storage.OpenGuarded(scanPath, opts.Guard)
 	if err != nil {
 		return nil, err
 	}
 	defer r.Close()
-	res, err := runSorted(c, pl, r, opts.DisableEarlyFlush, rec)
+	res, err := runSorted(c, pl, r, opts.DisableEarlyFlush, rec, opts.Guard)
 	if err != nil {
 		return nil, err
 	}
@@ -222,14 +229,21 @@ func RunSorted(c *core.Compiled, pl *plan.Plan, src storage.Source, recorder ...
 	if len(recorder) > 0 {
 		rec = recorder[0]
 	}
-	return runSorted(c, pl, src, false, rec)
+	return runSorted(c, pl, src, false, rec, nil)
 }
 
-func runSorted(c *core.Compiled, pl *plan.Plan, src storage.Source, disableEarlyFlush bool, obsRec *obs.Recorder) (*Result, error) {
+// RunSortedGuarded is RunSorted under a query guard (cancellation and
+// resource budgets).
+func RunSortedGuarded(c *core.Compiled, pl *plan.Plan, src storage.Source, g *qguard.Guard, rec *obs.Recorder) (*Result, error) {
+	return runSorted(c, pl, src, false, rec, g)
+}
+
+func runSorted(c *core.Compiled, pl *plan.Plan, src storage.Source, disableEarlyFlush bool, obsRec *obs.Recorder, guard *qguard.Guard) (*Result, error) {
 	if obsRec == nil {
 		obsRec = obs.New()
 	}
 	e := newEngine(c, pl, disableEarlyFlush, obsRec)
+	e.guard = guard
 	scanSpan := obsRec.Start(obs.SpanScan)
 	var rec model.Record
 	var basics []*node
@@ -247,6 +261,14 @@ func runSorted(c *core.Compiled, pl *plan.Plan, src storage.Source, disableEarly
 			break
 		}
 		e.stats.Records++
+		// Cooperative cancellation + live-cell guardrail, checked at a
+		// stride so the hot loop stays hot. File sources also check the
+		// guard inside Reader.Next; this covers in-memory sources.
+		if e.stats.Records&255 == 0 {
+			if err := e.checkGuard(); err != nil {
+				return nil, err
+			}
+		}
 		for _, n := range basics {
 			e.scanRecord(n, &rec)
 		}
@@ -407,6 +429,15 @@ func (e *engine) noteLive(delta int64) {
 	}
 }
 
+// checkGuard folds the cancellation check and the live-cell guardrail
+// into one call for the scan loop's stride.
+func (e *engine) checkGuard() error {
+	if err := e.guard.Err(); err != nil {
+		return err
+	}
+	return e.guard.NoteLiveCells(e.live)
+}
+
 // finalEntry is one finalized cell ready for emission.
 type finalEntry struct {
 	key   model.Key
@@ -462,12 +493,14 @@ func (e *engine) finalizeNode(n *node, flush bool) error {
 	})
 	// Record output rows and propagate as an update stream.
 	touched := map[int]bool{}
+	var emitted int64
 	for _, fe := range batch {
 		if !fe.emit {
 			continue
 		}
 		if !n.m.Hidden {
 			n.out.Rows[fe.key] = fe.value
+			emitted++
 			if e.emit != nil {
 				e.emit(n.m.Name, fe.key, fe.value)
 			}
@@ -476,6 +509,9 @@ func (e *engine) finalizeNode(n *node, flush bool) error {
 			e.deliver(e.nodes[d.node], d.role, n, fe.key, fe.value)
 			touched[d.node] = true
 		}
+	}
+	if err := e.guard.NoteResultRows(emitted); err != nil {
+		return err
 	}
 	// Even emit-less batches advance downstream watermarks? No: a
 	// dropped cell (emit=false) was never a real region of this

@@ -70,29 +70,54 @@ func (c *KeyCodec) FromBase(dims []int64) Key {
 }
 
 // FromCodes builds a key from codes already at the codec's granularity,
-// one per non-ALL dimension in schema order.
+// one per non-ALL dimension in schema order. A length mismatch is a
+// programmer error and panics; callers deriving code vectors from
+// on-disk data must use FromCodesChecked instead.
 func (c *KeyCodec) FromCodes(codes []int64) Key {
+	k, err := c.FromCodesChecked(codes)
+	if err != nil {
+		panic(err.Error())
+	}
+	return k
+}
+
+// FromCodesChecked is FromCodes returning an error on a length
+// mismatch, for callers whose code vectors come from untrusted on-disk
+// data (spill files, saved results) rather than compiled workflows.
+func (c *KeyCodec) FromCodesChecked(codes []int64) (Key, error) {
 	if len(codes) != len(c.dims) {
-		panic(fmt.Sprintf("model: FromCodes got %d codes, codec has %d non-ALL dims", len(codes), len(c.dims)))
+		return "", fmt.Errorf("model: FromCodes got %d codes, codec has %d non-ALL dims", len(codes), len(c.dims))
 	}
 	b := make([]byte, 0, 8*len(codes))
 	for _, v := range codes {
 		b = appendCode(b, v)
 	}
-	return Key(b)
+	return Key(b), nil
 }
 
 // Decode extracts the region's codes (one per non-ALL dimension, in
-// schema order).
+// schema order). A length mismatch is a programmer error and panics;
+// callers decoding keys reconstructed from on-disk data must use
+// DecodeChecked instead.
 func (c *KeyCodec) Decode(k Key) []int64 {
+	out, err := c.DecodeChecked(k)
+	if err != nil {
+		panic(err.Error())
+	}
+	return out
+}
+
+// DecodeChecked is Decode returning an error on a length mismatch, for
+// keys that crossed a serialization boundary.
+func (c *KeyCodec) DecodeChecked(k Key) ([]int64, error) {
 	if len(k) != 8*len(c.dims) {
-		panic(fmt.Sprintf("model: Decode got key of %d bytes, expected %d", len(k), 8*len(c.dims)))
+		return nil, fmt.Errorf("model: Decode got key of %d bytes, expected %d", len(k), 8*len(c.dims))
 	}
 	out := make([]int64, len(c.dims))
 	for j := range c.dims {
 		out[j] = decodeCode([]byte(k[8*j : 8*j+8]))
 	}
-	return out
+	return out, nil
 }
 
 // FullDecode extracts one code per schema dimension from a key, with

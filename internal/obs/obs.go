@@ -58,6 +58,18 @@ const (
 	MFactScans = "fact_scans"
 	// MOptKeysScored counts candidate sort keys the optimizer scored.
 	MOptKeysScored = "opt_keys_scored"
+	// MQueriesCanceled counts queries that ended with cancellation or a
+	// deadline instead of completing.
+	MQueriesCanceled = "queries_canceled"
+	// MRowsCorruptSkipped counts checksum-failing rows skipped in
+	// degraded mode (QueryOptions.SkipCorruptRows).
+	MRowsCorruptSkipped = "rows_corrupt_skipped"
+	// MBudgetRejections counts queries rejected by a hard resource
+	// guardrail (live cells, result rows, spill bytes).
+	MBudgetRejections = "budget_rejections"
+	// MFallbackSwitches counts EngineAuto runs that fell back from
+	// sort/scan to multi-pass after the live-cell guardrail tripped.
+	MFallbackSwitches = "fallback_engine_switches"
 
 	// GLiveCellsHWM is the high-water mark of simultaneously live hash
 	// entries across all measure nodes.

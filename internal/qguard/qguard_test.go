@@ -1,0 +1,144 @@
+package qguard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilGuardIsNoOp(t *testing.T) {
+	var g *Guard
+	if err := g.Err(); err != nil {
+		t.Fatalf("nil guard Err: %v", err)
+	}
+	if err := g.NoteLiveCells(1 << 40); err != nil {
+		t.Fatalf("nil guard NoteLiveCells: %v", err)
+	}
+	if err := g.NoteResultRows(1 << 40); err != nil {
+		t.Fatalf("nil guard NoteResultRows: %v", err)
+	}
+	if err := g.NoteSpill(1 << 40); err != nil {
+		t.Fatalf("nil guard NoteSpill: %v", err)
+	}
+	if g.SkipCorruptRows() {
+		t.Fatal("nil guard should not skip corrupt rows")
+	}
+	g.NoteCorruptRow() // must not panic
+	if g.Context() == nil {
+		t.Fatal("nil guard Context must not be nil")
+	}
+	g.CheckAbort() // must not panic
+}
+
+func TestCancelMapsToErrCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Limits{})
+	if err := g.Err(); err != nil {
+		t.Fatalf("before cancel: %v", err)
+	}
+	cancel()
+	if err := g.Err(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+}
+
+func TestDeadlineMapsToErrDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	<-ctx.Done()
+	g := New(ctx, Limits{})
+	if err := g.Err(); !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("got %v, want ErrDeadlineExceeded", err)
+	}
+}
+
+func TestBudgets(t *testing.T) {
+	g := New(context.Background(), Limits{MaxLiveCells: 10, MaxResultRows: 5, MaxSpillBytes: 100})
+	if err := g.NoteLiveCells(10); err != nil {
+		t.Fatalf("at limit: %v", err)
+	}
+	err := g.NoteLiveCells(11)
+	if !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+	be, ok := AsBudget(err)
+	if !ok || be.Resource != ResLiveCells || be.Limit != 10 || be.Used != 11 {
+		t.Fatalf("bad BudgetError: %+v ok=%v", be, ok)
+	}
+	// The first error sticks: later checks keep returning it.
+	if err2 := g.Err(); !errors.Is(err2, ErrBudgetExceeded) {
+		t.Fatalf("sticky error lost: %v", err2)
+	}
+}
+
+func TestResultRowsAccumulate(t *testing.T) {
+	g := New(context.Background(), Limits{MaxResultRows: 5})
+	if err := g.NoteResultRows(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.NoteResultRows(2); err != nil {
+		t.Fatal(err)
+	}
+	err := g.NoteResultRows(1)
+	be, ok := AsBudget(err)
+	if !ok || be.Resource != ResResultRows || be.Used != 6 {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestFirstErrorWinsUnderConcurrency(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Limits{MaxSpillBytes: 1})
+	cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 32)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if i%2 == 0 {
+				errs[i] = g.Err()
+			} else {
+				errs[i] = g.NoteSpill(100)
+			}
+		}(i)
+	}
+	wg.Wait()
+	first := g.Err()
+	for i, err := range errs {
+		if err == nil {
+			t.Fatalf("goroutine %d saw no error", i)
+		}
+	}
+	// Whatever won must be returned consistently from now on.
+	if again := g.Err(); !errors.Is(again, first) {
+		t.Fatalf("sticky error changed: %v then %v", first, again)
+	}
+}
+
+func TestRecoverAbort(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Limits{})
+	cancel()
+	err := func() (err error) {
+		defer RecoverAbort(&err)
+		g.CheckAbort()
+		return nil
+	}()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+}
+
+func TestRecoverAbortRepanicsForeignPanics(t *testing.T) {
+	defer func() {
+		if r := recover(); r == nil {
+			t.Fatal("foreign panic swallowed")
+		}
+	}()
+	var err error
+	defer RecoverAbort(&err)
+	panic("not an abort")
+}

@@ -31,6 +31,7 @@ import (
 	"awra/internal/core"
 	"awra/internal/model"
 	"awra/internal/obs"
+	"awra/internal/qguard"
 	"awra/internal/storage"
 )
 
@@ -44,6 +45,9 @@ type Options struct {
 	// measure (each holding that query's sort spans) and the standard
 	// engine metrics.
 	Recorder *obs.Recorder
+	// Guard, if non-nil, enforces cancellation and resource budgets
+	// across every operator scan, sort, and spool.
+	Guard *qguard.Guard
 }
 
 // Stats reports what the baseline did.
@@ -75,6 +79,7 @@ type evaluator struct {
 	fact  string
 	opts  Options
 	stats *Stats
+	guard *qguard.Guard
 	seq   int
 	temps []string
 	// rec is the current measure's recorder view; scanned/finalized
@@ -102,9 +107,12 @@ func RunMeasures(c *core.Compiled, factPath string, names []string, opts Options
 	}
 	start := time.Now()
 	res := &Result{Tables: make(map[string]*core.Table)}
-	ev := &evaluator{c: c, fact: factPath, opts: opts, stats: &res.Stats}
+	ev := &evaluator{c: c, fact: factPath, opts: opts, stats: &res.Stats, guard: opts.Guard}
 	defer ev.cleanup()
 	for _, name := range names {
+		if err := opts.Guard.Err(); err != nil {
+			return nil, err
+		}
 		mSpan := orec.Start(obs.SpanMeasure)
 		mSpan.SetAttr("measure", name)
 		ev.rec = orec.At(mSpan)
@@ -119,6 +127,9 @@ func RunMeasures(c *core.Compiled, factPath string, names []string, opts Options
 		tbl, err := ev.load(r)
 		if err != nil {
 			return nil, fmt.Errorf("relbaseline: measure %q: %w", name, err)
+		}
+		if err := opts.Guard.NoteResultRows(int64(len(tbl.Rows))); err != nil {
+			return nil, err
 		}
 		res.Tables[name] = tbl
 		mSpan.End()
@@ -135,6 +146,14 @@ func RunMeasures(c *core.Compiled, factPath string, names []string, opts Options
 	orec.Gauge(obs.GLiveCellsHWM)
 	orec.Gauge(obs.GHashBytesHWM)
 	return res, nil
+}
+
+// noteSpooled records rows written to a spool against both the spool
+// statistic and the guard's spill-byte budget (cols 8-byte columns per
+// row approximates the on-disk footprint).
+func (ev *evaluator) noteSpooled(rows int64, cols int) error {
+	ev.stats.RowsSpooled += rows
+	return ev.guard.NoteSpill(rows * int64(8*cols))
 }
 
 func (ev *evaluator) cleanup() {
@@ -175,7 +194,7 @@ func keyOf(codec *model.KeyCodec, s *model.Schema, gran model.Gran, codes []int6
 // load reads a spooled relation into a core.Table.
 func (ev *evaluator) load(r *rel) (*core.Table, error) {
 	tbl := core.NewTable(ev.c.Schema, r.gran)
-	reader, err := storage.Open(r.path)
+	reader, err := storage.OpenGuarded(r.path, ev.guard)
 	if err != nil {
 		return nil, err
 	}
@@ -229,7 +248,7 @@ func (ev *evaluator) evalFactFile(e *core.Expr) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	r, err := storage.Open(in)
+	r, err := storage.OpenGuarded(in, ev.guard)
 	if err != nil {
 		return "", err
 	}
@@ -258,7 +277,10 @@ func (ev *evaluator) evalFactFile(e *core.Expr) (string, error) {
 			}
 		}
 	}
-	ev.stats.RowsSpooled += w.Count()
+	if err := ev.noteSpooled(w.Count(), r.Header().NumDims+r.Header().NumMeasures); err != nil {
+		w.Close()
+		return "", err
+	}
 	return out, w.Close()
 }
 
@@ -315,7 +337,7 @@ func (ev *evaluator) evalAgg(e *core.Expr) (*rel, error) {
 	sortSpan := ev.rec.Start(obs.SpanSort)
 	if _, err := storage.SortFile(inPath, sorted, less, storage.SortOptions{
 		ChunkRecords: ev.opts.ChunkRecords, TempDir: ev.opts.TempDir,
-		Recorder: ev.rec.At(sortSpan),
+		Recorder: ev.rec.At(sortSpan), Guard: ev.guard,
 	}); err != nil {
 		return nil, err
 	}
@@ -326,7 +348,7 @@ func (ev *evaluator) evalAgg(e *core.Expr) (*rel, error) {
 		ev.stats.FactScans++
 	}
 
-	r, err := storage.Open(sorted)
+	r, err := storage.OpenGuarded(sorted, ev.guard)
 	if err != nil {
 		return nil, err
 	}
@@ -394,7 +416,10 @@ func (ev *evaluator) evalAgg(e *core.Expr) (*rel, error) {
 		return nil, err
 	}
 	ev.finalized += w.Count()
-	ev.stats.RowsSpooled += w.Count()
+	if err := ev.noteSpooled(w.Count(), sch.NumDims()+1); err != nil {
+		w.Close()
+		return nil, err
+	}
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
@@ -408,7 +433,7 @@ func (ev *evaluator) evalSelect(e *core.Expr) (*rel, error) {
 		return nil, err
 	}
 	sch := e.Schema()
-	r, err := storage.Open(src.path)
+	r, err := storage.OpenGuarded(src.path, ev.guard)
 	if err != nil {
 		return nil, err
 	}
@@ -434,7 +459,10 @@ func (ev *evaluator) evalSelect(e *core.Expr) (*rel, error) {
 			}
 		}
 	}
-	ev.stats.RowsSpooled += w.Count()
+	if err := ev.noteSpooled(w.Count(), sch.NumDims()+1); err != nil {
+		w.Close()
+		return nil, err
+	}
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
@@ -473,7 +501,7 @@ func (ev *evaluator) evalMatchJoin(e *core.Expr) (*rel, error) {
 	var cpAggs map[model.Key]agg.Aggregator
 	if e.Cond.Kind == core.MatchChildParent {
 		cpAggs = make(map[model.Key]agg.Aggregator)
-		r, err := storage.Open(t.path)
+		r, err := storage.OpenGuarded(t.path, ev.guard)
 		if err != nil {
 			return nil, err
 		}
@@ -505,7 +533,7 @@ func (ev *evaluator) evalMatchJoin(e *core.Expr) (*rel, error) {
 
 	sCodec := model.NewKeyCodec(sch, s.gran)
 	tCodec := model.NewKeyCodec(sch, t.gran)
-	r, err := storage.Open(s.path)
+	r, err := storage.OpenGuarded(s.path, ev.guard)
 	if err != nil {
 		return nil, err
 	}
@@ -558,7 +586,10 @@ func (ev *evaluator) evalMatchJoin(e *core.Expr) (*rel, error) {
 			return nil, err
 		}
 	}
-	ev.stats.RowsSpooled += w.Count()
+	if err := ev.noteSpooled(w.Count(), sch.NumDims()+1); err != nil {
+		w.Close()
+		return nil, err
+	}
 	if err := w.Close(); err != nil {
 		return nil, err
 	}
@@ -604,7 +635,7 @@ func (ev *evaluator) evalCombineJoin(e *core.Expr) (*rel, error) {
 		}
 	}
 	sCodec := model.NewKeyCodec(sch, s.gran)
-	r, err := storage.Open(s.path)
+	r, err := storage.OpenGuarded(s.path, ev.guard)
 	if err != nil {
 		return nil, err
 	}
@@ -641,7 +672,10 @@ func (ev *evaluator) evalCombineJoin(e *core.Expr) (*rel, error) {
 			return nil, err
 		}
 	}
-	ev.stats.RowsSpooled += w.Count()
+	if err := ev.noteSpooled(w.Count(), sch.NumDims()+1); err != nil {
+		w.Close()
+		return nil, err
+	}
 	if err := w.Close(); err != nil {
 		return nil, err
 	}

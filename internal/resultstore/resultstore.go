@@ -174,7 +174,11 @@ func loadMeasure(dir string, schema *model.Schema, info MeasureInfo) (*core.Tabl
 				codes = append(codes, rec.Dims[d])
 			}
 		}
-		tbl.Rows[tbl.Codec.FromCodes(codes)] = rec.Ms[0]
+		k, err := tbl.Codec.FromCodesChecked(codes)
+		if err != nil {
+			return nil, fmt.Errorf("resultstore: %s: %w", info.File, err)
+		}
+		tbl.Rows[k] = rec.Ms[0]
 	}
 	if int64(len(tbl.Rows)) != info.Rows {
 		return nil, fmt.Errorf("expected %d rows, loaded %d (duplicate or missing regions)",

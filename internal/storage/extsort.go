@@ -12,6 +12,7 @@ import (
 
 	"awra/internal/model"
 	"awra/internal/obs"
+	"awra/internal/qguard"
 )
 
 func mathFloat64bits(f float64) uint64     { return math.Float64bits(f) }
@@ -39,6 +40,10 @@ type SortOptions struct {
 	// sort_runs, spill_events, spill_bytes, and heap_comparisons
 	// metrics.
 	Recorder *obs.Recorder
+	// Guard, if non-nil, makes the sort cooperatively cancelable (the
+	// read loop, in-memory chunk sorts, and the merge all check it) and
+	// charges run files against the spill-byte budget.
+	Guard *qguard.Guard
 }
 
 func (o SortOptions) chunk(recordBytes int) int {
@@ -62,13 +67,53 @@ type SortStats struct {
 	Runs    int
 }
 
+// guardedErr is the explicit first-error-wins guard shared between the
+// run-writer goroutines and the driving goroutine.
+type guardedErr struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (g *guardedErr) Set(err error) {
+	g.mu.Lock()
+	if g.err == nil {
+		g.err = err
+	}
+	g.mu.Unlock()
+}
+
+func (g *guardedErr) Get() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
+// abortingLess wraps less with a strided guard check that panics with
+// qguard.Abort, so a cancellation interrupts even a large in-memory
+// chunk sort; callers recover with qguard.RecoverAbort.
+func abortingLess(g *qguard.Guard, less Less) Less {
+	if g == nil {
+		return less
+	}
+	n := 0
+	return func(a, b *model.Record) bool {
+		if n++; n&4095 == 0 {
+			g.CheckAbort()
+		}
+		return less(a, b)
+	}
+}
+
 // SortFile sorts a record file into a new file using an external merge
 // sort: sorted runs of ChunkRecords records are spilled to temporary
 // files and k-way merged with a heap. The input file is not modified.
+// On any error (including cancellation) every run file and the partial
+// output file are removed.
 func SortFile(inPath, outPath string, less Less, opts SortOptions) (SortStats, error) {
 	var stats SortStats
 	rec := opts.Recorder // nil-safe: all obs calls no-op
-	in, err := Open(inPath)
+	guard := opts.Guard  // nil-safe likewise
+	in, err := OpenGuarded(inPath, guard)
 	if err != nil {
 		return stats, err
 	}
@@ -87,10 +132,12 @@ func SortFile(inPath, outPath string, less Less, opts SortOptions) (SortStats, e
 		runPaths []string
 		runSeq   int
 		wg       sync.WaitGroup
-		mu       sync.Mutex
-		workErr  error
+		workErr  guardedErr
 		sem      chan struct{}
 	)
+	// Cleanup covers every exit: wait for in-flight run writers first,
+	// so runs created after a failure (or during cancellation) are on
+	// disk and removable by the time the loop below runs.
 	defer func() {
 		wg.Wait()
 		for _, p := range runPaths {
@@ -107,10 +154,19 @@ func SortFile(inPath, outPath string, less Less, opts SortOptions) (SortStats, e
 	runsSpan := rec.Start(obs.SpanSortRuns)
 	spillEvents := rec.Counter(obs.MSpillEvents)
 	spillBytes := rec.Counter(obs.MSpillBytes)
-	writeRun := func(buf []model.Record, path string) error {
-		sort.SliceStable(buf, func(i, j int) bool { return less(&buf[i], &buf[j]) })
+	// writeRun sorts one chunk with its own aborting comparator (each
+	// call gets a private stride counter, so parallel run writers don't
+	// share state) and spills it, charging the spill budget.
+	writeRun := func(buf []model.Record, path string) (err error) {
+		defer qguard.RecoverAbort(&err)
+		cmp := abortingLess(guard, less)
+		sort.SliceStable(buf, func(i, j int) bool { return cmp(&buf[i], &buf[j]) })
+		runBytes := int64(len(buf)) * int64(hdr.recordBytes())
 		spillEvents.Add(1)
-		spillBytes.Add(int64(len(buf)) * int64(hdr.recordBytes()))
+		spillBytes.Add(runBytes)
+		if err := guard.NoteSpill(runBytes); err != nil {
+			return err
+		}
 		return WriteAll(path, hdr.NumDims, hdr.NumMeasures, buf)
 	}
 	buf := make([]model.Record, 0, chunk)
@@ -126,10 +182,7 @@ func SortFile(inPath, outPath string, less Less, opts SortOptions) (SortStats, e
 			buf = buf[:0]
 			return err
 		}
-		mu.Lock()
-		err := workErr
-		mu.Unlock()
-		if err != nil {
+		if err := workErr.Get(); err != nil {
 			return err
 		}
 		chunkBuf := buf
@@ -140,11 +193,7 @@ func SortFile(inPath, outPath string, less Less, opts SortOptions) (SortStats, e
 			defer wg.Done()
 			defer func() { <-sem }()
 			if err := writeRun(chunkBuf, p); err != nil {
-				mu.Lock()
-				if workErr == nil {
-					workErr = err
-				}
-				mu.Unlock()
+				workErr.Set(err)
 			}
 		}()
 		return nil
@@ -171,43 +220,68 @@ func SortFile(inPath, outPath string, less Less, opts SortOptions) (SortStats, e
 	if err != nil {
 		return stats, err
 	}
+	// fail closes and removes the partial output so error and
+	// cancellation paths never leave a half-written result behind.
+	fail := func(err error) (SortStats, error) {
+		out.f.Close()
+		os.Remove(outPath)
+		return stats, err
+	}
 
 	// Single-run (or in-memory) fast path.
 	if len(runPaths) == 0 {
-		sort.SliceStable(buf, func(i, j int) bool { return less(&buf[i], &buf[j]) })
+		var sortErr error
+		func() {
+			defer qguard.RecoverAbort(&sortErr)
+			al := abortingLess(guard, less)
+			sort.SliceStable(buf, func(i, j int) bool { return al(&buf[i], &buf[j]) })
+		}()
+		if sortErr != nil {
+			return fail(sortErr)
+		}
+		// The sorted output is disk the query consumed, even when no runs
+		// were spilled; charge it so MaxSpillBytes bounds total sort I/O.
+		if err := guard.NoteSpill(int64(len(buf)) * int64(hdr.recordBytes())); err != nil {
+			return fail(err)
+		}
 		for i := range buf {
 			if err := out.Write(&buf[i]); err != nil {
-				out.f.Close()
-				return stats, err
+				return fail(err)
 			}
 		}
 		stats.Runs = 1
 		runsSpan.End()
 		rec.Counter(obs.MSortRuns).Add(1)
-		return stats, out.Close()
+		if err := out.Close(); err != nil {
+			os.Remove(outPath)
+			return stats, err
+		}
+		return stats, nil
 	}
 	if err := flushRun(); err != nil {
-		out.f.Close()
-		return stats, err
+		return fail(err)
 	}
 	wg.Wait()
 	runsSpan.End()
-	if workErr != nil {
-		out.f.Close()
-		return stats, workErr
+	if err := workErr.Get(); err != nil {
+		return fail(err)
 	}
 	stats.Runs = len(runPaths)
 	rec.Counter(obs.MSortRuns).Add(int64(stats.Runs))
+	// Charge the merged output file up front, like the run files.
+	if err := guard.NoteSpill(stats.Records * int64(hdr.recordBytes())); err != nil {
+		return fail(err)
+	}
 
-	// Phase 2: k-way merge.
+	// Phase 2: k-way merge. Run readers carry the guard, so the merge
+	// observes cancellation through their strided checks.
 	mergeSpan := rec.Start(obs.SpanMerge)
 	mergeSpan.SetAttr("runs", fmt.Sprint(len(runPaths)))
 	sources := make([]Source, len(runPaths))
 	for i, p := range runPaths {
-		r, err := Open(p)
+		r, err := OpenGuarded(p, guard)
 		if err != nil {
-			out.f.Close()
-			return stats, err
+			return fail(err)
 		}
 		sources[i] = r
 	}
@@ -218,10 +292,13 @@ func SortFile(inPath, outPath string, less Less, opts SortOptions) (SortStats, e
 	rec.Counter(obs.MHeapComparisons).Add(cmps)
 	mergeSpan.End()
 	if err != nil {
-		out.f.Close()
+		return fail(err)
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(outPath)
 		return stats, err
 	}
-	return stats, out.Close()
+	return stats, nil
 }
 
 // SortRecords sorts an in-memory record slice (stable).

@@ -1,0 +1,47 @@
+package storage
+
+import (
+	"io"
+	"os"
+)
+
+// File is the slice of *os.File the storage layer actually uses.
+// Writers need WriteAt (the header-count fixup on Close) and Sync;
+// readers only Read.
+type File interface {
+	io.Reader
+	io.Writer
+	io.WriterAt
+	io.Closer
+	Sync() error
+}
+
+// FileSystem abstracts file creation and opening so tests can inject
+// faults (see internal/faultfs) without touching the hot paths: the
+// production implementation is a direct pass-through to the os package.
+type FileSystem interface {
+	Create(name string) (File, error)
+	Open(name string) (File, error)
+}
+
+// OSFS is the production FileSystem.
+type OSFS struct{}
+
+// Create implements FileSystem.
+func (OSFS) Create(name string) (File, error) { return os.Create(name) }
+
+// Open implements FileSystem.
+func (OSFS) Open(name string) (File, error) { return os.Open(name) }
+
+// filesystem is the package's active FileSystem. It is swapped only by
+// tests (via SwapFS) before any concurrent use, never during a run.
+var filesystem FileSystem = OSFS{}
+
+// SwapFS installs fs as the package's FileSystem and returns a restore
+// function. Test-only: callers must not run concurrently with other
+// storage users while a fault-injecting FileSystem is installed.
+func SwapFS(fs FileSystem) (restore func()) {
+	old := filesystem
+	filesystem = fs
+	return func() { filesystem = old }
+}

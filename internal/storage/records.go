@@ -1,9 +1,9 @@
 // Package storage provides the fact-table substrate for the engines:
-// a fixed-width binary record format with self-describing headers,
-// buffered readers and writers, CSV import/export, and an external
-// merge sort. The paper's evaluation framework is built on "multiple
-// passes of sorting and scanning over the original dataset"; this
-// package is that sorting/scanning layer.
+// a fixed-width binary record format with self-describing headers and
+// per-row checksums, buffered readers and writers, CSV import/export,
+// and an external merge sort. The paper's evaluation framework is
+// built on "multiple passes of sorting and scanning over the original
+// dataset"; this package is that sorting/scanning layer.
 package storage
 
 import (
@@ -11,22 +11,32 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
-	"os"
 
 	"awra/internal/model"
+	"awra/internal/qguard"
 )
 
 // File layout: a 32-byte header followed by fixed-width records. Each
 // record is NumDims int64 values then NumMeasures float64 values, all
-// little-endian.
+// little-endian. Version 2 files append a CRC32-C checksum of the row
+// payload to every record, so a flipped bit or torn write surfaces as
+// ErrCorrupt (or is skipped and counted in degraded mode) instead of
+// silently feeding garbage codes to the engines. Version 1 files (no
+// checksums) remain readable.
 const (
 	magic         = "AWRA"
-	formatVersion = 1
+	formatVersion = 2
 	headerSize    = 32
+	crcBytes      = 4
 )
 
-// ErrCorrupt is returned when a file fails structural validation.
+// castagnoli is the CRC32-C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt is returned when a file fails structural validation or a
+// row fails its checksum.
 var ErrCorrupt = errors.New("storage: corrupt record file")
 
 // Header describes the contents of a record file.
@@ -34,14 +44,32 @@ type Header struct {
 	NumDims     int
 	NumMeasures int
 	Count       int64
+	// Version is the on-disk format version the file was written with
+	// (1 = no row checksums, 2 = CRC32-C per row). Create always writes
+	// the current version; the field is informational on write.
+	Version int
 }
 
+// recordBytes is the payload size of one record (codes + measures).
 func (h Header) recordBytes() int { return 8 * (h.NumDims + h.NumMeasures) }
+
+// diskRecordBytes is the on-disk size of one record, including the
+// checksum suffix for version-2 files.
+func (h Header) diskRecordBytes() int {
+	if h.Version >= 2 {
+		return h.recordBytes() + crcBytes
+	}
+	return h.recordBytes()
+}
 
 func (h Header) marshal() []byte {
 	b := make([]byte, headerSize)
 	copy(b, magic)
-	binary.LittleEndian.PutUint32(b[4:], formatVersion)
+	v := h.Version
+	if v == 0 {
+		v = formatVersion
+	}
+	binary.LittleEndian.PutUint32(b[4:], uint32(v))
 	binary.LittleEndian.PutUint32(b[8:], uint32(h.NumDims))
 	binary.LittleEndian.PutUint32(b[12:], uint32(h.NumMeasures))
 	binary.LittleEndian.PutUint64(b[16:], uint64(h.Count))
@@ -53,9 +81,11 @@ func unmarshalHeader(b []byte) (Header, error) {
 	if len(b) < headerSize || string(b[:4]) != magic {
 		return h, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	if v := binary.LittleEndian.Uint32(b[4:]); v != formatVersion {
+	v := binary.LittleEndian.Uint32(b[4:])
+	if v < 1 || v > formatVersion {
 		return h, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
 	}
+	h.Version = int(v)
 	h.NumDims = int(binary.LittleEndian.Uint32(b[8:]))
 	h.NumMeasures = int(binary.LittleEndian.Uint32(b[12:]))
 	h.Count = int64(binary.LittleEndian.Uint64(b[16:]))
@@ -68,7 +98,7 @@ func unmarshalHeader(b []byte) (Header, error) {
 // Writer writes records to a file. It buffers writes and fixes up the
 // record count in the header on Close.
 type Writer struct {
-	f     *os.File
+	f     File
 	w     *bufio.Writer
 	hdr   Header
 	buf   []byte
@@ -76,17 +106,25 @@ type Writer struct {
 }
 
 // Create opens a new record file for writing, truncating any existing
-// file at the path.
+// file at the path. Files are written in the current format version
+// (per-row checksums).
 func Create(path string, numDims, numMeasures int) (*Writer, error) {
-	f, err := os.Create(path)
+	return createVersion(path, numDims, numMeasures, formatVersion)
+}
+
+// createVersion writes the given on-disk version; tests use it to
+// produce version-1 (checksum-less) files for compatibility coverage.
+func createVersion(path string, numDims, numMeasures, version int) (*Writer, error) {
+	f, err := filesystem.Create(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: create %s: %w", path, err)
 	}
+	hdr := Header{NumDims: numDims, NumMeasures: numMeasures, Version: version}
 	w := &Writer{
 		f:   f,
 		w:   bufio.NewWriterSize(f, 1<<20),
-		hdr: Header{NumDims: numDims, NumMeasures: numMeasures},
-		buf: make([]byte, 8*(numDims+numMeasures)),
+		hdr: hdr,
+		buf: make([]byte, hdr.diskRecordBytes()),
 	}
 	if _, err := w.w.Write(w.hdr.marshal()); err != nil {
 		f.Close()
@@ -108,6 +146,10 @@ func (w *Writer) Write(r *model.Record) error {
 	off := 8 * len(r.Dims)
 	for i, v := range r.Ms {
 		binary.LittleEndian.PutUint64(b[off+8*i:], mathFloat64bits(v))
+	}
+	if w.hdr.Version >= 2 {
+		payload := w.hdr.recordBytes()
+		binary.LittleEndian.PutUint32(b[payload:], crc32.Checksum(b[:payload], castagnoli))
 	}
 	if _, err := w.w.Write(b); err != nil {
 		return fmt.Errorf("storage: write record: %w", err)
@@ -139,16 +181,26 @@ func (w *Writer) Close() error {
 
 // Reader reads records from a file sequentially.
 type Reader struct {
-	f    *os.File
-	r    *bufio.Reader
-	hdr  Header
-	buf  []byte
-	read int64
+	f     File
+	r     *bufio.Reader
+	hdr   Header
+	buf   []byte
+	read  int64
+	guard *qguard.Guard
+	// corrupt counts checksum-failing rows skipped in degraded mode
+	// (also reported to the guard).
+	corrupt int64
 }
 
 // Open opens a record file for reading and validates its header.
-func Open(path string) (*Reader, error) {
-	f, err := os.Open(path)
+func Open(path string) (*Reader, error) { return OpenGuarded(path, nil) }
+
+// OpenGuarded opens a record file under a query guard: Next checks the
+// guard for cancellation at a stride, and checksum-failing rows follow
+// the guard's degraded-read policy (skip and count vs. fail). A nil
+// guard behaves exactly like Open.
+func OpenGuarded(path string, g *qguard.Guard) (*Reader, error) {
+	f, err := filesystem.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open %s: %w", path, err)
 	}
@@ -163,22 +215,54 @@ func Open(path string) (*Reader, error) {
 		f.Close()
 		return nil, fmt.Errorf("storage: %s: %w", path, err)
 	}
-	return &Reader{f: f, r: br, hdr: hdr, buf: make([]byte, hdr.recordBytes())}, nil
+	return &Reader{f: f, r: br, hdr: hdr, buf: make([]byte, hdr.diskRecordBytes()), guard: g}, nil
 }
 
 // Header returns the file's header.
 func (r *Reader) Header() Header { return r.hdr }
 
+// CorruptSkipped returns how many checksum-failing rows this reader
+// skipped in degraded mode.
+func (r *Reader) CorruptSkipped() int64 { return r.corrupt }
+
+// guardStride is how many records a reader consumes between guard
+// checks: small enough that canceling a scan over millions of rows
+// responds in well under 250ms, large enough to stay out of the hot
+// loop's profile.
+const guardStride = 256
+
 // Next reads the next record into rec, resizing its slices as needed.
-// It returns false at clean end-of-file.
+// It returns false at clean end-of-file. Rows failing their checksum
+// return ErrCorrupt, or are skipped and counted when the reader's
+// guard enables degraded mode.
 func (r *Reader) Next(rec *model.Record) (bool, error) {
-	if r.read >= r.hdr.Count {
-		return false, nil
+	for {
+		if r.read >= r.hdr.Count {
+			return false, nil
+		}
+		if r.read%guardStride == 0 {
+			if err := r.guard.Err(); err != nil {
+				return false, err
+			}
+		}
+		if _, err := io.ReadFull(r.r, r.buf); err != nil {
+			return false, fmt.Errorf("storage: truncated file (record %d of %d): %w (%w)", r.read, r.hdr.Count, err, ErrCorrupt)
+		}
+		r.read++
+		if r.hdr.Version >= 2 {
+			payload := r.hdr.recordBytes()
+			want := binary.LittleEndian.Uint32(r.buf[payload:])
+			if crc32.Checksum(r.buf[:payload], castagnoli) != want {
+				if r.guard.SkipCorruptRows() {
+					r.corrupt++
+					r.guard.NoteCorruptRow()
+					continue
+				}
+				return false, fmt.Errorf("storage: checksum mismatch (record %d of %d): %w", r.read-1, r.hdr.Count, ErrCorrupt)
+			}
+		}
+		break
 	}
-	if _, err := io.ReadFull(r.r, r.buf); err != nil {
-		return false, fmt.Errorf("storage: truncated file (record %d of %d): %w (%w)", r.read, r.hdr.Count, err, ErrCorrupt)
-	}
-	r.read++
 	if cap(rec.Dims) < r.hdr.NumDims {
 		rec.Dims = make([]int64, r.hdr.NumDims)
 	}

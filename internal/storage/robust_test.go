@@ -1,0 +1,346 @@
+package storage_test
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"awra/internal/faultfs"
+	"awra/internal/model"
+	"awra/internal/qguard"
+	"awra/internal/storage"
+)
+
+func mkRecs(n int) []model.Record {
+	recs := make([]model.Record, n)
+	for i := range recs {
+		recs[i] = model.Record{
+			Dims: []int64{int64(i), int64(i % 7)},
+			Ms:   []float64{float64(i) * 1.5},
+		}
+	}
+	return recs
+}
+
+func writeFile(t *testing.T, path string, recs []model.Record) {
+	t.Helper()
+	if err := storage.WriteAll(path, 2, 1, recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// assertNoTempFiles fails if dir holds leftover run/spill temp files.
+func assertNoTempFiles(t *testing.T, dir string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), "awra-run-") || strings.HasSuffix(e.Name(), ".tmp") {
+			t.Fatalf("leftover temp file: %s", e.Name())
+		}
+	}
+}
+
+func TestChecksumRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v2.rec")
+	recs := mkRecs(1000)
+	writeFile(t, path, recs)
+	got, hdr, err := storage.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Version != storage.FormatVersionForTest {
+		t.Fatalf("version %d, want %d", hdr.Version, storage.FormatVersionForTest)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Dims[0] != recs[i].Dims[0] || got[i].Ms[0] != recs[i].Ms[0] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestVersion1FilesStillReadable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.rec")
+	recs := mkRecs(100)
+	w, err := storage.CreateVersionForTest(path, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if err := w.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, hdr, err := storage.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Version != 1 {
+		t.Fatalf("version %d, want 1", hdr.Version)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Dims[0] != recs[i].Dims[0] || got[i].Ms[0] != recs[i].Ms[0] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+// corruptRecord flips one byte inside record i's payload on disk.
+func corruptRecord(t *testing.T, path string, i int) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := storage.UnmarshalHeaderForTest(b[:storage.HeaderSizeForTest])
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := storage.HeaderSizeForTest + i*hdr.DiskRecordBytesForTest()
+	b[off] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptRowDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.rec")
+	writeFile(t, path, mkRecs(50))
+	corruptRecord(t, path, 17)
+	_, _, err := storage.ReadAll(path)
+	if !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptRowSkippedInDegradedMode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.rec")
+	recs := mkRecs(50)
+	writeFile(t, path, recs)
+	corruptRecord(t, path, 17)
+	corruptRecord(t, path, 31)
+	g := qguard.New(context.Background(), qguard.Limits{SkipCorruptRows: true})
+	r, err := storage.OpenGuarded(path, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var got []model.Record
+	for {
+		var rec model.Record
+		ok, err := r.Next(&rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		got = append(got, rec.Clone())
+	}
+	if len(got) != 48 {
+		t.Fatalf("read %d records, want 48", len(got))
+	}
+	if r.CorruptSkipped() != 2 || g.CorruptRows() != 2 {
+		t.Fatalf("skipped=%d guard=%d, want 2", r.CorruptSkipped(), g.CorruptRows())
+	}
+	for _, rec := range got {
+		if rec.Dims[0] == 17 || rec.Dims[0] == 31 {
+			t.Fatalf("corrupt record %d leaked into results", rec.Dims[0])
+		}
+	}
+}
+
+func TestTruncatedFileDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "t.rec")
+	writeFile(t, path, mkRecs(50))
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b[:len(b)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = storage.ReadAll(path)
+	if !errors.Is(err, storage.ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestReaderCancellation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.rec")
+	writeFile(t, path, mkRecs(10))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	r, err := storage.OpenGuarded(path, qguard.New(ctx, qguard.Limits{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var rec model.Record
+	if _, err := r.Next(&rec); !errors.Is(err, qguard.ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+}
+
+func sortLess(a, b *model.Record) bool { return a.Dims[0] < b.Dims[0] }
+
+func TestSortFileCanceledCleansRuns(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		dir := t.TempDir()
+		in := filepath.Join(dir, "in.rec")
+		out := filepath.Join(dir, "out.rec")
+		writeFile(t, in, mkRecs(5000))
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := storage.SortFile(in, out, sortLess, storage.SortOptions{
+			ChunkRecords: 100, TempDir: dir, Parallel: parallel,
+			Guard: qguard.New(ctx, qguard.Limits{}),
+		})
+		if !errors.Is(err, qguard.ErrCanceled) {
+			t.Fatalf("parallel=%v: got %v, want ErrCanceled", parallel, err)
+		}
+		if _, err := os.Stat(out); !os.IsNotExist(err) {
+			t.Fatalf("parallel=%v: partial output left behind", parallel)
+		}
+		assertNoTempFiles(t, dir)
+	}
+}
+
+func TestSortFileSpillBudget(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.rec")
+	out := filepath.Join(dir, "out.rec")
+	writeFile(t, in, mkRecs(5000))
+	g := qguard.New(context.Background(), qguard.Limits{MaxSpillBytes: 1024})
+	_, err := storage.SortFile(in, out, sortLess, storage.SortOptions{ChunkRecords: 100, TempDir: dir, Guard: g})
+	be, ok := qguard.AsBudget(err)
+	if !ok || be.Resource != qguard.ResSpillBytes {
+		t.Fatalf("got %v, want spill BudgetError", err)
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestSortFileInjectedWriteFailureCleansUp(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		dir := t.TempDir()
+		in := filepath.Join(dir, "in.rec")
+		out := filepath.Join(dir, "out.rec")
+		writeFile(t, in, mkRecs(5000))
+
+		// A small global write budget makes the failure land while run
+		// files are being written (the input was written before the swap).
+		restore := storage.SwapFS(faultfs.New().FailWriteAfter(8192))
+		_, err := storage.SortFile(in, out, sortLess, storage.SortOptions{
+			ChunkRecords: 100, TempDir: dir, Parallel: parallel,
+		})
+		restore()
+		if !errors.Is(err, faultfs.ErrInjected) {
+			t.Fatalf("parallel=%v: got %v, want ErrInjected", parallel, err)
+		}
+		if _, err := os.Stat(out); !os.IsNotExist(err) {
+			t.Fatalf("parallel=%v: partial output left behind", parallel)
+		}
+		assertNoTempFiles(t, dir)
+	}
+}
+
+func TestSortFileInjectedCreateFailureCleansUp(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.rec")
+	out := filepath.Join(dir, "out.rec")
+	writeFile(t, in, mkRecs(5000))
+
+	// Fail the 3rd file create inside a parallel sort (a run file, since
+	// the input was created before the swap).
+	restore := storage.SwapFS(faultfs.New().FailCreate(3))
+	_, err := storage.SortFile(in, out, sortLess, storage.SortOptions{
+		ChunkRecords: 100, TempDir: dir, Parallel: true, Workers: 4,
+	})
+	restore()
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatal("partial output left behind")
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestSortFileInjectedReadFailure(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.rec")
+	out := filepath.Join(dir, "out.rec")
+	writeFile(t, in, mkRecs(5000))
+
+	restore := storage.SwapFS(faultfs.New().FailReadAfter(16 * 1024))
+	_, err := storage.SortFile(in, out, sortLess, storage.SortOptions{ChunkRecords: 100, TempDir: dir})
+	restore()
+	if !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("got %v, want ErrInjected", err)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatal("partial output left behind")
+	}
+	assertNoTempFiles(t, dir)
+}
+
+func TestShortReadsResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.rec")
+	recs := mkRecs(64)
+	writeFile(t, path, recs)
+
+	restore := storage.SwapFS(faultfs.New().ShortReads())
+	defer restore()
+	got, _, err := storage.ReadAll(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records under short reads, want %d", len(got), len(recs))
+	}
+}
+
+func TestSortFileSucceedsUnderGuard(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "in.rec")
+	out := filepath.Join(dir, "out.rec")
+	writeFile(t, in, mkRecs(5000))
+	g := qguard.New(context.Background(), qguard.Limits{})
+	st, err := storage.SortFile(in, out, sortLess, storage.SortOptions{
+		ChunkRecords: 100, TempDir: dir, Parallel: true, Guard: g,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 5000 || st.Runs != 50 {
+		t.Fatalf("stats %+v", st)
+	}
+	got, _, err := storage.ReadAll(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i-1].Dims[0] > got[i].Dims[0] {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+	if g.SpillBytes() == 0 {
+		t.Fatal("spill bytes not charged to guard")
+	}
+	assertNoTempFiles(t, dir)
+}
