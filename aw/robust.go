@@ -97,7 +97,10 @@ func RunCompiled(ctx context.Context, c *Compiled, in Input, opts ...QueryOption
 	wasAuto := o.Engine == EngineAuto
 	var engine Engine
 	res, engine, err = runEngines(c, in, o, g)
-	if err != nil && wasAuto && engine == EngineSortScan {
+	// The multipass fallback needs a file input; for in-memory inputs the
+	// original BudgetError stands (retrying would replace it with an
+	// unrelated "requires a file input" error).
+	if err != nil && wasAuto && engine == EngineSortScan && in.path != "" {
 		if be, ok := qguard.AsBudget(err); ok && be.Resource == qguard.ResLiveCells {
 			// The optimizer judged one sort/scan pass affordable but the
 			// run-time frontier disagreed; degrade to multi-pass, whose
@@ -110,6 +113,11 @@ func RunCompiled(ctx context.Context, c *Compiled, in Input, opts ...QueryOption
 				// the multi-pass planner (~64 bytes per live cell, the
 				// planner's own cost model).
 				retry.MemoryBudget = limits.MaxLiveCells * 64
+			}
+			// The deferred reportOutcome only sees the retry's guard, so
+			// publish the first attempt's degraded-mode skips now.
+			if n := g.CorruptRows(); n > 0 {
+				o.Recorder.Counter(obs.MRowsCorruptSkipped).Add(n)
 			}
 			g = qguard.New(ctx, limits)
 			res, _, err = runEngines(c, in, retry, g)

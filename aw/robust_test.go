@@ -146,6 +146,45 @@ func TestFaultAutoFallbackMultipass(t *testing.T) {
 	}
 }
 
+// TestFaultAutoInMemoryBudgetKeepsTypedError: with an in-memory input
+// the multipass fallback is unavailable, so an EngineAuto sort/scan
+// attempt that blows the live-cell budget must surface the original
+// typed BudgetError (counted as a budget rejection), not a
+// "requires a file input" retry failure.
+func TestFaultAutoInMemoryBudgetKeepsTypedError(t *testing.T) {
+	s := attackSchema(t)
+	recs := attackRecords(3000, 24)
+	gT, err := s.MakeGran(map[string]string{"t": "Second"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gU, err := s.MakeGran(map[string]string{"U": "IP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf := aw.NewWorkflow(s).
+		Basic("mT", gT, aw.Count, -1).
+		Basic("mU", gU, aw.Count, -1)
+
+	rec := aw.NewRecorder()
+	_, err = aw.Run(context.Background(), wf, aw.FromRecords(recs), aw.QueryOptions{
+		Engine:       aw.EngineAuto,
+		BaseCards:    []float64{1.5e7, 1.5e7, 1, 1},
+		MaxLiveCells: 400,
+		Recorder:     rec,
+	})
+	be, ok := aw.AsBudgetError(err)
+	if !ok || be.Resource != aw.ResLiveCells {
+		t.Fatalf("got %v, want live-cells BudgetError", err)
+	}
+	if n := rec.Counter(obs.MFallbackSwitches).Value(); n != 0 {
+		t.Errorf("fallback_engine_switches = %d, want 0 for in-memory input", n)
+	}
+	if n := rec.Counter(obs.MBudgetRejections).Value(); n != 1 {
+		t.Errorf("budget_rejections = %d, want 1", n)
+	}
+}
+
 // sortForStream orders records by the stream's arrival key.
 func sortForStream(s *aw.Schema, key aw.SortKey, recs []aw.Record) {
 	sort.SliceStable(recs, func(i, j int) bool {

@@ -89,9 +89,15 @@ type Guard struct {
 	spillBytes atomic.Int64
 	corrupt    atomic.Int64
 	// sticky holds the first fatal error observed, so every later check
-	// fails fast without re-deriving it from the context.
-	sticky atomic.Value // error
+	// fails fast without re-deriving it from the context. The error is
+	// boxed so the pointer's concrete type is always *stickyErr:
+	// atomic CAS slots panic if stores mix concrete types, and fail is
+	// called with both sentinel errors and *BudgetError.
+	sticky atomic.Pointer[stickyErr]
 }
+
+// stickyErr boxes the guard's first fatal error (see Guard.sticky).
+type stickyErr struct{ err error }
 
 // New builds a guard bound to ctx. A nil ctx means context.Background().
 func New(ctx context.Context, limits Limits) *Guard {
@@ -118,8 +124,8 @@ func (g *Guard) Err() error {
 	if g == nil {
 		return nil
 	}
-	if err, ok := g.sticky.Load().(error); ok {
-		return err
+	if box := g.sticky.Load(); box != nil {
+		return box.err
 	}
 	if err := g.ctx.Err(); err != nil {
 		return g.fail(mapCtxErr(err))
@@ -137,10 +143,10 @@ func mapCtxErr(err error) error {
 // fail records err as the guard's sticky error (first writer wins) and
 // returns the winning error.
 func (g *Guard) fail(err error) error {
-	if g.sticky.CompareAndSwap(nil, err) {
+	if g.sticky.CompareAndSwap(nil, &stickyErr{err: err}) {
 		return err
 	}
-	return g.sticky.Load().(error)
+	return g.sticky.Load().err
 }
 
 // NoteLiveCells checks the live-cell high-water mark against the

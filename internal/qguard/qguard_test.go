@@ -118,6 +118,34 @@ func TestFirstErrorWinsUnderConcurrency(t *testing.T) {
 	}
 }
 
+// Regression: fail is called with different concrete error types
+// (sentinel errors vs *BudgetError). When the second type arrives after
+// the first is stored, the sticky slot must keep returning the winner
+// instead of panicking on an inconsistently typed atomic store.
+func TestFailMixedConcreteTypes(t *testing.T) {
+	// Cancellation first, budget error second.
+	ctx, cancel := context.WithCancel(context.Background())
+	g := New(ctx, Limits{MaxSpillBytes: 1})
+	cancel()
+	if err := g.Err(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	if err := g.NoteSpill(100); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("budget loser: got %v, want sticky ErrCanceled", err)
+	}
+
+	// Budget error first, cancellation second.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	g2 := New(ctx2, Limits{MaxSpillBytes: 1})
+	if err := g2.NoteSpill(100); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("got %v, want ErrBudgetExceeded", err)
+	}
+	cancel2()
+	if err := g2.Err(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("cancel loser: got %v, want sticky ErrBudgetExceeded", err)
+	}
+}
+
 func TestRecoverAbort(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	g := New(ctx, Limits{})

@@ -192,6 +192,13 @@ func SortFile(inPath, outPath string, less Less, opts SortOptions) (SortStats, e
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// A panic escaping a goroutine kills the process, bypassing
+			// the aw boundary's recover; convert it to a sort error.
+			defer func() {
+				if r := recover(); r != nil {
+					workErr.Set(fmt.Errorf("storage: run writer panic: %v", r))
+				}
+			}()
 			if err := writeRun(chunkBuf, p); err != nil {
 				workErr.Set(err)
 			}
@@ -281,6 +288,9 @@ func SortFile(inPath, outPath string, less Less, opts SortOptions) (SortStats, e
 	for i, p := range runPaths {
 		r, err := OpenGuarded(p, guard)
 		if err != nil {
+			for _, s := range sources[:i] {
+				s.Close()
+			}
 			return fail(err)
 		}
 		sources[i] = r
