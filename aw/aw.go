@@ -21,12 +21,33 @@
 //	wf := aw.NewWorkflow(schema).
 //	    Basic("traffic", gHour, aw.Count, -1).
 //	    Rollup("busy", gH, "traffic", aw.Count, aw.Where(aw.MWhere(0, aw.Gt, 5)))
-//	res, err := aw.Query(wf, aw.FromFile("attacks.rec"))
+//	res, err := aw.Run(ctx, wf, aw.FromFile("attacks.rec"))
 //
-// The underlying engines (one-pass sort/scan, single-scan,
-// multi-pass, and a relational-style baseline) are selectable through
-// QueryOptions; by default Query picks a sort order with the
-// brute-force optimizer and runs the one-pass sort/scan algorithm.
+// # Entry points
+//
+// The canonical API is context-first: Run and RunCompiled for batch
+// evaluation, RunStream and RunStreamCompiled for streaming sessions.
+// The context carries cancellation; execution knobs shared by both
+// surfaces — engine, Parallelism, memory and guardrail budgets,
+// recorder — live in the ExecOptions struct embedded in QueryOptions
+// and StreamOptions.
+//
+// Migration note: the older entry points Query, QueryCompiled,
+// OpenStream, and OpenStreamCompiled are deprecated thin wrappers that
+// call the Run family with a background context; replace
+// aw.Query(wf, in, o) with aw.Run(ctx, wf, in, o), and
+// aw.OpenStream(wf, o) with aw.RunStream(ctx, wf, o). Options
+// literals move the shared knobs into the embedded struct:
+// QueryOptions{Workers: 4} becomes
+// QueryOptions{ExecOptions: ExecOptions{Parallelism: 4}}.
+//
+// The underlying engines (one-pass sort/scan, sharded parallel
+// sort/scan, single-scan, multi-pass, partitioned-parallel, and a
+// relational-style baseline) are selectable through
+// ExecOptions.Engine; by default Run picks a sort order with the
+// brute-force optimizer and runs the one-pass sort/scan algorithm, and
+// with ExecOptions{Engine: EngineAuto, Parallelism: N} it shards that
+// pass across N workers whenever the workflow allows.
 package aw
 
 import (

@@ -1,6 +1,7 @@
 package aw_test
 
 import (
+	"context"
 	"math/rand"
 	"path/filepath"
 	"strings"
@@ -60,7 +61,7 @@ func busyWorkflow(t *testing.T, s *aw.Schema, threshold float64) *aw.Workflow {
 func TestQueryInMemoryDefaultEngine(t *testing.T) {
 	s := attackSchema(t)
 	recs := attackRecords(2000, 1)
-	res, err := aw.Query(busyWorkflow(t, s, 1), aw.FromRecords(recs))
+	res, err := aw.Run(context.Background(), busyWorkflow(t, s, 1), aw.FromRecords(recs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,12 +88,17 @@ func TestAllEnginesAgreeOnFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	w := busyWorkflow(t, s, 1)
-	want, err := aw.Query(w, aw.FromRecords(recs), aw.QueryOptions{Engine: aw.EngineSingleScan})
+	want, err := aw.Run(context.Background(), w, aw.FromRecords(recs), aw.QueryOptions{
+		ExecOptions: aw.ExecOptions{Engine: aw.EngineSingleScan},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, eng := range []aw.Engine{aw.EngineSortScan, aw.EngineSingleScan, aw.EngineMultiPass, aw.EngineRelational} {
-		got, err := aw.Query(busyWorkflow(t, s, 1), aw.FromFile(fact), aw.QueryOptions{Engine: eng, TempDir: dir})
+		got, err := aw.Run(context.Background(), busyWorkflow(t, s, 1), aw.FromFile(fact), aw.QueryOptions{
+			ExecOptions: aw.ExecOptions{Engine: eng},
+			TempDir:     dir,
+		})
 		if err != nil {
 			t.Fatalf("%v: %v", eng, err)
 		}
@@ -107,7 +113,7 @@ func TestAllEnginesAgreeOnFile(t *testing.T) {
 func TestQueryCompileError(t *testing.T) {
 	s := attackSchema(t)
 	w := aw.NewWorkflow(s).Rollup("r", s.AllGran(), "ghost", aw.Sum)
-	if _, err := aw.Query(w, aw.FromRecords(nil)); err == nil {
+	if _, err := aw.Run(context.Background(), w, aw.FromRecords(nil)); err == nil {
 		t.Fatal("invalid workflow accepted")
 	}
 }
@@ -141,6 +147,7 @@ func TestParseEngine(t *testing.T) {
 	cases := map[string]aw.Engine{
 		"":           aw.EngineSortScan,
 		"sortscan":   aw.EngineSortScan,
+		"shardscan":  aw.EngineShardScan,
 		"scan":       aw.EngineSingleScan,
 		"singlescan": aw.EngineSingleScan,
 		"multipass":  aw.EngineMultiPass,
@@ -156,7 +163,7 @@ func TestParseEngine(t *testing.T) {
 	if _, err := aw.ParseEngine("spark"); err == nil {
 		t.Error("unknown engine accepted")
 	}
-	for _, e := range []aw.Engine{aw.EngineSortScan, aw.EngineSingleScan, aw.EngineMultiPass, aw.EngineRelational} {
+	for _, e := range []aw.Engine{aw.EngineSortScan, aw.EngineShardScan, aw.EngineSingleScan, aw.EngineMultiPass, aw.EngineRelational} {
 		if e.String() == "" || strings.HasPrefix(e.String(), "Engine(") {
 			t.Errorf("engine %d has no name", e)
 		}
@@ -173,7 +180,7 @@ func TestSiblingAndCombineThroughFacade(t *testing.T) {
 		Rollup("sCount", gHour, "Count", aw.Count, aw.Where(aw.MWhere(0, aw.Gt, 1))).
 		Sliding("avgCount", "sCount", aw.Avg, []aw.Window{{Dim: 0, Lo: 0, Hi: 5}}).
 		Combine("ratio", []string{"avgCount", "sCount"}, aw.Ratio(0, 1))
-	res, err := aw.Query(w, aw.FromRecords(attackRecords(4000, 3)))
+	res, err := aw.Run(context.Background(), w, aw.FromRecords(attackRecords(4000, 3)))
 	if err != nil {
 		t.Fatal(err)
 	}

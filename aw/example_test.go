@@ -1,15 +1,16 @@
 package aw_test
 
 import (
+	"context"
 	"fmt"
 
 	"awra/aw"
 )
 
-// ExampleQuery computes the paper's Example 1 and 2 measures (per-hour
+// ExampleRun computes the paper's Example 1 and 2 measures (per-hour
 // per-source counts, then the number of busy sources per hour) over a
 // tiny hand-built attack log.
-func ExampleQuery() {
+func ExampleRun() {
 	schema := aw.MustSchema([]*aw.Dimension{
 		aw.TimeDimension("t"),
 		aw.IPv4Dimension("U"),
@@ -33,7 +34,7 @@ func ExampleQuery() {
 		Basic("Count", gHourSrc, aw.Count, -1).
 		Rollup("busy", gHour, "Count", aw.Count, aw.Where(aw.MWhere(0, aw.Ge, 2)))
 
-	res, _ := aw.Query(wf, aw.FromRecords(recs))
+	res, _ := aw.Run(context.Background(), wf, aw.FromRecords(recs))
 	busy := res["busy"]
 	for _, k := range busy.SortedKeys() {
 		fmt.Printf("%s: %g busy sources\n", busy.Codec.Format(k), busy.Rows[k])
@@ -61,7 +62,7 @@ func ExampleWorkflow_Sliding() {
 		Basic("cnt", gHour, aw.Count, -1).
 		Sliding("sum2h", "cnt", aw.Sum, []aw.Window{{Dim: 0, Lo: -1, Hi: 0}})
 
-	res, _ := aw.Query(wf, aw.FromRecords(recs))
+	res, _ := aw.Run(context.Background(), wf, aw.FromRecords(recs))
 	tbl := res["sum2h"]
 	for _, k := range tbl.SortedKeys() {
 		fmt.Printf("%s: %g\n", tbl.Codec.Format(k), tbl.Rows[k])

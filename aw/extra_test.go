@@ -1,6 +1,7 @@
 package aw_test
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -10,13 +11,13 @@ import (
 func TestStreamMatchesQuery(t *testing.T) {
 	s := attackSchema(t)
 	recs := attackRecords(2500, 11)
-	want, err := aw.Query(busyWorkflow(t, s, 1), aw.FromRecords(recs))
+	want, err := aw.Run(context.Background(), busyWorkflow(t, s, 1), aw.FromRecords(recs))
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	var emitted int
-	stream, err := aw.OpenStream(busyWorkflow(t, s, 1), aw.StreamOptions{
+	stream, err := aw.RunStream(context.Background(), busyWorkflow(t, s, 1), aw.StreamOptions{
 		ValidateOrder: true,
 		Emit:          func(string, aw.Key, float64) { emitted++ },
 	})
@@ -58,7 +59,7 @@ func TestStreamMatchesQuery(t *testing.T) {
 func TestSaveLoadResultsThroughFacade(t *testing.T) {
 	s := attackSchema(t)
 	recs := attackRecords(1500, 13)
-	res, err := aw.Query(busyWorkflow(t, s, 1), aw.FromRecords(recs))
+	res, err := aw.Run(context.Background(), busyWorkflow(t, s, 1), aw.FromRecords(recs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,13 +93,14 @@ func TestAutoStatsAndWorkers(t *testing.T) {
 	if err := aw.WriteRecords(fact, 4, 0, recs); err != nil {
 		t.Fatal(err)
 	}
-	want, err := aw.Query(busyWorkflow(t, s, 1), aw.FromRecords(recs))
+	want, err := aw.Run(context.Background(), busyWorkflow(t, s, 1), aw.FromRecords(recs))
 	if err != nil {
 		t.Fatal(err)
 	}
 	// AutoStats + parallel sort on sortscan.
-	got, err := aw.Query(busyWorkflow(t, s, 1), aw.FromFile(fact), aw.QueryOptions{
-		AutoStats: true, Workers: 4, TempDir: dir,
+	got, err := aw.Run(context.Background(), busyWorkflow(t, s, 1), aw.FromFile(fact), aw.QueryOptions{
+		ExecOptions: aw.ExecOptions{Engine: aw.EngineSortScan, Parallelism: 4},
+		AutoStats:   true, TempDir: dir,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -108,9 +110,11 @@ func TestAutoStatsAndWorkers(t *testing.T) {
 			t.Errorf("measure %s differs with AutoStats+Workers", name)
 		}
 	}
-	// Parallel single-scan.
-	got, err = aw.Query(busyWorkflow(t, s, 1), aw.FromFile(fact), aw.QueryOptions{
-		Engine: aw.EngineSingleScan, Workers: 3, TempDir: dir,
+	// Parallel single-scan, driven through the deprecated Workers alias
+	// (which must keep feeding ExecOptions.Parallelism).
+	got, err = aw.Run(context.Background(), busyWorkflow(t, s, 1), aw.FromFile(fact), aw.QueryOptions{
+		ExecOptions: aw.ExecOptions{Engine: aw.EngineSingleScan},
+		Workers:     3, TempDir: dir,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -121,7 +125,7 @@ func TestAutoStatsAndWorkers(t *testing.T) {
 		}
 	}
 	// AutoStats over in-memory input is an error.
-	if _, err := aw.Query(busyWorkflow(t, s, 1), aw.FromRecords(recs), aw.QueryOptions{AutoStats: true}); err == nil {
+	if _, err := aw.Run(context.Background(), busyWorkflow(t, s, 1), aw.FromRecords(recs), aw.QueryOptions{AutoStats: true}); err == nil {
 		t.Error("AutoStats over records accepted")
 	}
 	// CollectStats sanity.
@@ -137,7 +141,7 @@ func TestAutoStatsAndWorkers(t *testing.T) {
 func TestTableHelpers(t *testing.T) {
 	s := attackSchema(t)
 	recs := attackRecords(800, 19)
-	res, err := aw.Query(busyWorkflow(t, s, 1), aw.FromRecords(recs))
+	res, err := aw.Run(context.Background(), busyWorkflow(t, s, 1), aw.FromRecords(recs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +173,7 @@ func TestTableHelpers(t *testing.T) {
 
 func TestOpenStreamAutoKey(t *testing.T) {
 	s := attackSchema(t)
-	stream, err := aw.OpenStream(busyWorkflow(t, s, 1), aw.StreamOptions{})
+	stream, err := aw.RunStream(context.Background(), busyWorkflow(t, s, 1), aw.StreamOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,14 +196,15 @@ func TestEngineAuto(t *testing.T) {
 	if err := aw.WriteRecords(fact, 4, 0, recs); err != nil {
 		t.Fatal(err)
 	}
-	want, err := aw.Query(busyWorkflow(t, s, 1), aw.FromRecords(recs))
+	want, err := aw.Run(context.Background(), busyWorkflow(t, s, 1), aw.FromRecords(recs))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, budget := range []int64{0, 1 << 30, 10_000} {
-		got, err := aw.Query(busyWorkflow(t, s, 1), aw.FromFile(fact), aw.QueryOptions{
-			Engine: aw.EngineAuto, MemoryBudget: budget, TempDir: dir,
-			BaseCards: []float64{200000, 1000, 2000, 1024},
+		got, err := aw.Run(context.Background(), busyWorkflow(t, s, 1), aw.FromFile(fact), aw.QueryOptions{
+			ExecOptions: aw.ExecOptions{Engine: aw.EngineAuto, MemoryBudget: budget},
+			TempDir:     dir,
+			BaseCards:   []float64{200000, 1000, 2000, 1024},
 		})
 		if err != nil {
 			t.Fatalf("budget %d: %v", budget, err)
@@ -220,7 +225,7 @@ func TestEngineAuto(t *testing.T) {
 
 func TestStreamBadSortKey(t *testing.T) {
 	s := attackSchema(t)
-	if _, err := aw.OpenStream(busyWorkflow(t, s, 1), aw.StreamOptions{
+	if _, err := aw.RunStream(context.Background(), busyWorkflow(t, s, 1), aw.StreamOptions{
 		SortKey: aw.SortKey{{Dim: 99, Lvl: 0}},
 	}); err == nil {
 		t.Fatal("bad stream sort key accepted")

@@ -1,6 +1,7 @@
 package aw_test
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -52,7 +53,7 @@ func TestGoldenPipeline(t *testing.T) {
 		Sliding("trail2", "hourly", aw.Sum, []aw.Window{{Dim: 0, Lo: -1, Hi: 0}}).
 		Rollup("peak", schema.AllGran(), "trail2", aw.Max)
 
-	res, err := aw.Query(wf, aw.FromFile(fact), aw.QueryOptions{TempDir: dir})
+	res, err := aw.Run(context.Background(), wf, aw.FromFile(fact), aw.QueryOptions{TempDir: dir})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,8 +107,9 @@ func TestGoldenPipeline(t *testing.T) {
 	}
 
 	// And the relational baseline agrees on the golden values.
-	rel, err := aw.Query(wf, aw.FromFile(fact), aw.QueryOptions{
-		Engine: aw.EngineRelational, TempDir: dir,
+	rel, err := aw.Run(context.Background(), wf, aw.FromFile(fact), aw.QueryOptions{
+		ExecOptions: aw.ExecOptions{Engine: aw.EngineRelational},
+		TempDir:     dir,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -100,7 +100,7 @@ func RunCompiled(ctx context.Context, c *Compiled, in Input, opts ...QueryOption
 	// The multipass fallback needs a file input; for in-memory inputs the
 	// original BudgetError stands (retrying would replace it with an
 	// unrelated "requires a file input" error).
-	if err != nil && wasAuto && engine == EngineSortScan && in.path != "" {
+	if err != nil && wasAuto && (engine == EngineSortScan || engine == EngineShardScan) && in.path != "" {
 		if be, ok := qguard.AsBudget(err); ok && be.Resource == qguard.ResLiveCells {
 			// The optimizer judged one sort/scan pass affordable but the
 			// run-time frontier disagreed; degrade to multi-pass, whose

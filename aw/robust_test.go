@@ -28,9 +28,8 @@ func TestFaultTimeoutDeadlineExceeded(t *testing.T) {
 	fact := writeAttackFact(t, recs)
 	rec := aw.NewRecorder()
 	_, err := aw.Run(context.Background(), busyWorkflow(t, s, 1), aw.FromFile(fact), aw.QueryOptions{
-		TempDir:  filepath.Dir(fact),
-		Timeout:  time.Nanosecond,
-		Recorder: rec,
+		ExecOptions: aw.ExecOptions{Timeout: time.Nanosecond, Recorder: rec},
+		TempDir:     filepath.Dir(fact),
 	})
 	if !errors.Is(err, aw.ErrDeadlineExceeded) {
 		t.Fatalf("got %v, want ErrDeadlineExceeded", err)
@@ -46,9 +45,8 @@ func TestFaultMaxResultRowsBudget(t *testing.T) {
 	fact := writeAttackFact(t, recs)
 	rec := aw.NewRecorder()
 	_, err := aw.Run(context.Background(), busyWorkflow(t, s, 1), aw.FromFile(fact), aw.QueryOptions{
-		TempDir:       filepath.Dir(fact),
-		MaxResultRows: 10,
-		Recorder:      rec,
+		ExecOptions: aw.ExecOptions{MaxResultRows: 10, Recorder: rec},
+		TempDir:     filepath.Dir(fact),
 	})
 	be, ok := aw.AsBudgetError(err)
 	if !ok || be.Resource != aw.ResResultRows {
@@ -67,9 +65,8 @@ func TestFaultMaxSpillBytesBudget(t *testing.T) {
 	recs := attackRecords(5000, 23)
 	fact := writeAttackFact(t, recs)
 	_, err := aw.Run(context.Background(), busyWorkflow(t, s, 1), aw.FromFile(fact), aw.QueryOptions{
-		Engine:        aw.EngineSortScan,
-		TempDir:       filepath.Dir(fact),
-		MaxSpillBytes: 1024,
+		ExecOptions: aw.ExecOptions{Engine: aw.EngineSortScan, MaxSpillBytes: 1024},
+		TempDir:     filepath.Dir(fact),
 	})
 	be, ok := aw.AsBudgetError(err)
 	if !ok || be.Resource != aw.ResSpillBytes {
@@ -114,8 +111,9 @@ func TestFaultAutoFallbackMultipass(t *testing.T) {
 			Basic("mU", gU, aw.Count, -1)
 	}
 
-	want, err := aw.Query(wf(), aw.FromFile(fact), aw.QueryOptions{
-		Engine: aw.EngineSingleScan, TempDir: filepath.Dir(fact),
+	want, err := aw.Run(context.Background(), wf(), aw.FromFile(fact), aw.QueryOptions{
+		ExecOptions: aw.ExecOptions{Engine: aw.EngineSingleScan},
+		TempDir:     filepath.Dir(fact),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -127,11 +125,13 @@ func TestFaultAutoFallbackMultipass(t *testing.T) {
 	// dimension the chosen key leaves unsorted overflows MaxLiveCells.
 	rec := aw.NewRecorder()
 	got, err := aw.Run(context.Background(), wf(), aw.FromFile(fact), aw.QueryOptions{
-		Engine:       aw.EngineAuto,
-		TempDir:      filepath.Dir(fact),
-		BaseCards:    []float64{1.5e7, 1.5e7, 1, 1},
-		MaxLiveCells: 400,
-		Recorder:     rec,
+		ExecOptions: aw.ExecOptions{
+			Engine:       aw.EngineAuto,
+			MaxLiveCells: 400,
+			Recorder:     rec,
+		},
+		TempDir:   filepath.Dir(fact),
+		BaseCards: []float64{1.5e7, 1.5e7, 1, 1},
 	})
 	if err != nil {
 		t.Fatalf("fallback did not rescue the query: %v", err)
@@ -168,10 +168,12 @@ func TestFaultAutoInMemoryBudgetKeepsTypedError(t *testing.T) {
 
 	rec := aw.NewRecorder()
 	_, err = aw.Run(context.Background(), wf, aw.FromRecords(recs), aw.QueryOptions{
-		Engine:       aw.EngineAuto,
-		BaseCards:    []float64{1.5e7, 1.5e7, 1, 1},
-		MaxLiveCells: 400,
-		Recorder:     rec,
+		ExecOptions: aw.ExecOptions{
+			Engine:       aw.EngineAuto,
+			MaxLiveCells: 400,
+			Recorder:     rec,
+		},
+		BaseCards: []float64{1.5e7, 1.5e7, 1, 1},
 	})
 	be, ok := aw.AsBudgetError(err)
 	if !ok || be.Resource != aw.ResLiveCells {
@@ -228,8 +230,8 @@ func TestFaultStreamLiveCellBudget(t *testing.T) {
 	w := aw.NewWorkflow(s).Basic("perIP", gIP, aw.Count, -1)
 	key := aw.SortKey{{Dim: 0, Lvl: 0}}
 	stream, err := aw.RunStream(context.Background(), w, aw.StreamOptions{
-		SortKey:      key,
-		MaxLiveCells: 50,
+		ExecOptions: aw.ExecOptions{MaxLiveCells: 50},
+		SortKey:     key,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -45,6 +45,14 @@ const (
 	// parallel. Requires a file input and a partition-valid workflow
 	// (see QueryOptions.PartitionDim).
 	EnginePartScan
+	// EngineShardScan splits the fact file into Parallelism shards by
+	// the leading part of the optimizer-chosen sort key, runs an
+	// independent sort/scan per shard in parallel, and combines the
+	// per-shard outputs (concatenation for nesting measures, aggregate
+	// state merge for measures whose regions span shards). Requires a
+	// file input and a shardable workflow; EngineAuto selects it
+	// automatically when Parallelism > 1 and the workflow qualifies.
+	EngineShardScan
 )
 
 func (e Engine) String() string {
@@ -61,6 +69,8 @@ func (e Engine) String() string {
 		return "auto"
 	case EnginePartScan:
 		return "partscan"
+	case EngineShardScan:
+		return "shardscan"
 	}
 	return fmt.Sprintf("Engine(%d)", int(e))
 }
@@ -80,29 +90,76 @@ func ParseEngine(name string) (Engine, error) {
 		return EngineAuto, nil
 	case "partscan":
 		return EnginePartScan, nil
+	case "shardscan":
+		return EngineShardScan, nil
 	}
-	return 0, fmt.Errorf("aw: unknown engine %q (auto, sortscan, singlescan, multipass, partscan, relational)", name)
+	return 0, fmt.Errorf("aw: unknown engine %q (auto, sortscan, shardscan, singlescan, multipass, partscan, relational)", name)
 }
 
-// QueryOptions configures Query.
-type QueryOptions struct {
+// ExecOptions are the execution knobs shared by every entry point:
+// engine selection, parallelism, memory and guardrail budgets,
+// observability, and the degraded-read policy. QueryOptions and
+// StreamOptions embed it, so a new knob is added once and honored
+// uniformly by batch and streaming evaluation alike.
+type ExecOptions struct {
 	// Engine selects the evaluation strategy (default EngineSortScan).
+	// Streaming sessions always use the one-pass streaming engine and
+	// ignore this field.
 	Engine Engine
-	// SortKey overrides the optimizer's choice (sortscan only).
-	SortKey SortKey
 	// MemoryBudget bounds memory: spill threshold for single-scan,
-	// per-pass footprint for multi-pass. 0 = unlimited / one pass.
+	// per-pass footprint for multi-pass, and the decision input for
+	// EngineAuto. 0 = unlimited / one pass.
 	MemoryBudget int64
-	// TempDir receives sort runs and spills.
+	// Parallelism is the worker count for parallel evaluation: the
+	// shard count for EngineShardScan, sort workers for the sort/scan
+	// engine's external sort, scan workers for the single-scan engine,
+	// and the default partition count for EnginePartScan. 0 or 1 means
+	// serial. Under EngineAuto, Parallelism > 1 upgrades a sort/scan
+	// decision to the sharded engine whenever the workflow shards
+	// safely (every measure either nests inside shard units or merges
+	// commutatively). Streaming sessions ignore it.
+	Parallelism int
+	// Recorder, if non-nil, collects the query's span tree (rooted at a
+	// "query" span) and engine metrics. A nil recorder is a no-op; the
+	// engines then keep private recorders so their Stats stay complete.
+	Recorder *Recorder
+	// Timeout, if positive, bounds the query's wall-clock time; when it
+	// lapses the run aborts with ErrDeadlineExceeded. It composes with
+	// any deadline already on the context passed to Run or RunStream.
+	Timeout time.Duration
+	// MaxLiveCells caps simultaneously live hash entries (the paper's
+	// memory frontier) across streaming engines. 0 = unlimited. Under
+	// EngineAuto, a sort/scan run that trips this guardrail is retried
+	// once as a multi-pass plan before the error is surfaced. Parallel
+	// engines divide the budget evenly across their workers.
+	MaxLiveCells int64
+	// MaxResultRows caps total finalized output rows across all
+	// non-hidden measures. 0 = unlimited.
+	MaxResultRows int64
+	// MaxSpillBytes caps bytes written to disk by sorts, spills, and
+	// partition/shard splits, accounted globally across parallel
+	// workers. 0 = unlimited. Streaming sessions never spill.
+	MaxSpillBytes int64
+	// SkipCorruptRows degrades checksummed file reads: rows whose CRC
+	// does not verify are skipped and counted (rows_corrupt_skipped)
+	// instead of failing the query. File inputs only.
+	SkipCorruptRows bool
+}
+
+// QueryOptions configures batch evaluation (Run, RunCompiled). The
+// execution knobs shared with streaming live in the embedded
+// ExecOptions; construct as
+//
+//	aw.QueryOptions{ExecOptions: aw.ExecOptions{Engine: aw.EngineAuto, Parallelism: 4}}
+type QueryOptions struct {
+	ExecOptions
+	// SortKey overrides the optimizer's choice (sortscan/shardscan).
+	SortKey SortKey
+	// TempDir receives sort runs, spills, and shard files.
 	TempDir string
 	// BaseCards estimates per-dimension base cardinalities for the
 	// optimizer; nil uses defaults.
 	BaseCards []float64
-	// Workers enables parallel evaluation: a sharded scan for the
-	// single-scan engine, and parallel run-sorting for the sort/scan
-	// engine. 0 or 1 means sequential. Single-scan memory budgets are
-	// a sequential feature and cannot be combined with Workers.
-	Workers int
 	// AutoStats collects per-dimension cardinality estimates from the
 	// fact file (one extra sampling scan) before planning, instead of
 	// relying on BaseCards or defaults. File inputs only.
@@ -112,31 +169,22 @@ type QueryOptions struct {
 	PartitionDim   int
 	PartitionLevel Level
 	// Partitions is the EnginePartScan worker count (>= 1; 0 means
-	// max(Workers, 1)).
+	// max(Parallelism, 1)).
 	Partitions int
-	// Recorder, if non-nil, collects the query's span tree (rooted at a
-	// "query" span) and engine metrics. A nil recorder is a no-op; the
-	// engines then keep private recorders so their Stats stay complete.
-	Recorder *Recorder
-	// Timeout, if positive, bounds the query's wall-clock time; when it
-	// lapses the run aborts with ErrDeadlineExceeded. It composes with
-	// any deadline already on the context passed to Run.
-	Timeout time.Duration
-	// MaxLiveCells caps simultaneously live hash entries (the paper's
-	// memory frontier) across streaming engines. 0 = unlimited. Under
-	// EngineAuto, a sort/scan run that trips this guardrail is retried
-	// once as a multi-pass plan before the error is surfaced.
-	MaxLiveCells int64
-	// MaxResultRows caps total finalized output rows across all
-	// non-hidden measures. 0 = unlimited.
-	MaxResultRows int64
-	// MaxSpillBytes caps bytes written to disk by sorts and spills.
-	// 0 = unlimited.
-	MaxSpillBytes int64
-	// SkipCorruptRows degrades checksummed file reads: rows whose CRC
-	// does not verify are skipped and counted (rows_corrupt_skipped)
-	// instead of failing the query.
-	SkipCorruptRows bool
+	// Workers is the old name for the parallel worker count; it is
+	// honored only when Parallelism is 0.
+	//
+	// Deprecated: set ExecOptions.Parallelism instead.
+	Workers int
+}
+
+// parallelism resolves the effective worker count, honoring the
+// deprecated Workers field when Parallelism is unset.
+func (o *QueryOptions) parallelism() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return o.Workers
 }
 
 // Input is a fact-table source for Query.
@@ -155,14 +203,21 @@ func FromRecords(recs []Record) Input { return Input{recs: recs, n: len(recs)} }
 // Results maps measure names to their computed tables.
 type Results map[string]*Table
 
-// Query compiles the workflow (if needed) and evaluates it. It is
-// Run with a background context.
+// Query compiles the workflow (if needed) and evaluates it with a
+// background context.
+//
+// Deprecated: use Run, the canonical context-first entry point; Query
+// is a thin wrapper kept for compatibility and cannot be canceled.
 func Query(w *Workflow, in Input, opts ...QueryOptions) (Results, error) {
 	return Run(context.Background(), w, in, opts...)
 }
 
 // QueryCompiled evaluates a compiled workflow with a background
 // context.
+//
+// Deprecated: use RunCompiled, the canonical context-first entry
+// point; QueryCompiled is a thin wrapper kept for compatibility and
+// cannot be canceled.
 func QueryCompiled(c *Compiled, in Input, opts ...QueryOptions) (Results, error) {
 	return RunCompiled(context.Background(), c, in, opts...)
 }
@@ -211,6 +266,16 @@ func runEngines(c *Compiled, in Input, o QueryOptions, g *qguard.Guard) (Results
 			o.Engine = EngineSortScan
 			if o.SortKey == nil {
 				o.SortKey = d.Key
+			}
+			// With parallelism requested, upgrade to the sharded engine
+			// when the workflow splits safely by the sort key's leading
+			// part; otherwise stay serial rather than fail.
+			if o.parallelism() > 1 && in.path != "" {
+				if nk, err := SortKey(o.SortKey).Normalize(c.Schema); err == nil {
+					if _, err := opt.ShardPrefix(c, nk); err == nil {
+						o.Engine = EngineShardScan
+					}
+				}
 			}
 		default:
 			o.Engine = EngineMultiPass
@@ -274,6 +339,7 @@ func runEngines(c *Compiled, in Input, o QueryOptions, g *qguard.Guard) (Results
 		}
 	}
 
+	par := o.parallelism()
 	switch o.Engine {
 	case EngineSortScan:
 		key := o.SortKey
@@ -285,7 +351,27 @@ func runEngines(c *Compiled, in Input, o QueryOptions, g *qguard.Guard) (Results
 		}
 		res, err := sortscan.Run(c, in.path, sortscan.Options{
 			SortKey: key, TempDir: o.TempDir, Stats: st,
-			ParallelSort: o.Workers > 1, SortWorkers: o.Workers,
+			ParallelSort: par > 1, SortWorkers: par,
+			Recorder: qrec, Guard: g,
+		})
+		if err != nil {
+			return nil, o.Engine, err
+		}
+		return res.Tables, o.Engine, nil
+	case EngineShardScan:
+		key := o.SortKey
+		if key == nil {
+			var err error
+			if key, err = chooseKey(); err != nil {
+				return nil, o.Engine, err
+			}
+		}
+		shards := par
+		if shards < 1 {
+			shards = 1
+		}
+		res, err := sortscan.RunSharded(c, in.path, sortscan.ShardedOptions{
+			SortKey: key, Shards: shards, TempDir: o.TempDir, Stats: st,
 			Recorder: qrec, Guard: g,
 		})
 		if err != nil {
@@ -299,8 +385,8 @@ func runEngines(c *Compiled, in Input, o QueryOptions, g *qguard.Guard) (Results
 		}
 		defer r.Close()
 		var res *singlescan.Result
-		if o.Workers > 1 {
-			res, err = singlescan.RunParallel(c, r, o.Workers, singlescan.Options{TempDir: o.TempDir, MemoryBudget: o.MemoryBudget, Recorder: qrec, Guard: g})
+		if par > 1 {
+			res, err = singlescan.RunParallel(c, r, par, singlescan.Options{TempDir: o.TempDir, MemoryBudget: o.MemoryBudget, Recorder: qrec, Guard: g})
 		} else {
 			res, err = singlescan.Run(c, r, singlescan.Options{
 				MemoryBudget: o.MemoryBudget, TempDir: o.TempDir, Recorder: qrec, Guard: g,
@@ -329,7 +415,7 @@ func runEngines(c *Compiled, in Input, o QueryOptions, g *qguard.Guard) (Results
 		}
 		parts := o.Partitions
 		if parts < 1 {
-			parts = o.Workers
+			parts = par
 		}
 		if parts < 1 {
 			parts = 1

@@ -2,7 +2,6 @@ package aw
 
 import (
 	"context"
-	"time"
 
 	"awra/internal/exec/sortscan"
 	"awra/internal/opt"
@@ -22,8 +21,14 @@ type Stream struct {
 	cancel   context.CancelFunc
 }
 
-// StreamOptions configures OpenStream.
+// StreamOptions configures streaming sessions (RunStream). The
+// execution knobs shared with batch evaluation live in the embedded
+// ExecOptions; a session honors its Recorder, Timeout, MaxLiveCells,
+// and MaxResultRows (the guardrails under RunStream only — OpenStream
+// carries no guard), and ignores the batch-only fields (Engine,
+// MemoryBudget, Parallelism, MaxSpillBytes, SkipCorruptRows).
 type StreamOptions struct {
+	ExecOptions
 	// SortKey is the order records will arrive in; nil asks the
 	// optimizer (which usually picks a time-leading key for monitoring
 	// schemas, matching arrival order).
@@ -34,21 +39,13 @@ type StreamOptions struct {
 	ValidateOrder bool
 	// BaseCards feeds the optimizer when SortKey is nil.
 	BaseCards []float64
-	// Recorder, if non-nil, receives the session's scan span and engine
-	// metrics.
-	Recorder *Recorder
-	// Timeout, if positive, bounds the session's wall-clock lifetime
-	// when opened with RunStream; once it lapses Push fails with
-	// ErrDeadlineExceeded. Ignored by OpenStream.
-	Timeout time.Duration
-	// MaxLiveCells caps the streaming frontier; a Push that grows it
-	// past the limit fails with ErrBudgetExceeded (RunStream only).
-	MaxLiveCells int64
-	// MaxResultRows caps finalized output rows (RunStream only).
-	MaxResultRows int64
 }
 
 // OpenStream compiles the workflow and starts a streaming session.
+//
+// Deprecated: use RunStream, the canonical context-first entry point;
+// OpenStream is a thin wrapper kept for compatibility and enforces no
+// cancellation or guardrails.
 func OpenStream(w *Workflow, o StreamOptions) (*Stream, error) {
 	c, err := w.Compile()
 	if err != nil {
@@ -95,6 +92,9 @@ func RunStreamCompiled(ctx context.Context, c *Compiled, o StreamOptions) (*Stre
 
 // OpenStreamCompiled starts a streaming session over a compiled
 // workflow (no cancellation or guardrails; see RunStreamCompiled).
+//
+// Deprecated: use RunStreamCompiled, the canonical context-first entry
+// point; OpenStreamCompiled is a thin wrapper kept for compatibility.
 func OpenStreamCompiled(c *Compiled, o StreamOptions) (*Stream, error) {
 	return openStreamCompiled(c, o, nil)
 }

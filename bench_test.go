@@ -10,6 +10,7 @@
 package awra
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -161,8 +162,9 @@ func BenchmarkSortScanEngine(b *testing.B) {
 	c := engineWorkflow(b, s)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := aw.QueryCompiled(c, aw.FromFile(path), aw.QueryOptions{
-			Engine: aw.EngineSortScan, TempDir: filepath.Dir(path),
+		res, err := aw.RunCompiled(context.Background(), c, aw.FromFile(path), aw.QueryOptions{
+			ExecOptions: aw.ExecOptions{Engine: aw.EngineSortScan},
+			TempDir:     filepath.Dir(path),
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -180,8 +182,9 @@ func BenchmarkSingleScanEngine(b *testing.B) {
 	c := engineWorkflow(b, s)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := aw.QueryCompiled(c, aw.FromFile(path), aw.QueryOptions{
-			Engine: aw.EngineSingleScan, TempDir: filepath.Dir(path),
+		res, err := aw.RunCompiled(context.Background(), c, aw.FromFile(path), aw.QueryOptions{
+			ExecOptions: aw.ExecOptions{Engine: aw.EngineSingleScan},
+			TempDir:     filepath.Dir(path),
 		})
 		if err != nil {
 			b.Fatal(err)
@@ -229,8 +232,9 @@ func BenchmarkParallelSingleScan(b *testing.B) {
 			c := engineWorkflow(b, s)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := aw.QueryCompiled(c, aw.FromFile(path), aw.QueryOptions{
-					Engine: aw.EngineSingleScan, Workers: workers, TempDir: filepath.Dir(path),
+				res, err := aw.RunCompiled(context.Background(), c, aw.FromFile(path), aw.QueryOptions{
+					ExecOptions: aw.ExecOptions{Engine: aw.EngineSingleScan, Parallelism: workers},
+					TempDir:     filepath.Dir(path),
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -251,7 +255,7 @@ func BenchmarkStreamPush(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	stream, err := aw.OpenStreamCompiled(c, aw.StreamOptions{SortKey: key})
+	stream, err := aw.RunStreamCompiled(context.Background(), c, aw.StreamOptions{SortKey: key})
 	if err != nil {
 		b.Fatal(err)
 	}

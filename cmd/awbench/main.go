@@ -36,6 +36,7 @@ func main() {
 		scale    = flag.Float64("scale", 1.0, "dataset size multiplier")
 		seed     = flag.Int64("seed", 2006, "dataset generation seed")
 		budget   = flag.Int64("budget", 8<<20, "single-scan memory budget in bytes")
+		par      = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker count for the sharded-parallel figure")
 		list     = flag.Bool("list", false, "list available figures and exit")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		jsonOut  = flag.Bool("json", false, "print figures as JSON (rows plus metrics snapshot) instead of text tables")
@@ -62,6 +63,7 @@ func main() {
 		Scale:            *scale,
 		Seed:             *seed,
 		SingleScanBudget: *budget,
+		Parallelism:      *par,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr

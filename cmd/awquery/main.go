@@ -42,11 +42,12 @@ func main() {
 	var (
 		wfPath  = flag.String("wf", "", "workflow file (required)")
 		data    = flag.String("data", "", "binary record file to query")
-		engine  = flag.String("engine", "sortscan", "engine: auto, sortscan, singlescan, multipass, partscan, relational")
+		engine  = flag.String("engine", "sortscan", "engine: auto, sortscan, shardscan, singlescan, multipass, partscan, relational")
 		measure = flag.String("measure", "", "print only this measure (default: all)")
 		limit   = flag.Int("limit", 20, "max rows to print per measure (0 = all)")
-		budget  = flag.Int64("budget", 0, "memory budget in bytes (singlescan spill / multipass per-pass)")
-		workers = flag.Int("workers", 0, "parallel workers (sharded singlescan scan / parallel sort)")
+		budget  = flag.Int64("budget", 0, "memory budget in bytes (singlescan spill / multipass per-pass / auto decision)")
+		par     = flag.Int("parallelism", 1, "parallel workers: shardscan shards, singlescan scan workers, sortscan sort workers")
+		workers = flag.Int("workers", 0, "deprecated alias for -parallelism")
 		csvOut  = flag.String("o", "", "write the selected measure(s) as CSV file(s): PATH, or PATH prefix when printing several")
 		explain = flag.Bool("explain", false, "print the optimizer's plan and the workflow DOT graph, then exit")
 		dot     = flag.Bool("dot", false, "print only the Graphviz workflow diagram, then exit")
@@ -58,7 +59,7 @@ func main() {
 		metrics = flag.String("metrics", "", "write the query's metrics snapshot as JSON to FILE (\"-\" = stdout)")
 		partDim = flag.String("partdim", "", "partscan: partition dimension, by name or index (default: dimension 0)")
 		partLvl = flag.Int("partlevel", 0, "partscan: partition hierarchy level (0 = base)")
-		parts   = flag.Int("partitions", 0, "partscan: partition/worker count (default: -workers, else 1)")
+		parts   = flag.Int("partitions", 0, "partscan: partition/worker count (default: -parallelism, else 1)")
 		timeout = flag.Duration("timeout", 0, "abort the query after this duration (exit code 3)")
 		maxRows = flag.Int64("max-result-rows", 0, "fail once the result exceeds this many rows (exit code 4; 0 = unlimited)")
 		maxCell = flag.Int64("max-live-cells", 0, "cap simultaneously live aggregation cells (exit code 4; 0 = unlimited)")
@@ -152,20 +153,27 @@ func main() {
 		// SIGINT cancels the query cooperatively; the engines abort at
 		// their next scan stride and clean up temp files.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		parallelism := *par
+		if *workers > 0 {
+			fmt.Fprintln(os.Stderr, "awquery: -workers is deprecated; use -parallelism")
+			parallelism = *workers
+		}
 		res, err = aw.RunCompiled(ctx, c, aw.FromFile(*data), aw.QueryOptions{
-			Engine:          eng,
-			MemoryBudget:    *budget,
-			Workers:         *workers,
-			AutoStats:       *auto,
-			PartitionDim:    pd,
-			PartitionLevel:  aw.Level(*partLvl),
-			Partitions:      *parts,
-			Recorder:        rec,
-			Timeout:         *timeout,
-			MaxResultRows:   *maxRows,
-			MaxLiveCells:    *maxCell,
-			MaxSpillBytes:   *maxSpil,
-			SkipCorruptRows: *skipBad,
+			ExecOptions: aw.ExecOptions{
+				Engine:          eng,
+				MemoryBudget:    *budget,
+				Parallelism:     parallelism,
+				Recorder:        rec,
+				Timeout:         *timeout,
+				MaxResultRows:   *maxRows,
+				MaxLiveCells:    *maxCell,
+				MaxSpillBytes:   *maxSpil,
+				SkipCorruptRows: *skipBad,
+			},
+			AutoStats:      *auto,
+			PartitionDim:   pd,
+			PartitionLevel: aw.Level(*partLvl),
+			Partitions:     *parts,
 		})
 		stop()
 		if err != nil {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -96,7 +97,7 @@ func main() {
 		Rollup("episodeRegions", gDay, "minOverWindow", aw.Count,
 			aw.Where(aw.MWhere(0, aw.Gt, limit)))
 
-	res, err := aw.Query(wf, aw.FromRecords(recs))
+	res, err := aw.Run(context.Background(), wf, aw.FromRecords(recs))
 	if err != nil {
 		log.Fatal(err)
 	}

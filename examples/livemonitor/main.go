@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -56,7 +57,7 @@ func main() {
 
 	alerts := 0
 	var growthCodec interface{ Format(aw.Key) string }
-	stream, err := aw.OpenStream(wf, aw.StreamOptions{
+	stream, err := aw.RunStream(context.Background(), wf, aw.StreamOptions{
 		// Arrival order: by time, then target subnet within the hour.
 		SortKey:       aw.SortKey{{Dim: 0, Lvl: hour}, {Dim: 2, Lvl: 0}},
 		ValidateOrder: true,

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -56,7 +57,7 @@ func main() {
 		Rollup("fanIn", gDaySub, "srcActivity", aw.Count).
 		Rollup("sweeps", gDay, "fanIn", aw.Count, aw.Where(aw.MWhere(0, aw.Ge, fanThreshold)))
 
-	res, err := aw.Query(wf, aw.FromFile(fact), aw.QueryOptions{TempDir: dir})
+	res, err := aw.Run(context.Background(), wf, aw.FromFile(fact), aw.QueryOptions{TempDir: dir})
 	if err != nil {
 		log.Fatal(err)
 	}

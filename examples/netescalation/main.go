@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -58,7 +59,7 @@ func main() {
 			},
 		})
 
-	res, err := aw.Query(wf, aw.FromFile(fact), aw.QueryOptions{TempDir: dir})
+	res, err := aw.Run(context.Background(), wf, aw.FromFile(fact), aw.QueryOptions{TempDir: dir})
 	if err != nil {
 		log.Fatal(err)
 	}

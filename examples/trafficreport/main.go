@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -67,8 +68,9 @@ func main() {
 	var results aw.Results
 	for _, eng := range []aw.Engine{aw.EngineSortScan, aw.EngineSingleScan, aw.EngineRelational} {
 		t0 := time.Now()
-		res, err := aw.QueryCompiled(c, aw.FromFile(fact), aw.QueryOptions{
-			Engine: eng, TempDir: dir,
+		res, err := aw.RunCompiled(context.Background(), c, aw.FromFile(fact), aw.QueryOptions{
+			ExecOptions: aw.ExecOptions{Engine: eng},
+			TempDir:     dir,
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -131,6 +131,20 @@ func (k Kind) Algebraic() bool {
 	return true
 }
 
+// MergeCommutes reports whether partial aggregates of this kind can be
+// combined with Merge in any order and grouping without changing the
+// result — the property partition-then-merge evaluation (sharded
+// sort/scan, spilling single-scan) relies on. Every kind satisfies it
+// except First and Last, whose results depend on stream arrival order
+// and therefore on which partition a row landed in.
+func (k Kind) MergeCommutes() bool {
+	switch k {
+	case First, Last:
+		return false
+	}
+	return true
+}
+
 // Aggregator accumulates inputs for one region's measure.
 type Aggregator interface {
 	// Update absorbs one input value. NULL inputs are ignored by all

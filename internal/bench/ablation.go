@@ -2,6 +2,8 @@ package bench
 
 import (
 	"fmt"
+	"os"
+	"runtime"
 	"time"
 
 	"awra/internal/exec/partscan"
@@ -108,6 +110,74 @@ func AblPar(cfg Config) (*Figure, error) {
 		f.Rows = append(f.Rows, []string{fmt.Sprint(parts), ms(d), fmt.Sprint(res.Stats.Records)})
 	}
 	f.Notes = append(f.Notes, "multi-recon workload partitioned by t:Day; results validated identical across partition counts in tests")
+	return f, nil
+}
+
+// ParShard compares serial sort/scan against the sharded-parallel
+// engine on Q1 at the paper's 1M-record point, verifying bit-identical
+// tables at every shard count. The key leads with A1 at level 2, so
+// Q1's level-2 rollups and combine nest inside the shard units; this
+// is the first point of the parallel-speedup trajectory.
+func ParShard(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	f := &Figure{
+		ID:     "par-shard",
+		Title:  "sharded parallel sort/scan vs serial on Q1 (ms)",
+		Header: []string{"shards", "time_ms", "speedup", "records"},
+	}
+	n := cfg.size(160) // the paper's 1M-record point at scale 1
+	fact, sc, err := cfg.synthFile(n)
+	if err != nil {
+		return nil, err
+	}
+	w, err := Q1Workflow(mustSynthSchema(sc), 7)
+	if err != nil {
+		return nil, err
+	}
+	key := model.SortKey{{Dim: 0, Lvl: 2}, {Dim: 1, Lvl: 0}}
+	st := &plan.Stats{BaseCard: SynthStats(sc)}
+
+	t0 := time.Now()
+	base, err := sortscan.Run(w, fact, sortscan.Options{
+		SortKey: key, TempDir: cfg.Dir, Stats: st, Recorder: cfg.Recorder,
+	})
+	if err != nil {
+		return nil, err
+	}
+	dSerial := time.Since(t0)
+	os.Remove(fact + ".sorted")
+	cfg.logf("par-shard serial: %v", dSerial)
+	f.Rows = append(f.Rows, []string{"serial", ms(dSerial), "1.00", fmt.Sprint(base.Stats.Records)})
+
+	counts := []int{2, 4}
+	if p := cfg.Parallelism; p > 1 && p != 2 && p != 4 {
+		counts = append(counts, p)
+	}
+	for _, shards := range counts {
+		t0 := time.Now()
+		res, err := sortscan.RunSharded(w, fact, sortscan.ShardedOptions{
+			SortKey: key, Shards: shards, TempDir: cfg.Dir, Stats: st, Recorder: cfg.Recorder,
+		})
+		if err != nil {
+			return nil, err
+		}
+		d := time.Since(t0)
+		for name, tbl := range base.Tables {
+			if !tbl.Equal(res.Tables[name], 0) {
+				return nil, fmt.Errorf("bench: par-shard: shards=%d table %q differs from serial", shards, name)
+			}
+		}
+		cfg.logf("par-shard shards=%d: %v", shards, d)
+		f.Rows = append(f.Rows, []string{
+			fmt.Sprint(shards), ms(d),
+			fmt.Sprintf("%.2f", float64(dSerial)/float64(d)),
+			fmt.Sprint(res.Stats.Records),
+		})
+	}
+	f.Notes = append(f.Notes,
+		"tables verified bit-identical to serial at every shard count",
+		fmt.Sprintf("|D| = %d records, sort key %s", n, key.String(w.Schema)),
+		fmt.Sprintf("GOMAXPROCS=%d: wall-clock speedup requires that many physical cores", runtime.GOMAXPROCS(0)))
 	return f, nil
 }
 

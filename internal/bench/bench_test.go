@@ -26,8 +26,8 @@ func TestAllFiguresRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(figs) != 11 {
-		t.Fatalf("got %d figures, want 11", len(figs))
+	if len(figs) != 12 {
+		t.Fatalf("got %d figures, want 12", len(figs))
 	}
 	for _, f := range figs {
 		if len(f.Rows) == 0 {
@@ -53,7 +53,7 @@ func TestRunUnknownFigure(t *testing.T) {
 }
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"abl-flush", "abl-key", "abl-par", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig7a", "fig7b"}
+	want := []string{"abl-flush", "abl-key", "abl-par", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig7a", "fig7b", "par-shard"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)

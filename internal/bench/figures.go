@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -35,6 +36,9 @@ type Config struct {
 	// single-scan engine exhibit the paper's out-of-memory cliff;
 	// 0 defaults to 8 MB.
 	SingleScanBudget int64
+	// Parallelism is the maximum worker count for the sharded-parallel
+	// figure; 0 defaults to runtime.GOMAXPROCS(0).
+	Parallelism int
 	// Progress, if non-nil, receives progress lines.
 	Progress io.Writer
 	// Recorder collects engine metrics across the figure's runs; its
@@ -54,6 +58,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SingleScanBudget == 0 {
 		c.SingleScanBudget = 8 << 20
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
 	}
 	if c.Recorder == nil {
 		c.Recorder = obs.New()
@@ -542,6 +549,7 @@ var runners = map[string]func(Config) (*Figure, error){
 	"abl-flush": AblFlush,
 	"abl-key":   AblKey,
 	"abl-par":   AblPar,
+	"par-shard": ParShard,
 	"fig6a":     Fig6a,
 	"fig6b":     Fig6b,
 	"fig6c":     Fig6c,

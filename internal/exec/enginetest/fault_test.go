@@ -15,8 +15,8 @@ import (
 )
 
 // faultEngine pairs an engine name with the options that drive it
-// through the public API. The obsWorkflow fixture is partition-valid,
-// so the full five-engine matrix applies.
+// through the public API. The obsWorkflow fixture is partition- and
+// shard-valid, so the full six-engine matrix applies.
 type faultEngine struct {
 	name string
 	opts aw.QueryOptions
@@ -24,11 +24,12 @@ type faultEngine struct {
 
 func faultEngines() []faultEngine {
 	return []faultEngine{
-		{"sortscan", aw.QueryOptions{Engine: aw.EngineSortScan}},
-		{"singlescan", aw.QueryOptions{Engine: aw.EngineSingleScan}},
-		{"multipass", aw.QueryOptions{Engine: aw.EngineMultiPass}},
-		{"partscan", aw.QueryOptions{Engine: aw.EnginePartScan, PartitionDim: 0, Partitions: 2}},
-		{"relational", aw.QueryOptions{Engine: aw.EngineRelational}},
+		{"sortscan", aw.QueryOptions{ExecOptions: aw.ExecOptions{Engine: aw.EngineSortScan}}},
+		{"shardscan", aw.QueryOptions{ExecOptions: aw.ExecOptions{Engine: aw.EngineShardScan, Parallelism: 3}}},
+		{"singlescan", aw.QueryOptions{ExecOptions: aw.ExecOptions{Engine: aw.EngineSingleScan}}},
+		{"multipass", aw.QueryOptions{ExecOptions: aw.ExecOptions{Engine: aw.EngineMultiPass}}},
+		{"partscan", aw.QueryOptions{ExecOptions: aw.ExecOptions{Engine: aw.EnginePartScan}, PartitionDim: 0, Partitions: 2}},
+		{"relational", aw.QueryOptions{ExecOptions: aw.ExecOptions{Engine: aw.EngineRelational}}},
 	}
 }
 

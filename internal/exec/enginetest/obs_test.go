@@ -1,6 +1,7 @@
 package enginetest
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -96,10 +97,9 @@ func TestQuerySpanBoundsPhases(t *testing.T) {
 	fact := writeFact(t, g, recs)
 
 	rec := aw.NewRecorder()
-	_, err := aw.QueryCompiled(c, aw.FromFile(fact), aw.QueryOptions{
-		Engine:   aw.EngineSortScan,
-		TempDir:  filepath.Dir(fact),
-		Recorder: rec,
+	_, err := aw.RunCompiled(context.Background(), c, aw.FromFile(fact), aw.QueryOptions{
+		ExecOptions: aw.ExecOptions{Engine: aw.EngineSortScan, Recorder: rec},
+		TempDir:     filepath.Dir(fact),
 	})
 	if err != nil {
 		t.Fatal(err)

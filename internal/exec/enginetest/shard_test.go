@@ -1,0 +1,311 @@
+package enginetest
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"awra/aw"
+	"awra/internal/agg"
+	"awra/internal/core"
+	"awra/internal/exec/sortscan"
+	"awra/internal/gen"
+	"awra/internal/model"
+	"awra/internal/obs"
+	"awra/internal/qguard"
+)
+
+// shardCounts is the shard-parallelism matrix: an even split, a
+// power-of-two split, and a prime count that cannot divide the unit
+// space evenly.
+var shardCounts = []int{2, 4, 7}
+
+// runSerialVsSharded evaluates the workflow serially and with every
+// shard count, requiring bit-identical tables (eps 0): every aggregate
+// in these fixtures is integer-valued, so sharding must not perturb a
+// single bit.
+func runSerialVsSharded(t *testing.T, c *core.Compiled, fact string, key model.SortKey) {
+	t.Helper()
+	dir := filepath.Dir(fact)
+	want, err := sortscan.Run(c, fact, sortscan.Options{SortKey: key, TempDir: dir})
+	if err != nil {
+		t.Fatalf("serial sortscan: %v", err)
+	}
+	for _, shards := range shardCounts {
+		rec := obs.New()
+		got, err := sortscan.RunSharded(c, fact, sortscan.ShardedOptions{
+			SortKey: key, Shards: shards, TempDir: dir, Recorder: rec,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if d := diffTables(want.Tables, got.Tables, 0); d != "" {
+			t.Fatalf("shards=%d: sharded vs serial: %s", shards, d)
+		}
+		if got.Stats.Records != want.Stats.Records {
+			t.Errorf("shards=%d: records %d, want %d", shards, got.Stats.Records, want.Stats.Records)
+		}
+		snap := rec.Snapshot()
+		if n := snap.Counters[obs.MShardsPlanned]; n != int64(shards) {
+			t.Errorf("shards=%d: shards_planned = %d", shards, n)
+		}
+		if skew := snap.Gauges[obs.GShardSkew]; skew < 1000 {
+			t.Errorf("shards=%d: shard_skew_ratio = %d, want >= 1000 permille", shards, skew)
+		}
+	}
+}
+
+// synthCube writes a synthetic-cube fact file into a fresh temp dir.
+func synthCube(t *testing.T, n int64, seed int64) (string, *model.Schema) {
+	t.Helper()
+	fact := filepath.Join(t.TempDir(), "synth.rec")
+	s, err := gen.Synth(fact, n, gen.SynthConfig{Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fact, s
+}
+
+// TestShardedMatchesSerialSynthCube: mixed workflows (basic, rollup,
+// sliding, combine — all nesting inside shard units, plus one
+// non-nesting basic exercising the cross-shard state-merge path) over
+// the uniform synthetic cube, under fine and coarse shard-prefix
+// levels. Composite granularities stay at or below the shard level on
+// the shard dimension; sliding windows stay off it.
+func TestShardedMatchesSerialSynthCube(t *testing.T) {
+	fact, s := synthCube(t, 20000, 2006)
+	all := model.LevelALL
+	cases := []struct {
+		name string
+		key  model.SortKey
+		wf   *core.Workflow
+	}{
+		{
+			// Shard units = base codes of A1: every composite gran keeps
+			// A1 at level 0; "sum1" (A1 at level 1) spans units and must
+			// take the state-merge path.
+			name: "fine",
+			key:  model.SortKey{{Dim: 0, Lvl: 0}, {Dim: 1, Lvl: 0}},
+			wf: core.NewWorkflow(s).
+				Basic("cnt", model.Gran{0, 1, all, all}, agg.Count, -1).
+				Basic("sum1", model.Gran{1, all, all, all}, agg.Sum, 0).
+				Rollup("roll", model.Gran{0, all, all, all}, "cnt", agg.Sum).
+				Sliding("trend", "cnt", agg.Sum, []core.Window{{Dim: 1, Lo: -1, Hi: 1}}).
+				Combine("ratio", []string{"cnt", "trend"}, core.Ratio(0, 1)),
+		},
+		{
+			// Coarse units (level 2 of A1): few units, forcing LPT
+			// balancing; the level-2 rollup now nests.
+			name: "coarse",
+			key:  model.SortKey{{Dim: 0, Lvl: 2}, {Dim: 1, Lvl: 0}},
+			wf: core.NewWorkflow(s).
+				Basic("cnt", model.Gran{0, 1, all, all}, agg.Count, -1).
+				Basic("top", model.Gran{all, 0, all, all}, agg.Sum, 0).
+				Rollup("per2", model.Gran{2, all, all, all}, "cnt", agg.Sum).
+				Sliding("trend", "cnt", agg.Sum, []core.Window{{Dim: 1, Lo: -1, Hi: 1}}).
+				Combine("ratio", []string{"cnt", "trend"}, core.Ratio(0, 1)),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c, err := tc.wf.Compile()
+			if err != nil {
+				t.Fatal(err)
+			}
+			runSerialVsSharded(t, c, fact, tc.key)
+		})
+	}
+}
+
+// TestShardedMatchesSerialCountDistinct: a COUNT DISTINCT basic whose
+// granularity is ALL on the shard dimension cannot nest inside shard
+// units, so its per-shard distinct-value states must flow through the
+// aggregator Merge (set union) path — and still be exact.
+func TestShardedMatchesSerialCountDistinct(t *testing.T) {
+	fact, s := synthCube(t, 15000, 99)
+	all := model.LevelALL
+	w := core.NewWorkflow(s).
+		Basic("cnt", model.Gran{0, 1, all, all}, agg.Count, -1).
+		Basic("ndv", model.Gran{all, 0, all, all}, agg.CountDistinct, 0).
+		Basic("peak", model.Gran{all, 1, all, all}, agg.Max, 0)
+	c, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := model.SortKey{{Dim: 0, Lvl: 0}, {Dim: 1, Lvl: 0}}
+	runSerialVsSharded(t, c, fact, key)
+}
+
+// TestShardedMatchesSerialAttackLog: the multi-recon shape of the
+// paper's Section 7.2 on the attack-log generator, sharded by t:Day.
+// Five days across up to seven shards also exercises empty shards.
+func TestShardedMatchesSerialAttackLog(t *testing.T) {
+	fact := filepath.Join(t.TempDir(), "net.rec")
+	s, _, err := gen.NetLog(fact, 30000, gen.NetConfig{Days: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hour, err := s.Dim(0).LevelByName("Hour")
+	if err != nil {
+		t.Fatal(err)
+	}
+	day, err := s.Dim(0).LevelByName("Day")
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := model.LevelALL
+	w := core.NewWorkflow(s)
+	w.Basic("traffic", model.Gran{hour, all, 1, all}, agg.Count, -1)
+	w.Rollup("busy", model.Gran{hour, all, all, all}, "traffic", agg.Count, core.Where(core.MWhere(0, core.Gt, 2)))
+	w.Basic("srcActivity", model.Gran{day, 0, 1, all}, agg.Count, -1)
+	w.Rollup("fanIn", model.Gran{day, all, 1, all}, "srcActivity", agg.Count)
+	w.Rollup("sweeps", model.Gran{day, all, all, all}, "fanIn", agg.Count, core.Where(core.MWhere(0, core.Ge, 10)))
+	c, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := model.SortKey{{Dim: 0, Lvl: day}, {Dim: 2, Lvl: 0}, {Dim: 1, Lvl: 0}}
+	runSerialVsSharded(t, c, fact, key)
+}
+
+// TestShardedRejectsUnshardable: a sliding window on the shard
+// dimension means sibling regions cross shard-unit boundaries; the
+// engine must refuse rather than silently compute wrong answers.
+func TestShardedRejectsUnshardable(t *testing.T) {
+	fact, s := synthCube(t, 2000, 5)
+	all := model.LevelALL
+	w := core.NewWorkflow(s).
+		Basic("cnt", model.Gran{0, all, all, all}, agg.Count, -1).
+		Sliding("trend", "cnt", agg.Sum, []core.Window{{Dim: 0, Lo: -1, Hi: 1}})
+	c, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sortscan.RunSharded(c, fact, sortscan.ShardedOptions{
+		SortKey: model.SortKey{{Dim: 0, Lvl: 1}}, Shards: 2, TempDir: filepath.Dir(fact),
+	})
+	if err == nil {
+		t.Fatal("unshardable workflow accepted")
+	}
+}
+
+// TestShardedCancellationMidShard: a pre-canceled context must abort
+// before any shard work, and a budget trip inside one shard worker
+// must surface as the typed error with no temp files left behind.
+func TestShardedCancellationMidShard(t *testing.T) {
+	fact, s := synthCube(t, 10000, 41)
+	all := model.LevelALL
+	w := core.NewWorkflow(s).Basic("cnt", model.Gran{0, 1, all, all}, agg.Count, -1)
+	c, err := w.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := model.SortKey{{Dim: 0, Lvl: 0}, {Dim: 1, Lvl: 0}}
+
+	t.Run("pre-canceled", func(t *testing.T) {
+		tempDir := t.TempDir()
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := sortscan.RunSharded(c, fact, sortscan.ShardedOptions{
+			SortKey: key, Shards: 4, TempDir: tempDir,
+			Guard: qguard.New(ctx, qguard.Limits{}),
+		})
+		if !errors.Is(err, qguard.ErrCanceled) {
+			t.Fatalf("got %v, want ErrCanceled", err)
+		}
+		assertTempDirClean(t, tempDir)
+	})
+
+	t.Run("live-cell-budget-in-shard", func(t *testing.T) {
+		tempDir := t.TempDir()
+		// 10 live cells across 4 shards: each worker gets a 3-cell slice
+		// and must trip while scanning its shard.
+		_, err := sortscan.RunSharded(c, fact, sortscan.ShardedOptions{
+			SortKey: key, Shards: 4, TempDir: tempDir,
+			Guard: qguard.New(context.Background(), qguard.Limits{MaxLiveCells: 10}),
+		})
+		be, ok := qguard.AsBudget(err)
+		if !ok || be.Resource != qguard.ResLiveCells {
+			t.Fatalf("got %v, want live-cells BudgetError", err)
+		}
+		assertTempDirClean(t, tempDir)
+	})
+
+	t.Run("mid-flight-cancel", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("timing-dependent")
+		}
+		bigFact := filepath.Join(t.TempDir(), "big.rec")
+		if _, err := gen.Synth(bigFact, 300000, gen.SynthConfig{Seed: 43}); err != nil {
+			t.Fatal(err)
+		}
+		tempDir := t.TempDir()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		g := qguard.New(ctx, qguard.Limits{})
+		done := make(chan error, 1)
+		go func() {
+			_, err := sortscan.RunSharded(c, bigFact, sortscan.ShardedOptions{
+				SortKey: key, Shards: 4, TempDir: tempDir, Guard: g,
+			})
+			done <- err
+		}()
+		// Cancel as soon as shard files start appearing, so workers are
+		// mid-sort or mid-scan when the signal lands.
+		for i := 0; ; i++ {
+			entries, _ := os.ReadDir(tempDir)
+			if len(entries) > 0 || i > 10000 {
+				break
+			}
+		}
+		cancel()
+		if err := <-done; !errors.Is(err, qguard.ErrCanceled) {
+			t.Fatalf("got %v, want ErrCanceled", err)
+		}
+		assertTempDirClean(t, tempDir)
+	})
+}
+
+// runPublic evaluates through the public context-first API with the
+// given engine and parallelism.
+func runPublic(t *testing.T, c *core.Compiled, fact string, eng aw.Engine, par int) aw.Results {
+	t.Helper()
+	res, err := aw.RunCompiled(context.Background(), c, aw.FromFile(fact), aw.QueryOptions{
+		ExecOptions: aw.ExecOptions{Engine: eng, Parallelism: par},
+		TempDir:     filepath.Dir(fact),
+	})
+	if err != nil {
+		t.Fatalf("engine=%v parallelism=%d: %v", eng, par, err)
+	}
+	return res
+}
+
+// TestShardedThroughPublicAPI: EngineAuto with Parallelism > 1 must
+// pick the sharded engine for a shardable workflow and agree with the
+// serial default, and explicit EngineShardScan must honor every
+// parallelism level.
+func TestShardedThroughPublicAPI(t *testing.T) {
+	fact, s := synthCube(t, 12000, 17)
+	all := model.LevelALL
+	c, err := core.NewWorkflow(s).
+		Basic("cnt", model.Gran{0, 1, all, all}, agg.Count, -1).
+		Rollup("roll", model.Gran{0, all, all, all}, "cnt", agg.Sum).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := runPublic(t, c, fact, aw.EngineSortScan, 0)
+	for _, par := range shardCounts {
+		got := runPublic(t, c, fact, aw.EngineShardScan, par)
+		if d := diffTables(want, got, 0); d != "" {
+			t.Fatalf("parallelism=%d: %s", par, d)
+		}
+	}
+	// EngineAuto + Parallelism resolves to the sharded engine.
+	got := runPublic(t, c, fact, aw.EngineAuto, 4)
+	if d := diffTables(want, got, 0); d != "" {
+		t.Fatalf("auto parallel: %s", d)
+	}
+}

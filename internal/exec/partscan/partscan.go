@@ -30,7 +30,6 @@ package partscan
 import (
 	"fmt"
 	"os"
-	"path/filepath"
 	"sync"
 	"time"
 
@@ -135,56 +134,27 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 	orec.Counter(obs.MPartitions).Add(int64(opts.Partitions))
 	orec.Counter(obs.MFactScans).Add(1) // the split pass reads the fact file once
 
-	// Phase 1: split.
+	// Phase 1: split (the shared partitioned-split substrate handles
+	// writer lifecycle, cancellation, and spill accounting).
 	t0 := time.Now()
 	splitSpan := orec.Start(obs.SpanSplit)
-	r, err := storage.OpenGuarded(factPath, opts.Guard)
+	var res Result
+	res.Stats.Partitions = opts.Partitions
+	dim := c.Schema.Dim(opts.PartitionDim)
+	paths, counts, err := storage.ShardFile(factPath, opts.Partitions, func(rec *model.Record) int {
+		unit := dim.Up(0, lvl, rec.Dims[opts.PartitionDim])
+		return int(uint64(mix(unit)) % uint64(opts.Partitions))
+	}, storage.ShardOptions{TempDir: opts.TempDir, Prefix: "awra-part", Guard: opts.Guard})
 	if err != nil {
 		return nil, err
-	}
-	hdr := r.Header()
-	writers := make([]*storage.Writer, opts.Partitions)
-	paths := make([]string, opts.Partitions)
-	for i := range writers {
-		paths[i] = filepath.Join(opts.TempDir, fmt.Sprintf("awra-part-%d-%d.rec", os.Getpid(), i))
-		w, err := storage.Create(paths[i], hdr.NumDims, hdr.NumMeasures)
-		if err != nil {
-			r.Close()
-			return nil, err
-		}
-		writers[i] = w
 	}
 	defer func() {
 		for _, p := range paths {
 			os.Remove(p)
 		}
 	}()
-	var res Result
-	res.Stats.Partitions = opts.Partitions
-	dim := c.Schema.Dim(opts.PartitionDim)
-	var rec model.Record
-	for {
-		ok, err := r.Next(&rec)
-		if err != nil {
-			r.Close()
-			return nil, err
-		}
-		if !ok {
-			break
-		}
-		res.Stats.Records++
-		unit := dim.Up(0, lvl, rec.Dims[opts.PartitionDim])
-		p := int(uint64(mix(unit)) % uint64(opts.Partitions))
-		if err := writers[p].Write(&rec); err != nil {
-			r.Close()
-			return nil, err
-		}
-	}
-	r.Close()
-	for _, w := range writers {
-		if err := w.Close(); err != nil {
-			return nil, err
-		}
+	for _, n := range counts {
+		res.Stats.Records += n
 	}
 	splitSpan.SetAttr("records", fmt.Sprint(res.Stats.Records))
 	splitSpan.SetAttr("partitions", fmt.Sprint(opts.Partitions))

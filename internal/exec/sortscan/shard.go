@@ -1,0 +1,345 @@
+package sortscan
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"awra/internal/agg"
+	"awra/internal/core"
+	"awra/internal/model"
+	"awra/internal/obs"
+	"awra/internal/opt"
+	"awra/internal/plan"
+	"awra/internal/qguard"
+	"awra/internal/storage"
+)
+
+// ShardedOptions configures RunSharded.
+type ShardedOptions struct {
+	// SortKey orders every shard's pass (same key everywhere); its
+	// leading part is the shard unit.
+	SortKey model.SortKey
+	// Shards is the worker count (>= 1; 1 degenerates to Run).
+	Shards int
+	// TempDir receives shard files and per-shard sort runs.
+	TempDir string
+	// ChunkRecords tunes the per-shard external sorts.
+	ChunkRecords int
+	// Stats feeds footprint estimation (informational).
+	Stats *plan.Stats
+	// Recorder, if non-nil, receives a "split" span for the two-pass
+	// balanced partitioning, one "shard"-rooted span subtree per worker
+	// (sort -> scan -> finalize children), a "combine" span for the
+	// concatenate-and-merge phase, and the standard engine metrics plus
+	// shards_planned and shard_skew_ratio.
+	Recorder *obs.Recorder
+	// Guard, if non-nil, enforces cancellation and resource budgets:
+	// the live-cell budget is divided evenly across shards, while spill
+	// bytes and result rows stay query-global.
+	Guard *qguard.Guard
+}
+
+// RunSharded evaluates the workflow with partitioned parallelism over
+// the sort order itself: the fact file is split into Shards files by
+// the leading part of the sort key (each shard owns whole prefix
+// groups, balanced greedily by record count), every shard is
+// external-sorted and scanned by an independent one-pass engine on its
+// own goroutine, and the per-shard outputs combine — concatenation for
+// measures whose regions nest inside shard units, aggregator-state
+// merge (agg.Merge, e.g. COUNT DISTINCT set union) for measures whose
+// regions span them. Requires a shardable workflow; see
+// opt.ShardPrefix for the exact condition.
+func RunSharded(c *core.Compiled, factPath string, opts ShardedOptions) (*Result, error) {
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	if opts.Shards == 1 {
+		return Run(c, factPath, Options{
+			SortKey: opts.SortKey, TempDir: opts.TempDir, ChunkRecords: opts.ChunkRecords,
+			Stats: opts.Stats, Recorder: opts.Recorder, Guard: opts.Guard,
+		})
+	}
+	rec := opts.Recorder
+	if rec == nil {
+		rec = obs.New()
+	}
+	pl, err := plan.Build(c, opts.SortKey, opts.Stats)
+	if err != nil {
+		return nil, err
+	}
+	sp, err := opt.ShardPrefix(c, pl.SortKey)
+	if err != nil {
+		return nil, fmt.Errorf("sortscan: %w", err)
+	}
+	guard := opts.Guard
+	shards := opts.Shards
+	if opts.TempDir == "" {
+		opts.TempDir = os.TempDir()
+	}
+	rec.Counter(obs.MShardsPlanned).Add(int64(shards))
+
+	// Split: a counting pass sizes every shard unit, a greedy
+	// longest-processing-time assignment balances units across shards,
+	// and a second pass writes the shard files. Two fact-file reads buy
+	// balance that plain unit hashing cannot give when the outermost
+	// level has few distinct values.
+	splitSpan := rec.Start(obs.SpanSplit)
+	assign, total, err := shardAssignment(c, factPath, sp, shards, guard)
+	if err != nil {
+		return nil, err
+	}
+	paths, counts, err := storage.ShardFile(factPath, shards, assign, storage.ShardOptions{
+		TempDir: opts.TempDir, Prefix: "awra-shard", Guard: guard,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, p := range paths {
+			os.Remove(p)
+		}
+	}()
+	rec.Counter(obs.MFactScans).Add(2) // counting pass + split pass
+	var maxShard int64
+	for _, n := range counts {
+		if n > maxShard {
+			maxShard = n
+		}
+	}
+	if total > 0 {
+		// permille: 1000 = perfectly balanced.
+		rec.Gauge(obs.GShardSkew).SetMax(maxShard * int64(shards) * 1000 / total)
+	}
+	splitSpan.SetAttr("records", fmt.Sprint(total))
+	splitSpan.SetAttr("shards", fmt.Sprint(shards))
+	splitSpan.End()
+
+	// Mark the spanning measures for state extraction.
+	var stateIdx []bool
+	if len(sp.Merge) > 0 {
+		stateIdx = make([]bool, len(c.Measures))
+		for _, i := range sp.Merge {
+			stateIdx[i] = true
+		}
+	}
+
+	// Parallel phase: one full sort+scan pipeline per shard. The plan
+	// is shared read-only; each engine keeps private state. The derived
+	// guard divides the live-cell budget across workers while keeping
+	// cancellation and the byte/row budgets query-global.
+	sg := guard.Shard(shards)
+	type shardOut struct {
+		res    *Result
+		states []map[model.Key]agg.Aggregator
+		err    error
+	}
+	t0 := time.Now()
+	outs := make([]shardOut, shards)
+	var wg sync.WaitGroup
+	for i := 0; i < shards; i++ {
+		wg.Add(1)
+		sSpan := rec.Start(obs.SpanShard)
+		sSpan.SetAttr("shard", fmt.Sprint(i))
+		sSpan.SetAttr("records", fmt.Sprint(counts[i]))
+		go func(i int, sSpan *obs.Span) {
+			defer wg.Done()
+			defer sSpan.End()
+			// A panic escaping a goroutine kills the process, bypassing
+			// the aw boundary's recover; convert it to a shard error.
+			defer func() {
+				if r := recover(); r != nil {
+					if a, ok := r.(qguard.Abort); ok {
+						outs[i].err = a.Err
+						return
+					}
+					outs[i].err = fmt.Errorf("sortscan: shard %d panic: %v", i, r)
+				}
+			}()
+			srec := rec.At(sSpan)
+			sorted := paths[i] + ".sorted"
+			defer os.Remove(sorted)
+			sortSpan := srec.Start(obs.SpanSort)
+			less := func(a, b *model.Record) bool { return pl.SortKey.RecordLess(c.Schema, a, b) }
+			ss, err := storage.SortFile(paths[i], sorted, less, storage.SortOptions{
+				ChunkRecords: opts.ChunkRecords, TempDir: opts.TempDir,
+				Recorder: srec.At(sortSpan), Guard: sg,
+			})
+			sortSpan.SetAttr("runs", fmt.Sprint(ss.Runs))
+			sortSpan.End()
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			r, err := storage.OpenGuarded(sorted, sg)
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			defer r.Close()
+			res, states, err := runSortedStates(c, pl, r, false, srec, sg, stateIdx)
+			if err != nil {
+				outs[i].err = err
+				return
+			}
+			res.Stats.SortTime = sortSpan.Duration()
+			res.Stats.SortRuns = ss.Runs
+			outs[i].res, outs[i].states = res, states
+		}(i, sSpan)
+	}
+	wg.Wait()
+	scanWall := time.Since(t0)
+
+	// Combine: concatenate nesting measures (duplicate regions mean the
+	// shard validation was unsound — fail loudly), then merge the
+	// spanning measures' per-shard states and finalize them.
+	combSpan := rec.Start(obs.SpanCombine)
+	defer combSpan.End()
+	out := &Result{Tables: make(map[string]*core.Table), Plan: pl}
+	out.Stats.SortTime = splitSpan.Duration()
+	out.Stats.ScanTime = scanWall
+	for _, name := range c.Outputs() {
+		m, _ := c.MeasureByName(name)
+		out.Tables[name] = core.NewTable(c.Schema, m.Gran)
+	}
+	for i := range outs {
+		if outs[i].err != nil {
+			return nil, fmt.Errorf("sortscan: shard %d: %w", i, outs[i].err)
+		}
+		res := outs[i].res
+		out.Stats.Records += res.Stats.Records
+		out.Stats.SortRuns += res.Stats.SortRuns
+		out.Stats.PeakCells += res.Stats.PeakCells
+		out.Stats.PeakBytes += res.Stats.PeakBytes
+		out.Stats.FlushBatches += res.Stats.FlushBatches
+		for name, tbl := range res.Tables {
+			idx, _ := c.Index(name)
+			if stateIdx != nil && stateIdx[idx] {
+				continue // filled from merged states below
+			}
+			dst := out.Tables[name]
+			for k, v := range tbl.Rows {
+				if _, dup := dst.Rows[k]; dup {
+					return nil, fmt.Errorf("sortscan: region %s of %q produced by two shards; shard validation is unsound",
+						tbl.Codec.Format(k), name)
+				}
+				dst.Rows[k] = v
+			}
+		}
+	}
+	for _, mi := range sp.Merge {
+		m := c.Measures[mi]
+		acc := make(map[model.Key]agg.Aggregator)
+		for i := range outs {
+			for k, a := range outs[i].states[mi] {
+				if prev, ok := acc[k]; ok {
+					prev.Merge(a)
+				} else {
+					acc[k] = a
+				}
+			}
+		}
+		rec.Counter(obs.MCellsFinalized).Add(int64(len(acc)))
+		if m.Hidden {
+			continue
+		}
+		tbl := out.Tables[m.Name]
+		for k, a := range acc {
+			tbl.Rows[k] = a.Final()
+		}
+		if err := guard.NoteResultRows(int64(len(acc))); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// shardAssignment reads the fact file once, counts records per shard
+// unit (the record's code on the shard dimension lifted to the shard
+// level), and returns a balanced unit -> shard routing function via
+// greedy LPT assignment: units descending by size, each to the
+// least-loaded shard. If the unit space explodes past a bound, it
+// falls back to stateless unit hashing.
+func shardAssignment(c *core.Compiled, factPath string, sp opt.ShardChoice, shards int, g *qguard.Guard) (func(*model.Record) int, int64, error) {
+	dim := c.Schema.Dim(sp.Dim)
+	sdim, slvl := sp.Dim, sp.Level
+	hashed := func(r *model.Record) int {
+		u := dim.Up(0, slvl, r.Dims[sdim])
+		return int(uint64(mixShard(u)) % uint64(shards))
+	}
+	const maxUnits = 1 << 20
+	unitCounts := make(map[int64]int64)
+	var total int64
+	r, err := storage.OpenGuarded(factPath, g)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer r.Close()
+	var rec model.Record
+	for {
+		ok, err := r.Next(&rec)
+		if err != nil {
+			return nil, 0, err
+		}
+		if !ok {
+			break
+		}
+		total++
+		if unitCounts != nil {
+			unitCounts[dim.Up(0, slvl, rec.Dims[sdim])]++
+			if len(unitCounts) > maxUnits {
+				unitCounts = nil // too many units to plan; hash instead
+			}
+		}
+	}
+	if unitCounts == nil {
+		return hashed, total, nil
+	}
+	type unitCount struct {
+		unit int64
+		n    int64
+	}
+	units := make([]unitCount, 0, len(unitCounts))
+	for u, n := range unitCounts {
+		units = append(units, unitCount{u, n})
+	}
+	sort.Slice(units, func(i, j int) bool {
+		if units[i].n != units[j].n {
+			return units[i].n > units[j].n
+		}
+		return units[i].unit < units[j].unit // deterministic ties
+	})
+	loads := make([]int64, shards)
+	route := make(map[int64]int, len(units))
+	for _, uc := range units {
+		best := 0
+		for s := 1; s < shards; s++ {
+			if loads[s] < loads[best] {
+				best = s
+			}
+		}
+		route[uc.unit] = best
+		loads[best] += uc.n
+	}
+	return func(r *model.Record) int {
+		u := dim.Up(0, slvl, r.Dims[sdim])
+		if s, ok := route[u]; ok {
+			return s
+		}
+		return hashed(r) // unit unseen by the counting pass
+	}, total, nil
+}
+
+// mixShard is SplitMix64's finalizer, so hashed shard assignment is
+// well distributed even for sequential unit codes.
+func mixShard(x int64) int64 {
+	u := uint64(x)
+	u ^= u >> 30
+	u *= 0xbf58476d1ce4e5b9
+	u ^= u >> 27
+	u *= 0x94d049bb133111eb
+	u ^= u >> 31
+	return int64(u)
+}

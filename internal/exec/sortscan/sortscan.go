@@ -151,6 +151,9 @@ type engine struct {
 	emit         EmitFunc
 	rec          *obs.Recorder
 	guard        *qguard.Guard
+	// stateIdx, when non-nil, marks nodes whose cells are extracted as
+	// raw aggregator states instead of finalized (sharded runs).
+	stateIdx []bool
 	// Per-record tallies stay in plain fields (the scan loop never
 	// touches the recorder); publish() flushes them at end of run.
 	created   int64 // cells created
@@ -242,8 +245,20 @@ func runSorted(c *core.Compiled, pl *plan.Plan, src storage.Source, disableEarly
 	if obsRec == nil {
 		obsRec = obs.New()
 	}
+	res, _, err := runSortedStates(c, pl, src, disableEarlyFlush, obsRec, guard, nil)
+	return res, err
+}
+
+// runSortedStates is the engine's core loop. When stateIdx is non-nil,
+// the marked nodes (leaf basics whose regions span shard units) are
+// never finalized: their cells stay live through the whole scan and
+// their raw aggregator states are returned, keyed like their output
+// tables, for a cross-shard merge by the sharded driver. All other
+// nodes flush normally.
+func runSortedStates(c *core.Compiled, pl *plan.Plan, src storage.Source, disableEarlyFlush bool, obsRec *obs.Recorder, guard *qguard.Guard, stateIdx []bool) (*Result, []map[model.Key]agg.Aggregator, error) {
 	e := newEngine(c, pl, disableEarlyFlush, obsRec)
 	e.guard = guard
+	e.stateIdx = stateIdx
 	scanSpan := obsRec.Start(obs.SpanScan)
 	var rec model.Record
 	var basics []*node
@@ -255,7 +270,7 @@ func runSorted(c *core.Compiled, pl *plan.Plan, src storage.Source, disableEarly
 	for {
 		ok, err := src.Next(&rec)
 		if err != nil {
-			return nil, fmt.Errorf("sortscan: %w", err)
+			return nil, nil, fmt.Errorf("sortscan: %w", err)
 		}
 		if !ok {
 			break
@@ -266,7 +281,7 @@ func runSorted(c *core.Compiled, pl *plan.Plan, src storage.Source, disableEarly
 		// guard inside Reader.Next; this covers in-memory sources.
 		if e.stats.Records&255 == 0 {
 			if err := e.checkGuard(); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 		for _, n := range basics {
@@ -278,8 +293,11 @@ func runSorted(c *core.Compiled, pl *plan.Plan, src storage.Source, disableEarly
 		for _, n := range basics {
 			if n.arcs[0].advancedCoarse {
 				n.arcs[0].advancedCoarse = false
+				if stateIdx != nil && stateIdx[n.idx] {
+					continue
+				}
 				if err := e.finalizeNode(n, false); err != nil {
-					return nil, err
+					return nil, nil, err
 				}
 			}
 		}
@@ -287,11 +305,26 @@ func runSorted(c *core.Compiled, pl *plan.Plan, src storage.Source, disableEarly
 	scanSpan.SetAttr("records", fmt.Sprint(e.stats.Records))
 	scanSpan.End()
 	// End of scan: flush everything in topological order (Table 7's
-	// final "flush the hash tables of all measures").
+	// final "flush the hash tables of all measures"), except the
+	// state-extraction nodes, whose cells are handed back unmerged.
 	finSpan := obsRec.Start(obs.SpanFinalize)
+	var states []map[model.Key]agg.Aggregator
+	if stateIdx != nil {
+		states = make([]map[model.Key]agg.Aggregator, len(e.nodes))
+	}
 	for _, n := range e.nodes {
+		if stateIdx != nil && stateIdx[n.idx] {
+			st := make(map[model.Key]agg.Aggregator, len(n.cells))
+			for k, cl := range n.cells {
+				st[k] = cl.agg
+				delete(n.cells, k)
+				e.noteLive(-1)
+			}
+			states[n.idx] = st
+			continue
+		}
 		if err := e.finalizeNode(n, true); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	finSpan.End()
@@ -303,7 +336,7 @@ func runSorted(c *core.Compiled, pl *plan.Plan, src storage.Source, disableEarly
 		i, _ := c.Index(name)
 		res.Tables[name] = e.nodes[i].out
 	}
-	return res, nil
+	return res, states, nil
 }
 
 func containsIdx(xs []int, x int) bool {

@@ -70,6 +70,9 @@ const (
 	// MFallbackSwitches counts EngineAuto runs that fell back from
 	// sort/scan to multi-pass after the live-cell guardrail tripped.
 	MFallbackSwitches = "fallback_engine_switches"
+	// MShardsPlanned counts shards planned by the sharded sort/scan
+	// engine.
+	MShardsPlanned = "shards_planned"
 
 	// GLiveCellsHWM is the high-water mark of simultaneously live hash
 	// entries across all measure nodes.
@@ -80,6 +83,10 @@ const (
 	// GOptBestBytes is the optimizer's estimated footprint of the
 	// chosen plan.
 	GOptBestBytes = "opt_best_bytes"
+	// GShardSkew is the largest shard's record count over the mean
+	// shard size, in permille (1000 = perfectly balanced), from the
+	// sharded sort/scan split.
+	GShardSkew = "shard_skew_ratio"
 )
 
 // Standard span names, mapping to the paper's evaluation phases (see
@@ -93,8 +100,9 @@ const (
 	SpanScan      = "scan"      // the streaming scan (Table 7 lines 3-7)
 	SpanFinalize  = "finalize"  // end-of-stream flush (Table 7 line 8)
 	SpanCombine   = "combine"   // composite/combine phase
-	SpanSplit     = "split"     // partscan fact-file split
+	SpanSplit     = "split"     // partscan/shardscan fact-file split
 	SpanPartition = "partition" // one partscan worker's sort/scan subtree
+	SpanShard     = "shard"     // one shardscan worker's sort/scan subtree
 	SpanSpill     = "spill_merge"
 	SpanPass      = "pass"    // one multipass sort/scan iteration
 	SpanMeasure   = "measure" // one relational-baseline measure query

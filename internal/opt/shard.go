@@ -1,0 +1,85 @@
+package opt
+
+import (
+	"fmt"
+
+	"awra/internal/core"
+	"awra/internal/model"
+)
+
+// ShardChoice describes how a sharded sort/scan run splits its work:
+// the fact file is partitioned by the shard unit — dimension Dim at
+// level Level, the leading part of the sort key — so each shard holds
+// a contiguous prefix-group range of the sorted order.
+type ShardChoice struct {
+	Dim   int
+	Level model.Level
+	// Merge lists measures (by index into Compiled.Measures) whose
+	// region sets span shard units: each shard evaluates them over its
+	// subset and the driver merges the per-shard aggregator states
+	// before finalization. Measures not listed here nest inside shard
+	// units and concatenate with no merge step.
+	Merge []int
+}
+
+// ShardPrefix decides whether a workflow can run sharded by the leading
+// part of the (normalized) sort key, and how. A measure is safe when
+// its region set nests inside shard units — its level on the shard
+// dimension is at or below the shard level, with no sibling window
+// moving along that dimension — because then every region's updates
+// land in exactly one shard and per-shard results concatenate. A
+// measure whose regions span shards is still evaluable if it is a leaf
+// basic aggregate whose Merge commutes (partition-then-merge, Gray et
+// al.): its per-shard states union into the global answer. Anything
+// else — a spanning measure with dependents, a composite spanning
+// measure, or an order-dependent aggregate — makes the workflow
+// unshardable, and ShardPrefix returns an error explaining why.
+func ShardPrefix(c *core.Compiled, key model.SortKey) (ShardChoice, error) {
+	var ch ShardChoice
+	if len(key) == 0 {
+		return ch, fmt.Errorf("opt: empty sort key; nothing to shard by")
+	}
+	sch := c.Schema
+	sdim, slvl := key[0].Dim, key[0].Lvl
+	if slvl == sch.Dim(sdim).ALL() {
+		return ch, fmt.Errorf("opt: sort key leads with %s at ALL; cannot shard", sch.Dim(sdim).Name())
+	}
+	ch.Dim, ch.Level = sdim, slvl
+
+	// Measures referenced by others (as source or base) must nest: a
+	// spanning producer would deliver partial per-shard values into its
+	// consumers, which no downstream merge can repair.
+	hasDeps := make([]bool, len(c.Measures))
+	for _, m := range c.Measures {
+		for _, s := range m.Sources {
+			hasDeps[s] = true
+		}
+		if m.Base >= 0 {
+			hasDeps[m.Base] = true
+		}
+	}
+	dimName := sch.Dim(sdim).Name()
+	for i, m := range c.Measures {
+		nests := m.Gran[sdim] != sch.Dim(sdim).ALL() && m.Gran[sdim] <= slvl
+		for _, w := range m.Windows {
+			if w.Dim == sdim {
+				// Neighbor regions along the shard dimension can live in
+				// other shards.
+				nests = false
+			}
+		}
+		if nests {
+			continue
+		}
+		switch {
+		case hasDeps[i]:
+			return ch, fmt.Errorf("opt: measure %q spans shard units on %q and feeds other measures", m.Name, dimName)
+		case m.Kind != core.KindBasic:
+			return ch, fmt.Errorf("opt: composite measure %q spans shard units on %q", m.Name, dimName)
+		case !m.Agg.MergeCommutes():
+			return ch, fmt.Errorf("opt: measure %q uses order-dependent %v; per-shard states cannot merge", m.Name, m.Agg)
+		}
+		ch.Merge = append(ch.Merge, i)
+	}
+	return ch, nil
+}

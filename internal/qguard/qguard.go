@@ -94,6 +94,41 @@ type Guard struct {
 	// atomic CAS slots panic if stores mix concrete types, and fail is
 	// called with both sentinel errors and *BudgetError.
 	sticky atomic.Pointer[stickyErr]
+	// root, when non-nil, is the guard whose accumulators and sticky
+	// error this derived view shares (see Shard). Totals for result
+	// rows, spill bytes, and corrupt rows are query-global, and the
+	// first fatal error anywhere must stop every worker; only the
+	// live-cell limit is per-view.
+	root *Guard
+}
+
+// base returns the guard owning the shared accumulators: the root for
+// a derived shard view, the guard itself otherwise.
+func (g *Guard) base() *Guard {
+	if g.root != nil {
+		return g.root
+	}
+	return g
+}
+
+// Shard derives a per-worker view of the guard for parallel execution
+// across n workers: the live-cell budget is divided evenly (each worker
+// checks its own frontier against an n-th of the limit, rounded up),
+// while cancellation, the sticky first error, and the result-row,
+// spill-byte, and corrupt-row accounting remain shared with the parent
+// so those budgets stay query-global. A nil guard shards to nil.
+func (g *Guard) Shard(n int) *Guard {
+	if g == nil {
+		return nil
+	}
+	if n < 1 {
+		n = 1
+	}
+	lim := g.limits
+	if lim.MaxLiveCells > 0 {
+		lim.MaxLiveCells = (lim.MaxLiveCells + int64(n) - 1) / int64(n)
+	}
+	return &Guard{ctx: g.ctx, limits: lim, root: g.base()}
 }
 
 // stickyErr boxes the guard's first fatal error (see Guard.sticky).
@@ -124,7 +159,7 @@ func (g *Guard) Err() error {
 	if g == nil {
 		return nil
 	}
-	if box := g.sticky.Load(); box != nil {
+	if box := g.base().sticky.Load(); box != nil {
 		return box.err
 	}
 	if err := g.ctx.Err(); err != nil {
@@ -143,10 +178,11 @@ func mapCtxErr(err error) error {
 // fail records err as the guard's sticky error (first writer wins) and
 // returns the winning error.
 func (g *Guard) fail(err error) error {
-	if g.sticky.CompareAndSwap(nil, &stickyErr{err: err}) {
+	b := g.base()
+	if b.sticky.CompareAndSwap(nil, &stickyErr{err: err}) {
 		return err
 	}
-	return g.sticky.Load().err
+	return b.sticky.Load().err
 }
 
 // NoteLiveCells checks the live-cell high-water mark against the
@@ -164,7 +200,7 @@ func (g *Guard) NoteResultRows(delta int64) error {
 	if g == nil {
 		return nil
 	}
-	total := g.resultRows.Add(delta)
+	total := g.base().resultRows.Add(delta)
 	if g.limits.MaxResultRows > 0 && total > g.limits.MaxResultRows {
 		return g.fail(&BudgetError{Resource: ResResultRows, Limit: g.limits.MaxResultRows, Used: total})
 	}
@@ -177,7 +213,7 @@ func (g *Guard) NoteSpill(bytes int64) error {
 	if g == nil {
 		return nil
 	}
-	total := g.spillBytes.Add(bytes)
+	total := g.base().spillBytes.Add(bytes)
 	if g.limits.MaxSpillBytes > 0 && total > g.limits.MaxSpillBytes {
 		return g.fail(&BudgetError{Resource: ResSpillBytes, Limit: g.limits.MaxSpillBytes, Used: total})
 	}
@@ -191,7 +227,7 @@ func (g *Guard) SkipCorruptRows() bool { return g != nil && g.limits.SkipCorrupt
 // NoteCorruptRow counts one skipped corrupt row (degraded mode).
 func (g *Guard) NoteCorruptRow() {
 	if g != nil {
-		g.corrupt.Add(1)
+		g.base().corrupt.Add(1)
 	}
 }
 
@@ -200,7 +236,7 @@ func (g *Guard) CorruptRows() int64 {
 	if g == nil {
 		return 0
 	}
-	return g.corrupt.Load()
+	return g.base().corrupt.Load()
 }
 
 // ResultRows returns the finalized-row total recorded so far.
@@ -208,7 +244,7 @@ func (g *Guard) ResultRows() int64 {
 	if g == nil {
 		return 0
 	}
-	return g.resultRows.Load()
+	return g.base().resultRows.Load()
 }
 
 // SpillBytes returns the spill total recorded so far.
@@ -216,7 +252,7 @@ func (g *Guard) SpillBytes() int64 {
 	if g == nil {
 		return 0
 	}
-	return g.spillBytes.Load()
+	return g.base().spillBytes.Load()
 }
 
 // Abort carries a guard error across a panic unwind. Sort comparators

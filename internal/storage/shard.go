@@ -1,0 +1,117 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"awra/internal/model"
+	"awra/internal/qguard"
+)
+
+// ShardOptions configures ShardFile.
+type ShardOptions struct {
+	// TempDir receives the shard files; empty uses os.TempDir().
+	TempDir string
+	// Prefix names the shard files: <TempDir>/<Prefix>-<pid>-<i>.rec.
+	// Empty uses "awra-shard".
+	Prefix string
+	// Guard, if non-nil, makes the split cooperatively cancelable,
+	// applies the degraded-read policy to the input, and charges the
+	// shard files against the spill-byte budget.
+	Guard *qguard.Guard
+}
+
+// ShardFile splits a record file into n shard files, routing each
+// record through assign (which must return a value in [0, n)). It
+// returns the shard paths and per-shard record counts; the caller owns
+// the files and removes them when done. On error (including
+// cancellation) every partial shard file is removed.
+func ShardFile(inPath string, n int, assign func(r *model.Record) int, opts ShardOptions) (paths []string, counts []int64, err error) {
+	if n < 1 {
+		n = 1
+	}
+	tempDir := opts.TempDir
+	if tempDir == "" {
+		tempDir = os.TempDir()
+	}
+	prefix := opts.Prefix
+	if prefix == "" {
+		prefix = "awra-shard"
+	}
+	in, err := OpenGuarded(inPath, opts.Guard)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer in.Close()
+	hdr := in.Header()
+
+	paths = make([]string, n)
+	counts = make([]int64, n)
+	writers := make([]*Writer, n)
+	cleanup := func() {
+		for i, w := range writers {
+			if w != nil {
+				w.f.Close()
+			}
+			os.Remove(paths[i])
+		}
+	}
+	for i := range writers {
+		paths[i] = filepath.Join(tempDir, fmt.Sprintf("%s-%d-%d.rec", prefix, os.Getpid(), i))
+		w, err := Create(paths[i], hdr.NumDims, hdr.NumMeasures)
+		if err != nil {
+			writers[i] = nil
+			cleanup()
+			return nil, nil, err
+		}
+		writers[i] = w
+	}
+
+	// The shard files are disk the query consumed; charge them like
+	// external-sort runs (at a stride, so the overshoot past
+	// MaxSpillBytes stays bounded) so the budget covers split I/O.
+	const spillStride = 8192
+	var rec model.Record
+	var written, charged int64
+	for {
+		ok, err := in.Next(&rec)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		if !ok {
+			break
+		}
+		s := assign(&rec)
+		if s < 0 || s >= n {
+			cleanup()
+			return nil, nil, fmt.Errorf("storage: shard assignment %d out of range [0,%d)", s, n)
+		}
+		if err := writers[s].Write(&rec); err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		counts[s]++
+		if written++; written-charged >= spillStride {
+			if err := opts.Guard.NoteSpill((written - charged) * int64(hdr.recordBytes())); err != nil {
+				cleanup()
+				return nil, nil, err
+			}
+			charged = written
+		}
+	}
+	if err := opts.Guard.NoteSpill((written - charged) * int64(hdr.recordBytes())); err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	for i, w := range writers {
+		writers[i] = nil // closed below; cleanup must not double-close
+		if err := w.Close(); err != nil {
+			cleanup()
+			os.Remove(paths[i])
+			return nil, nil, err
+		}
+	}
+	return paths, counts, nil
+}
