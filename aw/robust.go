@@ -5,6 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"runtime/pprof"
+	"strconv"
+	"strings"
 
 	"awra/internal/obs"
 	"awra/internal/qguard"
@@ -62,11 +65,23 @@ func Run(ctx context.Context, w *Workflow, in Input, opts ...QueryOptions) (Resu
 //     fallback_engine_switches;
 //   - engine panics are recovered and returned as errors, so a bug in
 //     an evaluator cannot take down the caller's process.
-func RunCompiled(ctx context.Context, c *Compiled, in Input, opts ...QueryOptions) (res Results, err error) {
+func RunCompiled(ctx context.Context, c *Compiled, in Input, opts ...QueryOptions) (Results, error) {
 	var o QueryOptions
 	if len(opts) > 0 {
 		o = opts[0]
 	}
+	res, _, err := runResolved(ctx, c, in, o)
+	return res, err
+}
+
+// runResolved is RunCompiled with the EngineAuto decision surfaced, so
+// ExplainAnalyze can label the profile with the engine that actually
+// ran. It also owns the query's process-level registration: every run
+// appears in obs.DefaultInflight for its duration (with an internal
+// recorder when the caller supplied none, so live snapshots still carry
+// phase and progress), and the goroutine runs under runtime/pprof
+// labels (query_id) that engine workers extend with a phase label.
+func runResolved(ctx context.Context, c *Compiled, in Input, o QueryOptions) (res Results, engine Engine, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -75,6 +90,17 @@ func RunCompiled(ctx context.Context, c *Compiled, in Input, opts ...QueryOption
 		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
 		defer cancel()
 	}
+	if o.Recorder == nil {
+		o.Recorder = obs.New()
+	}
+	inq := obs.DefaultInflight.Begin(strings.Join(c.Outputs(), ","), o.Recorder, nil)
+	defer inq.Finish()
+	// Label this goroutine (and, through the guard's context, every
+	// engine worker) so CPU profiles attribute samples to the query.
+	caller := ctx
+	ctx = pprof.WithLabels(ctx, pprof.Labels("query_id", strconv.FormatInt(inq.ID(), 10)))
+	pprof.SetGoroutineLabels(ctx)
+	defer pprof.SetGoroutineLabels(caller)
 	limits := qguard.Limits{
 		MaxLiveCells:    o.MaxLiveCells,
 		MaxResultRows:   o.MaxResultRows,
@@ -95,8 +121,7 @@ func RunCompiled(ctx context.Context, c *Compiled, in Input, opts ...QueryOption
 	}()
 
 	wasAuto := o.Engine == EngineAuto
-	var engine Engine
-	res, engine, err = runEngines(c, in, o, g)
+	res, engine, err = runEngines(c, in, o, g, inq)
 	// The multipass fallback needs a file input; for in-memory inputs the
 	// original BudgetError stands (retrying would replace it with an
 	// unrelated "requires a file input" error).
@@ -120,17 +145,17 @@ func RunCompiled(ctx context.Context, c *Compiled, in Input, opts ...QueryOption
 				o.Recorder.Counter(obs.MRowsCorruptSkipped).Add(n)
 			}
 			g = qguard.New(ctx, limits)
-			res, _, err = runEngines(c, in, retry, g)
+			res, engine, err = runEngines(c, in, retry, g, inq)
 		}
 	}
-	return res, err
+	return res, engine, err
 }
 
 // reportOutcome publishes the robustness counters for one finished
 // attempt: cancellations, budget rejections, and degraded-mode corrupt
 // rows skipped.
 func reportOutcome(rec *Recorder, g *qguard.Guard, err error) {
-	if n := g.CorruptRows(); n > 0 {
+	if n := g.Stats().CorruptRows; n > 0 {
 		rec.Counter(obs.MRowsCorruptSkipped).Add(n)
 	}
 	switch {

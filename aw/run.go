@@ -225,9 +225,10 @@ func QueryCompiled(c *Compiled, in Input, opts ...QueryOptions) (Results, error)
 // runEngines dispatches one evaluation attempt to the selected engine
 // under the given guard, returning the engine that actually ran (the
 // EngineAuto decision resolved).
-func runEngines(c *Compiled, in Input, o QueryOptions, g *qguard.Guard) (Results, Engine, error) {
+func runEngines(c *Compiled, in Input, o QueryOptions, g *qguard.Guard, inq *obs.InflightQuery) (Results, Engine, error) {
 	qSpan := o.Recorder.Start(obs.SpanQuery)
 	defer qSpan.End()
+	inq.SetSpan(qSpan)
 	qrec := o.Recorder.At(qSpan)
 	if o.AutoStats {
 		if in.path == "" {
@@ -283,6 +284,7 @@ func runEngines(c *Compiled, in Input, o QueryOptions, g *qguard.Guard) (Results
 	}
 
 	qSpan.SetAttr("engine", o.Engine.String())
+	inq.SetEngine(o.Engine.String())
 
 	// In-memory input paths.
 	if in.path == "" {

@@ -79,12 +79,18 @@ func main() {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 			rec.WritePrometheus(w)
 		})
+		http.HandleFunc("/debug/aw/queries", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := aw.WriteInflightJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "awbench: http:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "awbench: serving /metrics, /debug/vars, /debug/pprof on %s\n", *httpAddr)
+		fmt.Fprintf(os.Stderr, "awbench: serving /metrics, /debug/aw/queries, /debug/vars, /debug/pprof on %s\n", *httpAddr)
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

@@ -27,6 +27,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -49,7 +50,9 @@ func main() {
 		par     = flag.Int("parallelism", 1, "parallel workers: shardscan shards, singlescan scan workers, sortscan sort workers")
 		workers = flag.Int("workers", 0, "deprecated alias for -parallelism")
 		csvOut  = flag.String("o", "", "write the selected measure(s) as CSV file(s): PATH, or PATH prefix when printing several")
-		explain = flag.Bool("explain", false, "print the optimizer's plan and the workflow DOT graph, then exit")
+		explain = flag.Bool("explain", false, "print the plan tree with optimizer estimates (and the workflow DOT graph), then exit")
+		analyze = flag.Bool("explain-analyze", false, "run the query, then print the plan tree with per-node actuals vs estimates instead of result rows")
+		jsonOut = flag.Bool("json", false, "with -explain/-explain-analyze: emit the profile as JSON")
 		dot     = flag.Bool("dot", false, "print only the Graphviz workflow diagram, then exit")
 		stats   = flag.Bool("stats", false, "sample the data file and print per-dimension statistics, then exit")
 		auto    = flag.Bool("autostats", false, "feed sampled statistics to the sort-order optimizer")
@@ -87,16 +90,22 @@ func main() {
 		return
 	}
 	if *explain {
-		key, est, err := aw.BestSortKey(c, nil)
+		eng, err := aw.ParseEngine(*engine)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("chosen sort key: %s (estimated footprint %.0f bytes)\n\n", key.String(parsed.Schema), est)
-		text, err := aw.ExplainPlan(c, key, nil)
+		prof, err := aw.Explain(c, aw.QueryOptions{ExecOptions: aw.ExecOptions{
+			Engine: eng, MemoryBudget: *budget, Parallelism: *par,
+		}})
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Println(text)
+		if *jsonOut {
+			writeProfile(prof)
+			return
+		}
+		fmt.Print(prof.String())
+		fmt.Println()
 		fmt.Println(aw.DOT(c))
 		return
 	}
@@ -144,7 +153,11 @@ func main() {
 		rec = aw.NewRecorder()
 	}
 	var res aw.Results
+	var prof *aw.Profile
 	if *load != "" {
+		if *analyze {
+			fatal(fmt.Errorf("-explain-analyze requires running a query (incompatible with -load)"))
+		}
 		res, err = aw.LoadResults(*load, parsed.Schema)
 		if err != nil {
 			fatal(err)
@@ -158,7 +171,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "awquery: -workers is deprecated; use -parallelism")
 			parallelism = *workers
 		}
-		res, err = aw.RunCompiled(ctx, c, aw.FromFile(*data), aw.QueryOptions{
+		qo := aw.QueryOptions{
 			ExecOptions: aw.ExecOptions{
 				Engine:          eng,
 				MemoryBudget:    *budget,
@@ -174,7 +187,16 @@ func main() {
 			PartitionDim:   pd,
 			PartitionLevel: aw.Level(*partLvl),
 			Partitions:     *parts,
-		})
+		}
+		if *analyze {
+			var r *aw.Result
+			r, err = aw.ExplainAnalyzeCompiled(ctx, c, aw.FromFile(*data), qo)
+			if err == nil {
+				res, prof = r.Tables, r.Profile
+			}
+		} else {
+			res, err = aw.RunCompiled(ctx, c, aw.FromFile(*data), qo)
+		}
 		stop()
 		if err != nil {
 			fatal(err)
@@ -208,6 +230,17 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("saved %d measures to %s\n", len(res), *save)
+	}
+
+	if prof != nil {
+		if *jsonOut {
+			writeProfile(prof)
+		} else {
+			fmt.Print(prof.String())
+		}
+		if *csvOut == "" {
+			return
+		}
 	}
 
 	names := c.Outputs()
@@ -253,6 +286,15 @@ func main() {
 			fmt.Printf("   %-50s %v\n", tbl.Codec.Format(k), tbl.Rows[k])
 			shown++
 		}
+	}
+}
+
+// writeProfile emits a profile as indented JSON on stdout.
+func writeProfile(p *aw.Profile) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(p); err != nil {
+		fatal(err)
 	}
 }
 

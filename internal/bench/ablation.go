@@ -47,9 +47,11 @@ func AblKey(cfg Config) (*Figure, error) {
 		{"worst", choices[len(choices)-1]},
 	} {
 		t0 := time.Now()
+		rec, done := cfg.beginQuery("abl-key:"+pick.label, "sortscan")
 		res, err := sortscan.Run(w, fact, sortscan.Options{
-			SortKey: pick.ch.Key, TempDir: cfg.Dir, Stats: st, Recorder: cfg.Recorder,
+			SortKey: pick.ch.Key, TempDir: cfg.Dir, Stats: st, Recorder: rec,
 		})
+		done()
 		if err != nil {
 			return nil, err
 		}
@@ -96,12 +98,14 @@ func AblPar(cfg Config) (*Figure, error) {
 	key := model.SortKey{{Dim: 0, Lvl: day}, {Dim: 2, Lvl: 0}, {Dim: 1, Lvl: 0}}
 	for _, parts := range []int{1, 2, 4} {
 		t0 := time.Now()
+		rec, done := cfg.beginQuery(fmt.Sprintf("abl-par:parts=%d", parts), "partscan")
 		res, err := partscan.Run(w, fact, partscan.Options{
 			PartitionDim: 0, PartitionLevel: day, Partitions: parts,
 			SortKey: key, TempDir: cfg.Dir,
 			Stats:    &plan.Stats{BaseCard: cards},
-			Recorder: cfg.Recorder,
+			Recorder: rec,
 		})
+		done()
 		if err != nil {
 			return nil, err
 		}
@@ -138,9 +142,11 @@ func ParShard(cfg Config) (*Figure, error) {
 	st := &plan.Stats{BaseCard: SynthStats(sc)}
 
 	t0 := time.Now()
+	rec, done := cfg.beginQuery("par-shard:serial", "sortscan")
 	base, err := sortscan.Run(w, fact, sortscan.Options{
-		SortKey: key, TempDir: cfg.Dir, Stats: st, Recorder: cfg.Recorder,
+		SortKey: key, TempDir: cfg.Dir, Stats: st, Recorder: rec,
 	})
+	done()
 	if err != nil {
 		return nil, err
 	}
@@ -155,9 +161,11 @@ func ParShard(cfg Config) (*Figure, error) {
 	}
 	for _, shards := range counts {
 		t0 := time.Now()
+		rec, done := cfg.beginQuery(fmt.Sprintf("par-shard:shards=%d", shards), "shardscan")
 		res, err := sortscan.RunSharded(w, fact, sortscan.ShardedOptions{
-			SortKey: key, Shards: shards, TempDir: cfg.Dir, Stats: st, Recorder: cfg.Recorder,
+			SortKey: key, Shards: shards, TempDir: cfg.Dir, Stats: st, Recorder: rec,
 		})
+		done()
 		if err != nil {
 			return nil, err
 		}
@@ -214,11 +222,13 @@ func AblFlush(cfg Config) (*Figure, error) {
 		{"no-flush", true},
 	} {
 		t0 := time.Now()
+		rec, done := cfg.beginQuery("abl-flush:"+mode.label, "sortscan")
 		res, err := sortscan.Run(w, fact, sortscan.Options{
 			SortKey: best.Key, TempDir: cfg.Dir, Stats: st,
 			DisableEarlyFlush: mode.disable,
-			Recorder:          cfg.Recorder,
+			Recorder:          rec,
 		})
+		done()
 		if err != nil {
 			return nil, err
 		}

@@ -166,6 +166,21 @@ func (c Config) netFile(n int64) (string, gen.NetConfig, error) {
 	return path, nc, nil
 }
 
+// beginQuery registers one engine-timing run in the process-global
+// in-flight registry (under a fresh "query" span, so the live
+// /debug/aw/queries endpoint shows the run's phase and scan progress
+// while a figure regenerates). Call the returned func when the run ends.
+func (c Config) beginQuery(label, engine string) (*obs.Recorder, func()) {
+	sp := c.Recorder.Start(obs.SpanQuery)
+	sp.SetAttr("engine", engine)
+	inq := obs.DefaultInflight.Begin(label, c.Recorder, sp)
+	inq.SetEngine(engine)
+	return c.Recorder.At(sp), func() {
+		sp.End()
+		inq.Finish()
+	}
+}
+
 // timeSortScan runs the sort/scan engine with an optimizer-chosen key.
 func (c Config) timeSortScan(w *core.Compiled, fact string, cards []float64) (time.Duration, sortscan.Stats, error) {
 	choice, err := opt.Best(w, &plan.Stats{BaseCard: cards}, c.Recorder)
@@ -173,12 +188,14 @@ func (c Config) timeSortScan(w *core.Compiled, fact string, cards []float64) (ti
 		return 0, sortscan.Stats{}, err
 	}
 	t0 := time.Now()
+	rec, done := c.beginQuery("bench:sortscan", "sortscan")
 	res, err := sortscan.Run(w, fact, sortscan.Options{
 		SortKey:  choice.Key,
 		TempDir:  c.Dir,
 		Stats:    &plan.Stats{BaseCard: cards},
-		Recorder: c.Recorder,
+		Recorder: rec,
 	})
+	done()
 	if err != nil {
 		return 0, sortscan.Stats{}, err
 	}
@@ -195,11 +212,13 @@ func (c Config) timeSingleScan(w *core.Compiled, fact string) (time.Duration, si
 	}
 	defer r.Close()
 	t0 := time.Now()
+	rec, done := c.beginQuery("bench:singlescan", "singlescan")
 	res, err := singlescan.Run(w, r, singlescan.Options{
 		MemoryBudget: c.SingleScanBudget,
 		TempDir:      c.Dir,
-		Recorder:     c.Recorder,
+		Recorder:     rec,
 	})
+	done()
 	if err != nil {
 		return 0, singlescan.Stats{}, err
 	}
@@ -210,7 +229,9 @@ func (c Config) timeSingleScan(w *core.Compiled, fact string) (time.Duration, si
 // measures only (one SQL query per final measure, like the paper).
 func (c Config) timeDB(w *core.Compiled, fact string, finals []string) (time.Duration, relbaseline.Stats, error) {
 	t0 := time.Now()
-	res, err := relbaseline.RunMeasures(w, fact, finals, relbaseline.Options{TempDir: c.Dir, Recorder: c.Recorder})
+	rec, done := c.beginQuery("bench:relational", "relational")
+	res, err := relbaseline.RunMeasures(w, fact, finals, relbaseline.Options{TempDir: c.Dir, Recorder: rec})
+	done()
 	if err != nil {
 		return 0, relbaseline.Stats{}, err
 	}

@@ -180,7 +180,7 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 	res.Stats.Passes = passes
 
 	tables := make([]*core.Table, len(c.Measures))
-	for _, p := range passes {
+	for pi, p := range passes {
 		if err := opts.Guard.Err(); err != nil {
 			return nil, err
 		}
@@ -203,6 +203,7 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("multipass: pass workflow: %w", err)
 		}
 		passSpan := orec.Start(obs.SpanPass)
+		passSpan.SetAttr("pass", fmt.Sprint(pi))
 		passSpan.SetAttr("key", p.SortKey.String(c.Schema))
 		pr, err := sortscan.Run(sub, factPath, sortscan.Options{
 			SortKey:      p.SortKey,
@@ -247,11 +248,19 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("multipass: combining %q: %w", m.Name, err)
 		}
 		combined += int64(len(tbl.Rows))
+		ns := obs.NodeStats{Node: m.Name, CellsFinalized: int64(len(tbl.Rows))}
+		for _, si := range m.Sources {
+			if tables[si] != nil {
+				ns.RecordsIn += int64(len(tables[si].Rows))
+			}
+		}
 		if !m.Hidden {
+			ns.RecordsOut = int64(len(tbl.Rows))
 			if err := opts.Guard.NoteResultRows(int64(len(tbl.Rows))); err != nil {
 				return nil, err
 			}
 		}
+		orec.MergeNodeStats(ns)
 		tables[i] = tbl
 	}
 	combSpan.End()

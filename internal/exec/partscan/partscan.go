@@ -30,6 +30,7 @@ package partscan
 import (
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -176,6 +177,10 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 		go func(i int, pSpan *obs.Span) {
 			defer wg.Done()
 			defer pSpan.End()
+			// CPU profiles attribute partition work to the query (labels
+			// inherited through the guard's context) and phase.
+			pprof.SetGoroutineLabels(pprof.WithLabels(opts.Guard.Context(), pprof.Labels("phase", "partition")))
+			defer pprof.SetGoroutineLabels(opts.Guard.Context())
 			pr, err := sortscan.Run(c, paths[i], sortscan.Options{
 				SortKey:      opts.SortKey,
 				TempDir:      opts.TempDir,

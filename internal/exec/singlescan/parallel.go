@@ -2,6 +2,7 @@ package singlescan
 
 import (
 	"fmt"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -60,6 +61,9 @@ func RunParallel(c *core.Compiled, src storage.Source, workers int, opts Options
 
 	scanSpan := orec.Start(obs.SpanScan)
 	scanSpan.SetAttr("workers", fmt.Sprint(workers))
+	if tc, ok := src.(interface{ TotalRecords() int64 }); ok {
+		scanSpan.SetTotal(tc.TotalRecords())
+	}
 	const batchSize = 512
 	type batch []model.Record
 	ch := make(chan batch, workers*2)
@@ -68,6 +72,8 @@ func RunParallel(c *core.Compiled, src storage.Source, workers int, opts Options
 		wg.Add(1)
 		go func(s *shard) {
 			defer wg.Done()
+			pprof.SetGoroutineLabels(pprof.WithLabels(opts.Guard.Context(), pprof.Labels("phase", "scan_worker")))
+			defer pprof.SetGoroutineLabels(opts.Guard.Context())
 			for b := range ch {
 				for i := range b {
 					rec := &b[i]
@@ -107,6 +113,7 @@ func RunParallel(c *core.Compiled, src storage.Source, workers int, opts Options
 		}
 		stats.Records++
 		if stats.Records&255 == 0 {
+			scanSpan.SetDone(stats.Records)
 			if err := opts.Guard.Err(); err != nil {
 				scanErr = err
 				break
@@ -123,6 +130,7 @@ func RunParallel(c *core.Compiled, src storage.Source, workers int, opts Options
 	}
 	close(ch)
 	wg.Wait()
+	scanSpan.SetDone(stats.Records)
 	scanSpan.SetAttr("records", fmt.Sprint(stats.Records))
 	scanSpan.End()
 	if scanErr != nil {
@@ -145,6 +153,10 @@ func RunParallel(c *core.Compiled, src storage.Source, workers int, opts Options
 		if err := opts.Guard.Err(); err != nil {
 			return nil, err
 		}
+		var created int64
+		for _, s := range shards {
+			created += int64(len(s.aggs[j]))
+		}
 		merged := shards[0].aggs[j]
 		for _, s := range shards[1:] {
 			for k, a := range s.aggs[j] {
@@ -160,11 +172,18 @@ func RunParallel(c *core.Compiled, src storage.Source, workers int, opts Options
 			tbl.Rows[k] = a.Final()
 		}
 		cellsFinalized += int64(len(tbl.Rows))
+		ns := obs.NodeStats{
+			Node: m.Name, RecordsIn: stats.Records,
+			CellsCreated: created, CellsFinalized: int64(len(tbl.Rows)),
+			LiveCellsHWM: created,
+		}
 		if !m.Hidden {
+			ns.RecordsOut = int64(len(tbl.Rows))
 			if err := opts.Guard.NoteResultRows(int64(len(tbl.Rows))); err != nil {
 				return nil, err
 			}
 		}
+		orec.MergeNodeStats(ns)
 		i, err := c.Index(m.Name)
 		if err != nil {
 			return nil, err
@@ -187,11 +206,19 @@ func RunParallel(c *core.Compiled, src storage.Source, workers int, opts Options
 			return nil, fmt.Errorf("singlescan: %w", err)
 		}
 		cellsFinalized += int64(len(tbl.Rows))
+		ns := obs.NodeStats{Node: m.Name, CellsFinalized: int64(len(tbl.Rows))}
+		for _, si := range m.Sources {
+			if tables[si] != nil {
+				ns.RecordsIn += int64(len(tables[si].Rows))
+			}
+		}
 		if !m.Hidden {
+			ns.RecordsOut = int64(len(tbl.Rows))
 			if err := opts.Guard.NoteResultRows(int64(len(tbl.Rows))); err != nil {
 				return nil, err
 			}
 		}
+		orec.MergeNodeStats(ns)
 		tables[i] = tbl
 	}
 	compSpan.End()

@@ -74,6 +74,12 @@ type table struct {
 	writer     *storage.Writer
 	spillBytes int64 // bytes written to the spill file
 	guard      *qguard.Guard
+	// Per-node tallies (plain fields, published at end of run).
+	recordsIn int64
+	created   int64
+	finalized int64
+	live      int64
+	liveHWM   int64
 }
 
 // Run evaluates the workflow over the record source.
@@ -110,6 +116,9 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 	// Phase 1: one scan, all basic measures at once (Table 7 lines
 	// 3-7, without the sort).
 	scanSpan := orec.Start(obs.SpanScan)
+	if tc, ok := src.(interface{ TotalRecords() int64 }); ok {
+		scanSpan.SetTotal(tc.TotalRecords())
+	}
 	var cellsCreated, liveCells, peakLive int64
 	var rec model.Record
 	for {
@@ -122,6 +131,7 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 		}
 		stats.Records++
 		if stats.Records&255 == 0 {
+			scanSpan.SetDone(stats.Records)
 			if err := opts.Guard.Err(); err != nil {
 				return nil, err
 			}
@@ -131,6 +141,7 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 		}
 		for _, t := range basics {
 			m := t.m
+			t.recordsIn++
 			if m.Filter != nil && !m.Filter.Eval(rec.Dims, rec.Ms) {
 				continue
 			}
@@ -143,6 +154,11 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 				liveCells++
 				if liveCells > peakLive {
 					peakLive = liveCells
+				}
+				t.created++
+				t.live++
+				if t.live > t.liveHWM {
+					t.liveHWM = t.live
 				}
 				delta := int64(len(k)) + int64(a.Bytes()) + 16
 				t.bytes += delta
@@ -177,10 +193,12 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 			stats.Spills++
 			stats.SpilledEntries += n
 			liveCells -= n
+			victim.live -= n
 			totalBytes -= victim.bytes
 			victim.bytes = 0
 		}
 	}
+	scanSpan.SetDone(stats.Records)
 	scanSpan.SetAttr("records", fmt.Sprint(stats.Records))
 	scanSpan.End()
 
@@ -212,6 +230,7 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 			}
 		}
 		cellsFinalized += int64(len(tbl.Rows))
+		t.finalized = int64(len(tbl.Rows))
 		if !t.m.Hidden {
 			if err := opts.Guard.NoteResultRows(int64(len(tbl.Rows))); err != nil {
 				return nil, err
@@ -241,11 +260,19 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 			return nil, fmt.Errorf("singlescan: %w", err)
 		}
 		cellsFinalized += int64(len(tbl.Rows))
+		ns := obs.NodeStats{Node: m.Name, CellsFinalized: int64(len(tbl.Rows))}
+		for _, si := range m.Sources {
+			if tables[si] != nil {
+				ns.RecordsIn += int64(len(tables[si].Rows))
+			}
+		}
 		if !m.Hidden {
+			ns.RecordsOut = int64(len(tbl.Rows))
 			if err := opts.Guard.NoteResultRows(int64(len(tbl.Rows))); err != nil {
 				return nil, err
 			}
 		}
+		orec.MergeNodeStats(ns)
 		tables[i] = tbl
 	}
 	compSpan.End()
@@ -274,6 +301,19 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 	orec.Counter(obs.MSpilledEntries).Add(stats.SpilledEntries)
 	orec.Gauge(obs.GLiveCellsHWM).SetMax(peakLive)
 	orec.Gauge(obs.GHashBytesHWM).SetMax(stats.PeakBytes)
+	for _, t := range basics {
+		ns := obs.NodeStats{
+			Node:           t.m.Name,
+			RecordsIn:      t.recordsIn,
+			CellsCreated:   t.created,
+			CellsFinalized: t.finalized,
+			LiveCellsHWM:   t.liveHWM,
+		}
+		if !t.m.Hidden {
+			ns.RecordsOut = t.finalized
+		}
+		orec.MergeNodeStats(ns)
+	}
 
 	res := &Result{Tables: make(map[string]*core.Table), Stats: stats}
 	for _, name := range c.Outputs() {

@@ -3,6 +3,7 @@ package sortscan
 import (
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"sync"
 	"time"
@@ -147,6 +148,10 @@ func RunSharded(c *core.Compiled, factPath string, opts ShardedOptions) (*Result
 		go func(i int, sSpan *obs.Span) {
 			defer wg.Done()
 			defer sSpan.End()
+			// CPU profiles attribute shard work to the query (query_id
+			// label inherited through the guard's context) and phase.
+			pprof.SetGoroutineLabels(pprof.WithLabels(sg.Context(), pprof.Labels("phase", "shard")))
+			defer pprof.SetGoroutineLabels(sg.Context())
 			// A panic escaping a goroutine kills the process, bypassing
 			// the aw boundary's recover; convert it to a shard error.
 			defer func() {
@@ -242,6 +247,11 @@ func RunSharded(c *core.Compiled, factPath string, opts ShardedOptions) (*Result
 			}
 		}
 		rec.Counter(obs.MCellsFinalized).Add(int64(len(acc)))
+		ns := obs.NodeStats{Node: m.Name, CellsFinalized: int64(len(acc))}
+		if !m.Hidden {
+			ns.RecordsOut = int64(len(acc))
+		}
+		rec.MergeNodeStats(ns)
 		if m.Hidden {
 			continue
 		}

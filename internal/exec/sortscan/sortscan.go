@@ -108,6 +108,11 @@ type arcState struct {
 	// ("entries are finalized when the day switches") instead of
 	// re-scanning the hash table on every record.
 	advancedCoarse bool
+	// Per-arc tallies (plain fields, published at end of run):
+	// advances counts watermark advances on this arc; heldBack counts
+	// cell-finalization checks this arc's lagging watermark deferred.
+	advances int64
+	heldBack int64
 }
 
 // node is the runtime state of one measure.
@@ -134,6 +139,22 @@ type node struct {
 	// dependents: (node index, role) pairs; role is the source
 	// position, or -1 for base.
 	deps []depEdge
+	// Per-node tallies (plain fields, published at end of run): the
+	// node-level breakdown of the engine's global counters.
+	nRecordsIn  int64 // fact records or upstream entries delivered
+	nRecordsOut int64 // rows emitted into the output table
+	nCreated    int64 // cells created
+	nFinalized  int64 // cells flushed
+	nFlushes    int64 // flush batches
+	nLive       int64 // currently live cells
+	nLiveHWM    int64 // peak live cells
+}
+
+func (n *node) noteLive(delta int64) {
+	n.nLive += delta
+	if n.nLive > n.nLiveHWM {
+		n.nLiveHWM = n.nLive
+	}
 }
 
 type depEdge struct {
@@ -162,8 +183,10 @@ type engine struct {
 }
 
 // publish flushes the engine's tallies into its recorder under the
-// standard metric names. It also registers the spill metrics so every
-// engine exports the same vocabulary even when nothing spilled.
+// standard metric names, plus one NodeStats per measure node (the
+// per-operator breakdown behind EXPLAIN ANALYZE). It also registers
+// the spill metrics so every engine exports the same vocabulary even
+// when nothing spilled.
 func (e *engine) publish() {
 	rec := e.rec
 	rec.Counter(obs.MRecordsScanned).Add(e.stats.Records)
@@ -175,6 +198,27 @@ func (e *engine) publish() {
 	rec.Counter(obs.MSpillBytes)
 	rec.Gauge(obs.GLiveCellsHWM).SetMax(e.stats.PeakCells)
 	rec.Gauge(obs.GHashBytesHWM).SetMax(e.stats.PeakBytes)
+	for _, n := range e.nodes {
+		ns := obs.NodeStats{
+			Node:           n.m.Name,
+			RecordsIn:      n.nRecordsIn,
+			RecordsOut:     n.nRecordsOut,
+			CellsCreated:   n.nCreated,
+			CellsFinalized: n.nFinalized,
+			FlushBatches:   n.nFlushes,
+			LiveCellsHWM:   n.nLiveHWM,
+			EstCells:       n.pl.EstCells,
+		}
+		for i := range n.arcs {
+			a := &n.arcs[i]
+			ns.Arcs = append(ns.Arcs, obs.ArcStats{
+				Label:    e.pl.ArcLabel(&a.pl),
+				Advances: a.advances,
+				HeldBack: a.heldBack,
+			})
+		}
+		rec.MergeNodeStats(ns)
+	}
 }
 
 // Run sorts the fact file by the sort key and evaluates the workflow
@@ -260,6 +304,9 @@ func runSortedStates(c *core.Compiled, pl *plan.Plan, src storage.Source, disabl
 	e.guard = guard
 	e.stateIdx = stateIdx
 	scanSpan := obsRec.Start(obs.SpanScan)
+	if tc, ok := src.(interface{ TotalRecords() int64 }); ok {
+		scanSpan.SetTotal(tc.TotalRecords())
+	}
 	var rec model.Record
 	var basics []*node
 	for _, n := range e.nodes {
@@ -280,6 +327,7 @@ func runSortedStates(c *core.Compiled, pl *plan.Plan, src storage.Source, disabl
 		// stride so the hot loop stays hot. File sources also check the
 		// guard inside Reader.Next; this covers in-memory sources.
 		if e.stats.Records&255 == 0 {
+			scanSpan.SetDone(e.stats.Records)
 			if err := e.checkGuard(); err != nil {
 				return nil, nil, err
 			}
@@ -302,6 +350,7 @@ func runSortedStates(c *core.Compiled, pl *plan.Plan, src storage.Source, disabl
 			}
 		}
 	}
+	scanSpan.SetDone(e.stats.Records)
 	scanSpan.SetAttr("records", fmt.Sprint(e.stats.Records))
 	scanSpan.End()
 	// End of scan: flush everything in topological order (Table 7's
@@ -319,6 +368,7 @@ func runSortedStates(c *core.Compiled, pl *plan.Plan, src storage.Source, disabl
 				st[k] = cl.agg
 				delete(n.cells, k)
 				e.noteLive(-1)
+				n.noteLive(-1)
 			}
 			states[n.idx] = st
 			continue
@@ -354,6 +404,7 @@ func (e *engine) scanRecord(n *node, rec *model.Record) {
 	m := n.m
 	sch := e.c.Schema
 	arc := &n.arcs[0]
+	n.nRecordsIn++
 
 	// Watermark first: it must advance even for filtered-out records.
 	// Fast path: skip the byte encoding when the mapped codes repeat
@@ -384,6 +435,7 @@ func (e *engine) scanRecord(n *node, rec *model.Record) {
 		arc.threshold = model.Key(b)
 		arc.seen = true
 		arc.advanced = true
+		arc.advances++
 		e.wmAdv++
 	}
 
@@ -422,6 +474,8 @@ func (e *engine) scanRecord(n *node, rec *model.Record) {
 			n.cells[k] = cl
 			e.created++
 			e.noteLive(1)
+			n.nCreated++
+			n.noteLive(1)
 		}
 		n.lastCellCodes = append(n.lastCellCodes[:0], sc...)
 		n.lastCell = cl
@@ -513,11 +567,14 @@ func (e *engine) finalizeNode(n *node, flush bool) error {
 		delete(n.cells, k)
 		e.finalized++
 		e.noteLive(-1)
+		n.nFinalized++
+		n.noteLive(-1)
 	}
 	if len(batch) == 0 {
 		return nil
 	}
 	e.stats.FlushBatches++
+	n.nFlushes++
 	sort.Slice(batch, func(i, j int) bool {
 		if batch[i].proj != batch[j].proj {
 			return batch[i].proj < batch[j].proj
@@ -543,6 +600,7 @@ func (e *engine) finalizeNode(n *node, flush bool) error {
 			touched[d.node] = true
 		}
 	}
+	n.nRecordsOut += emitted
 	if err := e.guard.NoteResultRows(emitted); err != nil {
 		return err
 	}
@@ -573,16 +631,20 @@ func (e *engine) finalizeNode(n *node, flush bool) error {
 }
 
 // cellFinal reports whether a cell's projection is strictly below
-// every arc's shifted watermark.
+// every arc's shifted watermark. The arc that vetoes a finalization
+// counts one held-back event — the per-arc watermark lag surfaced in
+// node stats.
 func (e *engine) cellFinal(n *node, k model.Key) bool {
 	sch := e.c.Schema
 	for i := range n.arcs {
 		a := &n.arcs[i]
 		if len(a.pl.CmpKey) == 0 {
+			a.heldBack++
 			return false // no ordering information from this stream
 		}
 		p := projectKey(sch, a.pl.CmpKey, nil, n.m.Codec, k)
 		if !(p < a.threshold) {
+			a.heldBack++
 			return false
 		}
 	}
@@ -637,11 +699,13 @@ func (e *engine) deliver(n *node, role int, src *node, key model.Key, value floa
 		arcIdx = n.srcArc[role]
 	}
 	arc := &n.arcs[arcIdx]
+	n.nRecordsIn++
 	pk := projectKey(sch, arc.pl.CmpKey, arc.pl.Shift, src.m.Codec, key)
 	if !arc.seen || pk != arc.threshold {
 		arc.threshold = pk
 		arc.seen = true
 		arc.advanced = true
+		arc.advances++
 		e.wmAdv++
 	}
 
@@ -715,6 +779,8 @@ func (n *node) getCell(k model.Key, e *engine) *cell {
 		n.cells[k] = cl
 		e.created++
 		e.noteLive(1)
+		n.nCreated++
+		n.noteLive(1)
 	}
 	return cl
 }

@@ -17,13 +17,19 @@ import (
 type Snapshot struct {
 	Counters map[string]int64 `json:"counters"`
 	Gauges   map[string]int64 `json:"gauges"`
+	Nodes    []NodeStats      `json:"nodes,omitempty"`
 	Spans    []*SpanSnapshot  `json:"spans,omitempty"`
 }
 
-// SpanSnapshot is one span in a Snapshot.
+// SpanSnapshot is one span in a Snapshot. Still-running spans carry
+// their live elapsed time and Running=true, so snapshots of in-flight
+// queries render meaningfully.
 type SpanSnapshot struct {
 	Name       string            `json:"name"`
 	DurationUs int64             `json:"duration_us"`
+	Running    bool              `json:"running,omitempty"`
+	Done       int64             `json:"done,omitempty"`
+	Total      int64             `json:"total,omitempty"`
 	Attrs      map[string]string `json:"attrs,omitempty"`
 	Children   []*SpanSnapshot   `json:"children,omitempty"`
 }
@@ -35,7 +41,7 @@ func (r *Recorder) Snapshot() Snapshot {
 	if o == nil {
 		return Snapshot{Counters: map[string]int64{}, Gauges: map[string]int64{}}
 	}
-	snap := Snapshot{Counters: o.counterValues(), Gauges: o.gaugeValues()}
+	snap := Snapshot{Counters: o.counterValues(), Gauges: o.gaugeValues(), Nodes: o.NodeStats()}
 	o.mu.Lock()
 	for _, c := range o.root.children {
 		snap.Spans = append(snap.Spans, snapshotSpanLocked(c))
@@ -49,7 +55,8 @@ func snapshotSpanLocked(s *Span) *SpanSnapshot {
 	if !s.ended {
 		d = time.Since(s.start)
 	}
-	out := &SpanSnapshot{Name: s.name, DurationUs: d.Microseconds()}
+	out := &SpanSnapshot{Name: s.name, DurationUs: d.Microseconds(), Running: !s.ended}
+	out.Done, out.Total = s.done.Load(), s.total.Load()
 	if len(s.attrs) > 0 {
 		out.Attrs = make(map[string]string, len(s.attrs))
 		for _, a := range s.attrs {
@@ -70,7 +77,9 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 }
 
 // WritePrometheus writes every counter and gauge in the Prometheus
-// text exposition format, prefixed "awra_". Nil-safe (writes nothing).
+// text exposition format, prefixed "awra_", followed by the per-node
+// labeled families (one # HELP/# TYPE header per family, label values
+// escaped per the exposition spec). Nil-safe (writes nothing).
 func (r *Recorder) WritePrometheus(w io.Writer) error {
 	snap := r.Snapshot()
 	for _, name := range sortedNames(snap.Counters) {
@@ -83,7 +92,90 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	return writeNodeFamilies(w, snap.Nodes)
+}
+
+// nodeFamilies defines the per-node labeled metric families in export
+// order. Each selects one NodeStats field; families whose values are
+// all zero are omitted entirely (so the header appears only with data).
+var nodeFamilies = []struct {
+	name, typ, help string
+	value           func(NodeStats) float64
+}{
+	{"node_records_in", "counter", "Records or input cells consumed by a measure node.", func(n NodeStats) float64 { return float64(n.RecordsIn) }},
+	{"node_records_out", "counter", "Result rows emitted by a measure node.", func(n NodeStats) float64 { return float64(n.RecordsOut) }},
+	{"node_cells_created", "counter", "Live cells created by a measure node.", func(n NodeStats) float64 { return float64(n.CellsCreated) }},
+	{"node_cells_finalized", "counter", "Cells flushed to output by a measure node.", func(n NodeStats) float64 { return float64(n.CellsFinalized) }},
+	{"node_flush_batches", "counter", "Watermark-triggered flush batches per measure node.", func(n NodeStats) float64 { return float64(n.FlushBatches) }},
+	{"node_live_cells_hwm", "gauge", "Peak simultaneous live cells per measure node.", func(n NodeStats) float64 { return float64(n.LiveCellsHWM) }},
+	{"node_est_cells", "gauge", "Optimizer-estimated cell count per measure node.", func(n NodeStats) float64 { return n.EstCells }},
+}
+
+func writeNodeFamilies(w io.Writer, nodes []NodeStats) error {
+	for _, fam := range nodeFamilies {
+		headed := false
+		for _, n := range nodes {
+			v := fam.value(n)
+			if v == 0 {
+				continue
+			}
+			if !headed {
+				if _, err := fmt.Fprintf(w, "# HELP awra_%s %s\n# TYPE awra_%s %s\n", fam.name, fam.help, fam.name, fam.typ); err != nil {
+					return err
+				}
+				headed = true
+			}
+			if _, err := fmt.Fprintf(w, "awra_%s{node=\"%s\"} %s\n", fam.name, escapeLabel(n.Node), fmtPromValue(v)); err != nil {
+				return err
+			}
+		}
+	}
+	// Arc family: two series per arc, labeled {node, arc}.
+	for _, fam := range []struct {
+		name, help string
+		value      func(ArcStats) int64
+	}{
+		{"node_arc_advances", "Coarse watermark advances per incoming arc of a measure node.", func(a ArcStats) int64 { return a.Advances }},
+		{"node_arc_held_back", "Finalizations deferred by a lagging arc watermark.", func(a ArcStats) int64 { return a.HeldBack }},
+	} {
+		headed := false
+		for _, n := range nodes {
+			for _, a := range n.Arcs {
+				v := fam.value(a)
+				if v == 0 {
+					continue
+				}
+				if !headed {
+					if _, err := fmt.Fprintf(w, "# HELP awra_%s %s\n# TYPE awra_%s counter\n", fam.name, fam.help, fam.name); err != nil {
+						return err
+					}
+					headed = true
+				}
+				if _, err := fmt.Fprintf(w, "awra_%s{node=\"%s\",arc=\"%s\"} %d\n", fam.name, escapeLabel(n.Node), escapeLabel(a.Label), v); err != nil {
+					return err
+				}
+			}
+		}
+	}
 	return nil
+}
+
+// escapeLabel escapes a Prometheus label value per the text exposition
+// spec: backslash, double quote, and newline.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// fmtPromValue renders integers without an exponent and floats
+// compactly.
+func fmtPromValue(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
 }
 
 // expvarView adapts a Recorder to the expvar.Var interface: String
@@ -172,6 +264,12 @@ func formatSpanLocked(b *strings.Builder, s *Span, depth int, parent time.Durati
 	fmt.Fprintf(b, "%-*s %9s", 28, indent+s.name, fmtDuration(d))
 	if parent > 0 {
 		fmt.Fprintf(b, " %5.1f%%", 100*float64(d)/float64(parent))
+	}
+	if !s.ended {
+		b.WriteString(" (running)")
+		if done, total := s.done.Load(), s.total.Load(); total > 0 {
+			fmt.Fprintf(b, " %d/%d", done, total)
+		}
 	}
 	for _, a := range s.attrs {
 		fmt.Fprintf(b, "  %s=%s", a.Key, a.Value)

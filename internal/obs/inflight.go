@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Inflight is a registry of currently running queries. A process
+// typically uses the package-global DefaultInflight; the aw layer
+// registers every query there so operators can list live work via
+// aw.InflightQueries() or the /debug/aw/queries endpoint.
+//
+// All methods are nil-safe, and Begin/Finish are query-boundary
+// events — the registry is never touched per record. Progress flows
+// through span Total/Done fields, which scan loops update atomically
+// at their existing guard strides.
+type Inflight struct {
+	mu      sync.Mutex
+	nextID  int64
+	queries map[int64]*InflightQuery
+}
+
+// DefaultInflight is the process-global registry.
+var DefaultInflight = &Inflight{}
+
+// InflightQuery is one registered running query. Create with Begin;
+// call Finish when the query ends (success or failure). Nil-safe.
+type InflightQuery struct {
+	reg   *Inflight
+	id    int64
+	label string
+	start time.Time
+	rec   *Recorder
+
+	mu     sync.Mutex
+	span   *Span
+	engine string
+	// maxProgress (float64 bits) smooths the reported fraction into a
+	// monotonic non-decreasing series even when new work spans appear
+	// and grow the denominator (e.g. a second multipass pass).
+	maxProgress atomic.Uint64
+}
+
+// QuerySnapshot is one in-flight query as reported by Snapshot.
+type QuerySnapshot struct {
+	ID        int64  `json:"id"`
+	Label     string `json:"label,omitempty"`
+	Engine    string `json:"engine,omitempty"`
+	Phase     string `json:"phase,omitempty"`
+	ElapsedUs int64  `json:"elapsed_us"`
+	// Done/Total sum record progress over every work span that has
+	// declared a total; fixed-width rows make totals exact.
+	Done  int64 `json:"records_done"`
+	Total int64 `json:"records_total"`
+	// Progress is the fraction of declared work completed, in [0, 1],
+	// monotonically non-decreasing over a query's lifetime.
+	Progress float64          `json:"progress"`
+	Workers  []WorkerProgress `json:"workers,omitempty"`
+	Counters map[string]int64 `json:"counters,omitempty"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	Nodes    []NodeStats      `json:"nodes,omitempty"`
+}
+
+// WorkerProgress is the progress of one work span (a shard, partition,
+// pass, or serial scan) inside an in-flight query.
+type WorkerProgress struct {
+	Name  string `json:"name"`
+	Done  int64  `json:"done"`
+	Total int64  `json:"total"`
+}
+
+// Begin registers a running query. The span (usually the query-root
+// span) scopes phase detection and progress aggregation; rec supplies
+// live metric snapshots. Either may be nil. Nil-safe on the registry.
+func (f *Inflight) Begin(label string, rec *Recorder, span *Span) *InflightQuery {
+	if f == nil {
+		return nil
+	}
+	q := &InflightQuery{reg: f, label: label, start: time.Now(), rec: rec, span: span}
+	f.mu.Lock()
+	f.nextID++
+	q.id = f.nextID
+	if f.queries == nil {
+		f.queries = make(map[int64]*InflightQuery)
+	}
+	f.queries[q.id] = q
+	f.mu.Unlock()
+	return q
+}
+
+// Finish deregisters the query. Idempotent, nil-safe.
+func (q *InflightQuery) Finish() {
+	if q == nil {
+		return
+	}
+	q.reg.mu.Lock()
+	delete(q.reg.queries, q.id)
+	q.reg.mu.Unlock()
+}
+
+// ID returns the query's registry ID. Nil-safe (returns 0).
+func (q *InflightQuery) ID() int64 {
+	if q == nil {
+		return 0
+	}
+	return q.id
+}
+
+// SetEngine records the engine the query resolved to. Nil-safe.
+func (q *InflightQuery) SetEngine(name string) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	q.engine = name
+	q.mu.Unlock()
+}
+
+// SetSpan attaches the query-root span that scopes phase detection and
+// progress aggregation. Callers that must register the query before the
+// span exists (to obtain the ID for pprof labels) pass nil to Begin and
+// attach the span here. Nil-safe.
+func (q *InflightQuery) SetSpan(span *Span) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	q.span = span
+	q.mu.Unlock()
+}
+
+// Snapshot lists every in-flight query, sorted by ID. Nil-safe.
+func (f *Inflight) Snapshot() []QuerySnapshot {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	qs := make([]*InflightQuery, 0, len(f.queries))
+	for _, q := range f.queries {
+		qs = append(qs, q)
+	}
+	f.mu.Unlock()
+	sort.Slice(qs, func(i, j int) bool { return qs[i].id < qs[j].id })
+	out := make([]QuerySnapshot, 0, len(qs))
+	for _, q := range qs {
+		out = append(out, q.snapshot())
+	}
+	return out
+}
+
+// WriteJSON writes {"queries": [...]} as indented JSON — the payload
+// of the /debug/aw/queries endpoint.
+func (f *Inflight) WriteJSON(w io.Writer) error {
+	snap := f.Snapshot()
+	if snap == nil {
+		snap = []QuerySnapshot{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Queries []QuerySnapshot `json:"queries"`
+	}{snap})
+}
+
+func (q *InflightQuery) snapshot() QuerySnapshot {
+	q.mu.Lock()
+	engine, span := q.engine, q.span
+	q.mu.Unlock()
+	s := QuerySnapshot{
+		ID:        q.id,
+		Label:     q.label,
+		Engine:    engine,
+		ElapsedUs: time.Since(q.start).Microseconds(),
+	}
+	if q.rec != nil {
+		snap := q.rec.Snapshot()
+		s.Counters, s.Gauges, s.Nodes = snap.Counters, snap.Gauges, snap.Nodes
+	}
+	s.Phase, s.Done, s.Total, s.Workers = workProgress(span)
+	raw := 0.0
+	if s.Total > 0 {
+		raw = float64(s.Done) / float64(s.Total)
+		if raw > 1 {
+			raw = 1
+		}
+	}
+	// Monotonic smoothing: never report less than a previous snapshot.
+	for {
+		prev := q.maxProgress.Load()
+		if raw <= math.Float64frombits(prev) {
+			raw = math.Float64frombits(prev)
+			break
+		}
+		if q.maxProgress.CompareAndSwap(prev, math.Float64bits(raw)) {
+			break
+		}
+	}
+	s.Progress = raw
+	return s
+}
+
+// workProgress walks the query's span subtree collecting the current
+// phase (the deepest still-running span) and record progress from
+// every span that declared a total.
+func workProgress(span *Span) (phase string, done, total int64, workers []WorkerProgress) {
+	if span == nil || span.rec == nil {
+		return "", 0, 0, nil
+	}
+	o := span.rec.owner()
+	if o == nil {
+		return "", 0, 0, nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	phase = deepestRunningLocked(span)
+	var walk func(s *Span, worker string)
+	walk = func(s *Span, worker string) {
+		switch s.name {
+		case SpanShard, SpanPartition, SpanPass, SpanMeasure:
+			worker = workerName(s)
+		}
+		if t := s.total.Load(); t > 0 {
+			d := s.done.Load()
+			if d > t {
+				d = t
+			}
+			done += d
+			total += t
+			name := worker
+			if name == "" {
+				name = s.name
+			}
+			workers = append(workers, WorkerProgress{Name: name, Done: d, Total: t})
+		}
+		for _, c := range s.children {
+			walk(c, worker)
+		}
+	}
+	walk(span, "")
+	return phase, done, total, workers
+}
+
+// deepestRunningLocked returns the name of the most recently started
+// still-running descendant (the query's current phase), or "" if the
+// whole subtree has ended. Caller holds the owning recorder's mutex.
+func deepestRunningLocked(s *Span) string {
+	if s.ended {
+		return ""
+	}
+	for i := len(s.children) - 1; i >= 0; i-- {
+		if name := deepestRunningLocked(s.children[i]); name != "" {
+			return name
+		}
+	}
+	return s.name
+}
+
+// workerName labels a worker-scope span with its identifying attr
+// ("shard:3", "pass:2", "measure:cnt").
+func workerName(s *Span) string {
+	for _, a := range s.attrs {
+		switch a.Key {
+		case "shard", "partition", "pass", "measure", "part":
+			return s.name + ":" + a.Value
+		}
+	}
+	return s.name
+}

@@ -20,6 +20,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -172,6 +173,12 @@ type Span struct {
 	ended    bool
 	attrs    []Attr
 	children []*Span
+	// total/done track work-unit progress (typically records; fixed
+	// width rows make the total exact from the file size). Atomic so
+	// scan loops can update them at guard strides without taking the
+	// recorder mutex.
+	total atomic.Int64
+	done  atomic.Int64
 }
 
 // Attr is one key/value annotation on a span.
@@ -226,6 +233,44 @@ func (s *Span) Name() string {
 		return ""
 	}
 	return s.name
+}
+
+// SetTotal declares the span's total amount of work in records (or
+// other work units). Spans with a nonzero total contribute to in-flight
+// progress reporting. Nil-safe.
+func (s *Span) SetTotal(n int64) {
+	if s == nil {
+		return
+	}
+	s.total.Store(n)
+}
+
+// SetDone records absolute progress through the span's work. Scan
+// loops call it at their existing guard strides (every 256 records),
+// never per record. Nil-safe.
+func (s *Span) SetDone(n int64) {
+	if s == nil {
+		return
+	}
+	s.done.Store(n)
+}
+
+// Progress returns (done, total) work units. Nil-safe (zeros).
+func (s *Span) Progress() (done, total int64) {
+	if s == nil {
+		return 0, 0
+	}
+	return s.done.Load(), s.total.Load()
+}
+
+// Ended reports whether the span has been closed. Nil-safe.
+func (s *Span) Ended() bool {
+	if s == nil {
+		return true
+	}
+	s.rec.mu.Lock()
+	defer s.rec.mu.Unlock()
+	return s.ended
 }
 
 // SetAttr annotates the span. Later writes to the same key win.

@@ -14,6 +14,9 @@ type registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
+	// nodes is the labeled per-measure-node family (see nodestats.go),
+	// keyed by node name. Created lazily on first publish.
+	nodes map[string]*NodeStats
 }
 
 func (g *registry) init() {

@@ -52,25 +52,32 @@ type Decision struct {
 // cellBytes mirrors the footprint constant used by plan.Build.
 const cellBytes = 48
 
+// MeasureCells estimates the full region count of measure i — the
+// hash-table size an engine without early flushing holds for it. Uses
+// per-dimension cardinalities and the records clamp from stats.
+func MeasureCells(c *core.Compiled, i int, stats *plan.Stats) float64 {
+	sch := c.Schema
+	m := c.Measures[i]
+	cells := 1.0
+	for d := 0; d < sch.NumDims(); d++ {
+		if m.Gran[d] == sch.Dim(d).ALL() {
+			continue
+		}
+		cells *= stats.DimCard(sch, d, m.Gran[d])
+	}
+	if stats != nil && stats.Records > 0 && cells > stats.Records {
+		cells = stats.Records
+	}
+	return cells
+}
+
 // SingleScanFootprint estimates the bytes the single-scan engine needs:
 // the full region count of every measure, simultaneously (no early
-// flushing without a sort). Uses per-dimension cardinalities and the
-// records clamp from stats.
+// flushing without a sort).
 func SingleScanFootprint(c *core.Compiled, stats *plan.Stats) float64 {
-	sch := c.Schema
 	total := 0.0
-	for _, m := range c.Measures {
-		cells := 1.0
-		for d := 0; d < sch.NumDims(); d++ {
-			if m.Gran[d] == sch.Dim(d).ALL() {
-				continue
-			}
-			cells *= stats.DimCard(sch, d, m.Gran[d])
-		}
-		if stats != nil && stats.Records > 0 && cells > stats.Records {
-			cells = stats.Records
-		}
-		total += cells * float64(cellBytes+m.Codec.KeyBytes())
+	for i, m := range c.Measures {
+		total += MeasureCells(c, i, stats) * float64(cellBytes+m.Codec.KeyBytes())
 	}
 	return total
 }

@@ -255,6 +255,28 @@ func (g *Guard) SpillBytes() int64 {
 	return g.base().spillBytes.Load()
 }
 
+// Stats is a point-in-time view of a guard's shared accumulators,
+// suitable for live in-flight snapshots and post-run profiles.
+type Stats struct {
+	ResultRows  int64 `json:"result_rows"`
+	SpillBytes  int64 `json:"spill_bytes"`
+	CorruptRows int64 `json:"corrupt_rows,omitempty"`
+}
+
+// Stats snapshots the query-global accumulators (zero for a nil guard).
+// Safe to call concurrently with running workers.
+func (g *Guard) Stats() Stats {
+	if g == nil {
+		return Stats{}
+	}
+	b := g.base()
+	return Stats{
+		ResultRows:  b.resultRows.Load(),
+		SpillBytes:  b.spillBytes.Load(),
+		CorruptRows: b.corrupt.Load(),
+	}
+}
+
 // Abort carries a guard error across a panic unwind. Sort comparators
 // cannot return errors, so a cancelable sort panics with an Abort and
 // the sort's caller converts it back with RecoverAbort.

@@ -116,6 +116,7 @@ func RunMeasures(c *core.Compiled, factPath string, names []string, opts Options
 		mSpan := orec.Start(obs.SpanMeasure)
 		mSpan.SetAttr("measure", name)
 		ev.rec = orec.At(mSpan)
+		preScanned, preFinalized := ev.scanned, ev.finalized
 		e, err := core.Translate(c, name)
 		if err != nil {
 			return nil, fmt.Errorf("relbaseline: %w", err)
@@ -133,6 +134,14 @@ func RunMeasures(c *core.Compiled, factPath string, names []string, opts Options
 		}
 		res.Tables[name] = tbl
 		mSpan.End()
+		// Per-node actuals: everything this measure's operator tree did.
+		orec.MergeNodeStats(obs.NodeStats{
+			Node:           name,
+			RecordsIn:      ev.scanned - preScanned,
+			RecordsOut:     int64(len(tbl.Rows)),
+			CellsCreated:   ev.finalized - preFinalized,
+			CellsFinalized: ev.finalized - preFinalized,
+		})
 	}
 	res.Stats.TotalTime = time.Since(start)
 	orec.Counter(obs.MRecordsScanned).Add(ev.scanned)
@@ -357,11 +366,15 @@ func (ev *evaluator) evalAgg(e *core.Expr) (*rel, error) {
 	if err != nil {
 		return nil, err
 	}
+	scanSpan := ev.rec.Start(obs.SpanScan)
+	scanSpan.SetTotal(r.TotalRecords())
+	defer scanSpan.End()
 	var (
 		rec     model.Record
 		curKey  []int64
 		curAgg  agg.Aggregator
 		haveKey bool
+		seen    int64
 	)
 	outRec := model.Record{Dims: make([]int64, sch.NumDims()), Ms: make([]float64, 1)}
 	flush := func() error {
@@ -389,6 +402,10 @@ func (ev *evaluator) evalAgg(e *core.Expr) (*rel, error) {
 		if !ok {
 			break
 		}
+		seen++
+		if seen&255 == 0 {
+			scanSpan.SetDone(seen)
+		}
 		if inIsFact {
 			ev.scanned++
 		}
@@ -415,6 +432,7 @@ func (ev *evaluator) evalAgg(e *core.Expr) (*rel, error) {
 		w.Close()
 		return nil, err
 	}
+	scanSpan.SetDone(seen)
 	ev.finalized += w.Count()
 	if err := ev.noteSpooled(w.Count(), sch.NumDims()+1); err != nil {
 		w.Close()

@@ -284,6 +284,11 @@ func (r *Reader) Next(rec *model.Record) (bool, error) {
 // Close closes the underlying file.
 func (r *Reader) Close() error { return r.f.Close() }
 
+// TotalRecords returns the exact number of records in the file — the
+// header count, which fixed-width rows make exact from the file size.
+// Engines use it as the denominator for in-flight progress.
+func (r *Reader) TotalRecords() int64 { return r.hdr.Count }
+
 // Source is a sequential stream of records; engines consume fact
 // tables and materialized measure tables through it.
 type Source interface {
@@ -316,6 +321,9 @@ func (s *SliceSource) Next(rec *model.Record) (bool, error) {
 
 // Close implements Source.
 func (s *SliceSource) Close() error { return nil }
+
+// TotalRecords returns the slice length (progress denominator).
+func (s *SliceSource) TotalRecords() int64 { return int64(len(s.Recs)) }
 
 // Reset rewinds the source to the beginning.
 func (s *SliceSource) Reset() { s.pos = 0 }
