@@ -62,6 +62,11 @@ type ProfileNode struct {
 	// (engines without an optimizer pass).
 	EstCells    float64 `json:"est_cells,omitempty"`
 	HasEstimate bool    `json:"has_estimate,omitempty"`
+	// EstSource labels where the estimate came from: "assumed" (paper
+	// defaults), "collected" (scanned/supplied cardinalities), or
+	// "measured" (a previous completed run's true cell counts via the
+	// query history).
+	EstSource string `json:"est_source,omitempty"`
 	// Pass is the 1-based multi-pass pass that evaluates the node
 	// (multipass basics only; 0 otherwise).
 	Pass int `json:"pass,omitempty"`
@@ -77,18 +82,36 @@ type Result struct {
 	Profile *Profile
 }
 
+// Estimate-source labels used in ProfileNode.EstSource and
+// plan.Node.EstSource.
+const (
+	SourceAssumed   = plan.SourceAssumed
+	SourceCollected = plan.SourceCollected
+	SourceMeasured  = plan.SourceMeasured
+)
+
 // Explain renders the query plan without running it: the engine the
 // options select (resolving EngineAuto with the Section 6 decision
 // procedure), the optimizer's sort key and footprint estimates, and
 // per-node live-cell estimates. BaseCards/MemoryBudget/SortKey/Engine
-// from opts feed the estimate exactly as Run would use them.
+// from opts feed the estimate exactly as Run would use them. With no
+// collection at hand, History-backed measured statistics cannot apply;
+// use ExplainFor to plan against a specific input.
 func Explain(c *Compiled, opts ...QueryOptions) (*Profile, error) {
+	return ExplainFor(c, Input{}, opts...)
+}
+
+// ExplainFor is Explain with the target collection known: when
+// opts.History holds measured statistics for this input (from earlier
+// completed runs), the plan uses them and labels those nodes
+// "measured" — exactly as Run would plan.
+func ExplainFor(c *Compiled, in Input, opts ...QueryOptions) (*Profile, error) {
 	var o QueryOptions
 	if len(opts) > 0 {
 		o = opts[0]
 	}
 	engine := o.Engine
-	st := &plan.Stats{BaseCard: o.BaseCards}
+	st := planStats(c, in, &o)
 	p := &Profile{}
 	if engine == EngineAuto {
 		d, err := opt.Choose(c, st, float64(o.MemoryBudget), nil)
@@ -179,6 +202,7 @@ func buildEstimates(c *Compiled, o *QueryOptions, st *plan.Stats, p *Profile) er
 		for i := range nodes {
 			nodes[i].EstCells = pl.Nodes[i].EstCells
 			nodes[i].HasEstimate = true
+			nodes[i].EstSource = pl.Nodes[i].EstSource
 			nodes[i].Order = pl.Nodes[i].OutOrder.String(c.Schema)
 		}
 	case EngineMultiPass:
@@ -200,6 +224,7 @@ func buildEstimates(c *Compiled, o *QueryOptions, st *plan.Stats, p *Profile) er
 				}
 				nodes[i].EstCells = pl.Nodes[i].EstCells
 				nodes[i].HasEstimate = true
+				nodes[i].EstSource = pl.Nodes[i].EstSource
 				nodes[i].Order = pl.Nodes[i].OutOrder.String(c.Schema)
 				nodes[i].Pass = pi + 1
 			}
@@ -211,12 +236,34 @@ func buildEstimates(c *Compiled, o *QueryOptions, st *plan.Stats, p *Profile) er
 		// No sort, no early flushing: every node holds its full region
 		// count at once.
 		for i := range nodes {
-			nodes[i].EstCells = opt.MeasureCells(c, i, st)
+			nodes[i].EstCells, nodes[i].EstSource = opt.MeasureCellsInfo(c, i, st)
 			nodes[i].HasEstimate = true
 		}
 	}
 	p.Nodes = nodes
 	return nil
+}
+
+// freezeStats resolves the stats' dynamic measured-statistics lookup
+// into an immutable per-signature snapshot, so estimates rebuilt after
+// a run match what the planner saw before it.
+func freezeStats(c *Compiled, st *plan.Stats) *plan.Stats {
+	if st == nil || st.Measured == nil {
+		return st
+	}
+	cache := make(map[string]float64, len(c.Measures))
+	for i := range c.Measures {
+		sig := c.NodeSignature(i)
+		if cells, ok := st.Measured(sig); ok && cells > 0 {
+			cache[sig] = cells
+		}
+	}
+	cp := *st
+	cp.Measured = func(sig string) (float64, bool) {
+		v, ok := cache[sig]
+		return v, ok
+	}
+	return &cp
 }
 
 // ExplainAnalyze compiles the workflow (if needed), runs it, and
@@ -241,6 +288,10 @@ func ExplainAnalyzeCompiled(ctx context.Context, c *Compiled, in Input, opts ...
 	if o.Recorder == nil {
 		o.Recorder = NewRecorder()
 	}
+	// Freeze the measured-statistics view before running: the run
+	// itself appends to the history, and the profile must reflect the
+	// estimates the planner actually saw, not post-run knowledge.
+	st := freezeStats(c, planStats(c, in, &o))
 	tables, engine, err := runResolved(ctx, c, in, o)
 	if err != nil {
 		return nil, err
@@ -251,14 +302,13 @@ func ExplainAnalyzeCompiled(ctx context.Context, c *Compiled, in Input, opts ...
 	eo.Engine = engine
 	p := &Profile{Engine: engine.String(), Analyzed: true}
 	if o.Engine == EngineAuto {
-		st := &plan.Stats{BaseCard: o.BaseCards}
 		if d, err := opt.Choose(c, st, float64(o.MemoryBudget), nil); err == nil {
 			p.Strategy = d.Strategy.String()
 			p.SingleScanBytes = d.SingleScanBytes
 			p.SortScanBytes = d.SortScanBytes
 		}
 	}
-	if err := buildEstimates(c, &eo, &plan.Stats{BaseCard: o.BaseCards}, p); err != nil {
+	if err := buildEstimates(c, &eo, st, p); err != nil {
 		return nil, err
 	}
 	snap := o.Recorder.Snapshot()
@@ -312,6 +362,7 @@ func (p *Profile) String() string {
 		}
 	}
 	printed := make(map[string]bool)
+	tw := nodeTableWriter{b: &b}
 	var walk func(name, indent string)
 	walk = func(name, indent string) {
 		n := byName[name]
@@ -323,27 +374,7 @@ func (p *Profile) String() string {
 			return
 		}
 		printed[name] = true
-		fmt.Fprintf(&b, "%s- %s [%s] gran=(%s)", indent, n.Name, n.Kind, n.Gran)
-		if n.Pass > 0 {
-			fmt.Fprintf(&b, " pass=%d", n.Pass)
-		}
-		if n.HasEstimate {
-			fmt.Fprintf(&b, " est_cells=%.0f", n.EstCells)
-		}
-		if a := n.Actual; a != nil {
-			fmt.Fprintf(&b, "\n%s    actual: in=%d out=%d cells=%d/%d hwm=%d",
-				indent, a.RecordsIn, a.RecordsOut, a.CellsCreated, a.CellsFinalized, a.LiveCellsHWM)
-			if a.FlushBatches > 0 {
-				fmt.Fprintf(&b, " flushes=%d", a.FlushBatches)
-			}
-			b.WriteByte('\n')
-			for _, arc := range a.Arcs {
-				fmt.Fprintf(&b, "%s    arc %s: advances=%d held_back=%d\n",
-					indent, arc.Label, arc.Advances, arc.HeldBack)
-			}
-		} else {
-			b.WriteByte('\n')
-		}
+		tw.writeNode(n, indent)
 		for _, s := range n.Sources {
 			walk(s, indent+"  ")
 		}
@@ -364,4 +395,40 @@ func (p *Profile) String() string {
 		walk(r, "")
 	}
 	return b.String()
+}
+
+// nodeTableWriter renders one profile node's estimate-vs-actual
+// columns. It is the single rendering path for both EXPLAIN (estimates
+// only) and EXPLAIN ANALYZE (estimates plus engine actuals), so the
+// two views cannot drift apart.
+type nodeTableWriter struct {
+	b *strings.Builder
+}
+
+func (tw nodeTableWriter) writeNode(n *ProfileNode, indent string) {
+	fmt.Fprintf(tw.b, "%s- %s [%s] gran=(%s)", indent, n.Name, n.Kind, n.Gran)
+	if n.Pass > 0 {
+		fmt.Fprintf(tw.b, " pass=%d", n.Pass)
+	}
+	if n.HasEstimate {
+		fmt.Fprintf(tw.b, " est_cells=%.0f", n.EstCells)
+		if n.EstSource != "" {
+			fmt.Fprintf(tw.b, " (%s)", n.EstSource)
+		}
+	}
+	a := n.Actual
+	if a == nil {
+		tw.b.WriteByte('\n')
+		return
+	}
+	fmt.Fprintf(tw.b, "\n%s    actual: in=%d out=%d cells=%d/%d hwm=%d",
+		indent, a.RecordsIn, a.RecordsOut, a.CellsCreated, a.CellsFinalized, a.LiveCellsHWM)
+	if a.FlushBatches > 0 {
+		fmt.Fprintf(tw.b, " flushes=%d", a.FlushBatches)
+	}
+	tw.b.WriteByte('\n')
+	for _, arc := range a.Arcs {
+		fmt.Fprintf(tw.b, "%s    arc %s: advances=%d held_back=%d\n",
+			indent, arc.Label, arc.Advances, arc.HeldBack)
+	}
 }

@@ -47,6 +47,17 @@ func AsBudgetError(err error) (*BudgetError, bool) { return qguard.AsBudget(err)
 func Run(ctx context.Context, w *Workflow, in Input, opts ...QueryOptions) (Results, error) {
 	c, err := w.Compile()
 	if err != nil {
+		// Compile failures never reach the engine (or the in-flight
+		// registry), but the history must not have silent gaps: record
+		// the rejection with what little identity the inputs give us.
+		if len(opts) > 0 && opts[0].History != nil {
+			opts[0].History.Append(&HistoryRecord{
+				CollectionFP: collectionFingerprint(in),
+				Engine:       opts[0].Engine.String(),
+				Outcome:      OutcomeError,
+				Error:        err.Error(),
+			})
+		}
 		return nil, err
 	}
 	return RunCompiled(ctx, c, in, opts...)
@@ -108,6 +119,11 @@ func runResolved(ctx context.Context, c *Compiled, in Input, o QueryOptions) (re
 		SkipCorruptRows: o.SkipCorruptRows,
 	}
 	g := qguard.New(ctx, limits)
+	// One query span covers the whole run, including any multipass
+	// fallback retry, so history and in-flight views see a single
+	// query with its true end-to-end phases.
+	qSpan := o.Recorder.Start(obs.SpanQuery)
+	inq.SetSpan(qSpan)
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
@@ -117,11 +133,30 @@ func runResolved(ctx context.Context, c *Compiled, in Input, o QueryOptions) (re
 				err = fmt.Errorf("aw: internal error: %v\n%s", r, debug.Stack())
 			}
 		}
+		qSpan.End()
 		reportOutcome(o.Recorder, g, err)
+		if o.History != nil {
+			// Best effort: a full disk must not turn a finished query
+			// into a failure.
+			_ = o.History.Append(buildRecord(c, in, &o, g, qSpan, engine, err))
+		}
 	}()
 
+	if o.AutoStats {
+		if in.path == "" {
+			return nil, o.Engine, fmt.Errorf("aw: AutoStats requires a file input")
+		}
+		cards, statsErr := CollectStats(in.path, 200000)
+		if statsErr != nil {
+			return nil, o.Engine, statsErr
+		}
+		o.BaseCards = cards
+		o.AutoStats = false
+	}
+	st := planStats(c, in, &o)
+
 	wasAuto := o.Engine == EngineAuto
-	res, engine, err = runEngines(c, in, o, g, inq)
+	res, engine, err = runEngines(c, in, o, st, g, inq, qSpan)
 	// The multipass fallback needs a file input; for in-memory inputs the
 	// original BudgetError stands (retrying would replace it with an
 	// unrelated "requires a file input" error).
@@ -145,7 +180,7 @@ func runResolved(ctx context.Context, c *Compiled, in Input, o QueryOptions) (re
 				o.Recorder.Counter(obs.MRowsCorruptSkipped).Add(n)
 			}
 			g = qguard.New(ctx, limits)
-			res, engine, err = runEngines(c, in, retry, g, inq)
+			res, engine, err = runEngines(c, in, retry, st, g, inq, qSpan)
 		}
 	}
 	return res, engine, err

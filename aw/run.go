@@ -9,6 +9,7 @@ import (
 	"awra/internal/exec/partscan"
 	"awra/internal/exec/singlescan"
 	"awra/internal/exec/sortscan"
+	"awra/internal/model"
 	"awra/internal/obs"
 	"awra/internal/opt"
 	"awra/internal/plan"
@@ -144,6 +145,13 @@ type ExecOptions struct {
 	// does not verify are skipped and counted (rows_corrupt_skipped)
 	// instead of failing the query. File inputs only.
 	SkipCorruptRows bool
+	// History, if non-nil, records every run's completion (success,
+	// budget trip, cancel, or error) in the persistent query-history
+	// log, and lets the planner reuse measured per-node cell counts
+	// from earlier completed runs on the same collection (EXPLAIN then
+	// labels those estimates "measured"). Open one with OpenHistory and
+	// share it across queries.
+	History *History
 }
 
 // QueryOptions configures batch evaluation (Run, RunCompiled). The
@@ -222,25 +230,38 @@ func QueryCompiled(c *Compiled, in Input, opts ...QueryOptions) (Results, error)
 	return RunCompiled(context.Background(), c, in, opts...)
 }
 
-// runEngines dispatches one evaluation attempt to the selected engine
-// under the given guard, returning the engine that actually ran (the
-// EngineAuto decision resolved).
-func runEngines(c *Compiled, in Input, o QueryOptions, g *qguard.Guard, inq *obs.InflightQuery) (Results, Engine, error) {
-	qSpan := o.Recorder.Start(obs.SpanQuery)
-	defer qSpan.End()
-	inq.SetSpan(qSpan)
-	qrec := o.Recorder.At(qSpan)
-	if o.AutoStats {
-		if in.path == "" {
-			return nil, o.Engine, fmt.Errorf("aw: AutoStats requires a file input")
-		}
-		cards, err := CollectStats(in.path, 200000)
-		if err != nil {
-			return nil, o.Engine, err
-		}
-		o.BaseCards = cards
-	}
+// planStats assembles the planner's cardinality input for one run:
+// caller or AutoStats cardinalities (labeled "collected"), paper
+// defaults otherwise ("assumed"), plus — when a History is attached —
+// a measured-statistics lookup keyed by this collection's fingerprint
+// and each node's content signature ("measured"). The lookup runs only
+// at plan time, never on the scan path.
+func planStats(c *Compiled, in Input, o *QueryOptions) *plan.Stats {
 	st := &plan.Stats{BaseCard: o.BaseCards}
+	if len(o.BaseCards) > 0 {
+		st.Source = plan.SourceCollected
+	}
+	if h := o.History; h != nil {
+		fp := collectionFingerprint(in)
+		st.Measured = func(sig string) (float64, bool) {
+			m, ok := h.store.Lookup(fp, sig)
+			return m.Cells, ok
+		}
+	}
+	return st
+}
+
+// runEngines dispatches one evaluation attempt to the selected engine
+// under the given guard and query span, returning the engine that
+// actually ran (the EngineAuto decision resolved).
+func runEngines(c *Compiled, in Input, o QueryOptions, st *plan.Stats, g *qguard.Guard, inq *obs.InflightQuery, qSpan *obs.Span) (Results, Engine, error) {
+	qrec := o.Recorder.At(qSpan)
+
+	// setKey records the resolved sort order on the query span, where
+	// ExplainAnalyze, in-flight snapshots, and history records read it.
+	setKey := func(key model.SortKey) {
+		qSpan.SetAttr("sort_key", key.String(c.Schema))
+	}
 
 	// chooseKey runs the optimizer under an "optimize" span.
 	chooseKey := func() (SortKey, error) {
@@ -309,6 +330,7 @@ func runEngines(c *Compiled, in Input, o QueryOptions, g *qguard.Guard, inq *obs
 			if err != nil {
 				return nil, o.Engine, err
 			}
+			setKey(nk)
 			sorted := make([]Record, len(in.recs))
 			copy(sorted, in.recs)
 			sortSpan := qrec.Start(obs.SpanSort)
@@ -351,6 +373,9 @@ func runEngines(c *Compiled, in Input, o QueryOptions, g *qguard.Guard, inq *obs
 				return nil, o.Engine, err
 			}
 		}
+		if nk, err := SortKey(key).Normalize(c.Schema); err == nil {
+			setKey(nk)
+		}
 		res, err := sortscan.Run(c, in.path, sortscan.Options{
 			SortKey: key, TempDir: o.TempDir, Stats: st,
 			ParallelSort: par > 1, SortWorkers: par,
@@ -371,6 +396,9 @@ func runEngines(c *Compiled, in Input, o QueryOptions, g *qguard.Guard, inq *obs
 		shards := par
 		if shards < 1 {
 			shards = 1
+		}
+		if nk, err := SortKey(key).Normalize(c.Schema); err == nil {
+			setKey(nk)
 		}
 		res, err := sortscan.RunSharded(c, in.path, sortscan.ShardedOptions{
 			SortKey: key, Shards: shards, TempDir: o.TempDir, Stats: st,
@@ -421,6 +449,9 @@ func runEngines(c *Compiled, in Input, o QueryOptions, g *qguard.Guard, inq *obs
 		}
 		if parts < 1 {
 			parts = 1
+		}
+		if nk, err := SortKey(key).Normalize(c.Schema); err == nil {
+			setKey(nk)
 		}
 		res, err := partscan.Run(c, in.path, partscan.Options{
 			PartitionDim:   o.PartitionDim,

@@ -21,8 +21,11 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof handlers on -httpaddr
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"awra/aw"
@@ -43,6 +46,8 @@ func main() {
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to FILE")
 		memProf  = flag.String("memprofile", "", "write a heap profile at exit to FILE")
 		httpAddr = flag.String("httpaddr", "", "serve live /metrics (Prometheus), /debug/vars, and /debug/pprof on this address while running")
+		histDir  = flag.String("history-dir", "", "persistent query-history directory for the hist-feedback figure and the /debug/aw/history endpoint (default: DIR/history)")
+		serve    = flag.Bool("serve", false, "with -httpaddr: keep serving after the figures finish, until interrupted")
 	)
 	flag.Parse()
 
@@ -64,6 +69,7 @@ func main() {
 		Seed:             *seed,
 		SingleScanBudget: *budget,
 		Parallelism:      *par,
+		History:          *histDir,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr
@@ -82,6 +88,31 @@ func main() {
 		http.HandleFunc("/debug/aw/queries", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
 			if err := aw.WriteInflightJSON(w); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		// /debug/aw/history opens the history directory per request, so
+		// it reflects runs appended by this process and by others (the
+		// log is the source of truth, not process memory).
+		hdir := *histDir
+		if hdir == "" {
+			hdir = filepath.Join(*dir, "history")
+		}
+		http.HandleFunc("/debug/aw/history", func(w http.ResponseWriter, r *http.Request) {
+			h, err := aw.OpenHistory(hdir)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			defer h.Close()
+			n := 50
+			if s := r.URL.Query().Get("n"); s != "" {
+				if v, err := strconv.Atoi(s); err == nil && v > 0 {
+					n = v
+				}
+			}
+			w.Header().Set("Content-Type", "application/json")
+			if err := h.WriteJSON(w, n); err != nil {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})
@@ -139,6 +170,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		serveForever(*httpAddr, *serve)
 		return
 	}
 	f, err := bench.Run(*fig, cfg)
@@ -147,6 +179,19 @@ func main() {
 	}
 	emit(f)
 	writeMemProfile()
+	serveForever(*httpAddr, *serve)
+}
+
+// serveForever blocks until SIGINT when -serve asked to keep the live
+// endpoints (metrics, history) queryable after the figures finish.
+func serveForever(addr string, serve bool) {
+	if addr == "" || !serve {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "awbench: figures done; still serving on %s (interrupt to exit)\n", addr)
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	<-ch
 }
 
 func fatal(err error) {

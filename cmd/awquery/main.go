@@ -6,6 +6,8 @@
 //
 //	awquery -wf query.aw -data net.rec [-engine sortscan] [-measure NAME] [-limit 20]
 //	awquery -wf query.aw -explain          # show the streaming plan and DOT graph
+//	awquery -wf query.aw -data net.rec -history-dir ./hist   # log the run; later plans reuse its measured stats
+//	awquery -history-dir ./hist -history 20                  # list recent runs (outcome, duration, records)
 //
 // Example workflow file:
 //
@@ -68,12 +70,47 @@ func main() {
 		maxCell = flag.Int64("max-live-cells", 0, "cap simultaneously live aggregation cells (exit code 4; 0 = unlimited)")
 		maxSpil = flag.Int64("max-spill-bytes", 0, "cap bytes spilled to disk by sorts (exit code 4; 0 = unlimited)")
 		skipBad = flag.Bool("skip-corrupt", false, "skip and count checksum-failing rows instead of failing")
+		histDir = flag.String("history-dir", "", "persistent query-history directory: every run is logged there, and plans reuse measured statistics from earlier runs on the same data")
+		histN   = flag.Int("history", 0, "print the N most recent runs from -history-dir, then exit")
 	)
 	flag.Parse()
+
+	// -history lists past runs and needs no workflow.
+	if *histN > 0 {
+		if *histDir == "" {
+			fmt.Fprintln(os.Stderr, "awquery: -history requires -history-dir")
+			os.Exit(2)
+		}
+		h, err := aw.OpenHistory(*histDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer h.Close()
+		if *jsonOut {
+			if err := h.WriteJSON(os.Stdout, *histN); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Printf("%d runs, %d measured statistics in %s\n", h.Len(), h.MeasuredStats(), h.Dir())
+			fmt.Print(h.FormatRecent(*histN))
+		}
+		return
+	}
+
 	if *wfPath == "" {
 		fmt.Fprintln(os.Stderr, "awquery: -wf is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	var hist *aw.History
+	if *histDir != "" {
+		h, err := aw.OpenHistory(*histDir)
+		if err != nil {
+			fatal(err)
+		}
+		defer h.Close()
+		hist = h
 	}
 	text, err := os.ReadFile(*wfPath)
 	if err != nil {
@@ -94,9 +131,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		prof, err := aw.Explain(c, aw.QueryOptions{ExecOptions: aw.ExecOptions{
-			Engine: eng, MemoryBudget: *budget, Parallelism: *par,
-		}})
+		qo := aw.QueryOptions{ExecOptions: aw.ExecOptions{
+			Engine: eng, MemoryBudget: *budget, Parallelism: *par, History: hist,
+		}}
+		// With the collection known, measured statistics from the
+		// history apply, exactly as a run would plan.
+		var prof *aw.Profile
+		if *data != "" {
+			prof, err = aw.ExplainFor(c, aw.FromFile(*data), qo)
+		} else {
+			prof, err = aw.Explain(c, qo)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -182,6 +227,7 @@ func main() {
 				MaxLiveCells:    *maxCell,
 				MaxSpillBytes:   *maxSpil,
 				SkipCorruptRows: *skipBad,
+				History:         hist,
 			},
 			AutoStats:      *auto,
 			PartitionDim:   pd,

@@ -3,7 +3,6 @@ package bench
 import (
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"awra/internal/exec/partscan"
@@ -185,7 +184,7 @@ func ParShard(cfg Config) (*Figure, error) {
 	f.Notes = append(f.Notes,
 		"tables verified bit-identical to serial at every shard count",
 		fmt.Sprintf("|D| = %d records, sort key %s", n, key.String(w.Schema)),
-		fmt.Sprintf("GOMAXPROCS=%d: wall-clock speedup requires that many physical cores", runtime.GOMAXPROCS(0)))
+		"wall-clock speedup requires as many physical cores as shards (see host.gomaxprocs)")
 	return f, nil
 }
 

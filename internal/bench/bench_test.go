@@ -26,8 +26,13 @@ func TestAllFiguresRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(figs) != 12 {
-		t.Fatalf("got %d figures, want 12", len(figs))
+	if len(figs) != 13 {
+		t.Fatalf("got %d figures, want 13", len(figs))
+	}
+	for _, f := range figs {
+		if f.Host == nil || f.Host.GoMaxProcs < 1 || f.Host.GoVersion == "" {
+			t.Errorf("%s: missing host metadata: %+v", f.ID, f.Host)
+		}
 	}
 	for _, f := range figs {
 		if len(f.Rows) == 0 {
@@ -46,6 +51,25 @@ func TestAllFiguresRun(t *testing.T) {
 	}
 }
 
+func TestHistFeedbackSecondRunPlansMeasured(t *testing.T) {
+	f, err := HistFeedback(tinyCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(f.Rows))
+	}
+	// Header: run, time_ms, engine, measured_nodes, assumed_nodes, collected_nodes.
+	m1, _ := strconv.Atoi(f.Rows[0][3])
+	m2, _ := strconv.Atoi(f.Rows[1][3])
+	if m1 != 0 {
+		t.Errorf("run 1 planned %d measured nodes before any history existed", m1)
+	}
+	if m2 == 0 {
+		t.Errorf("run 2 planned no measured nodes; rows: %v", f.Rows)
+	}
+}
+
 func TestRunUnknownFigure(t *testing.T) {
 	if _, err := Run("fig99", tinyCfg(t)); err == nil {
 		t.Fatal("unknown figure accepted")
@@ -53,7 +77,7 @@ func TestRunUnknownFigure(t *testing.T) {
 }
 
 func TestIDsComplete(t *testing.T) {
-	want := []string{"abl-flush", "abl-key", "abl-par", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig7a", "fig7b", "par-shard"}
+	want := []string{"abl-flush", "abl-key", "abl-par", "fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig7a", "fig7b", "hist-feedback", "par-shard"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)

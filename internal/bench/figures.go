@@ -47,6 +47,9 @@ type Config struct {
 	// only its own runs. Supply one (e.g. for a live -httpaddr view) to
 	// accumulate across figures instead.
 	Recorder *obs.Recorder
+	// History is a directory for the persistent query-history log used
+	// by the hist-feedback figure; empty defaults to Dir/history.
+	History string
 }
 
 func (c Config) withDefaults() Config {
@@ -85,6 +88,28 @@ func (c Config) size(units int) int64 {
 	return n
 }
 
+// Host records the machine and toolchain a figure was produced on, so
+// benchdata points are comparable across checkouts without free-text
+// notes.
+type Host struct {
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+// HostInfo captures the current process's host metadata.
+func HostInfo() Host {
+	return Host{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+}
+
 // Figure is one regenerated table/plot: rows of labelled series values.
 type Figure struct {
 	ID     string     `json:"id"`
@@ -92,6 +117,8 @@ type Figure struct {
 	Header []string   `json:"header"`
 	Rows   [][]string `json:"rows"`
 	Notes  []string   `json:"notes,omitempty"`
+	// Host is the machine/toolchain the figure was measured on.
+	Host *Host `json:"host,omitempty"`
 	// Metrics is the recorder snapshot covering the figure's engine
 	// runs, so the performance trajectory is machine-diffable.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
@@ -567,18 +594,19 @@ func mustSynthSchema(c gen.SynthConfig) *model.Schema {
 
 // runners maps figure ids to their runners.
 var runners = map[string]func(Config) (*Figure, error){
-	"abl-flush": AblFlush,
-	"abl-key":   AblKey,
-	"abl-par":   AblPar,
-	"par-shard": ParShard,
-	"fig6a":     Fig6a,
-	"fig6b":     Fig6b,
-	"fig6c":     Fig6c,
-	"fig6d":     Fig6d,
-	"fig6e":     Fig6e,
-	"fig6f":     Fig6f,
-	"fig7a":     Fig7a,
-	"fig7b":     Fig7b,
+	"abl-flush":     AblFlush,
+	"abl-key":       AblKey,
+	"abl-par":       AblPar,
+	"hist-feedback": HistFeedback,
+	"par-shard":     ParShard,
+	"fig6a":         Fig6a,
+	"fig6b":         Fig6b,
+	"fig6c":         Fig6c,
+	"fig6d":         Fig6d,
+	"fig6e":         Fig6e,
+	"fig6f":         Fig6f,
+	"fig7a":         Fig7a,
+	"fig7b":         Fig7b,
 }
 
 // IDs lists the available figures in order.
@@ -601,6 +629,8 @@ func Run(id string, cfg Config) (*Figure, error) {
 	cfg = cfg.withDefaults()
 	f, err := r(cfg)
 	if f != nil {
+		host := HostInfo()
+		f.Host = &host
 		snap := cfg.Recorder.Snapshot()
 		snap.Spans = nil // span trees grow unboundedly across runs; keep figures compact
 		f.Metrics = &snap

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"awra/aw"
+)
+
+// HistFeedback demonstrates the history → statistics round trip: the
+// same workflow runs twice through the public API with a shared query
+// history. The first run plans from collected base cardinalities and
+// appends its true per-node cell counts to the history log; the second
+// run's plan consults the measured store, so EXPLAIN labels those
+// nodes "measured" (the paper's Section 6 card() estimates replaced by
+// feedback from execution).
+func HistFeedback(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	f := &Figure{
+		ID:     "hist-feedback",
+		Title:  "history feedback: estimate sources and planning across repeated runs",
+		Header: []string{"run", "time_ms", "engine", "measured_nodes", "assumed_nodes", "collected_nodes"},
+	}
+	n := cfg.size(4)
+	fact, sc, err := cfg.synthFile(n)
+	if err != nil {
+		return nil, err
+	}
+	w, err := Q1Workflow(mustSynthSchema(sc), 4)
+	if err != nil {
+		return nil, err
+	}
+	histDir := cfg.History
+	if histDir == "" {
+		histDir = filepath.Join(cfg.Dir, "history")
+	}
+	h, err := aw.OpenHistory(histDir)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Close()
+	in := aw.FromFile(fact)
+	for run := 1; run <= 2; run++ {
+		o := aw.QueryOptions{
+			ExecOptions: aw.ExecOptions{History: h, Recorder: cfg.Recorder},
+			TempDir:     cfg.Dir,
+			BaseCards:   SynthStats(sc),
+		}
+		// Plan first (the EXPLAIN view), then execute with the same
+		// options; the run's completion feeds the history for run 2.
+		prof, err := aw.ExplainFor(w, in, o)
+		if err != nil {
+			return nil, err
+		}
+		var measured, assumed, collected int
+		for _, node := range prof.Nodes {
+			switch node.EstSource {
+			case aw.SourceMeasured:
+				measured++
+			case aw.SourceAssumed:
+				assumed++
+			case aw.SourceCollected:
+				collected++
+			}
+		}
+		t0 := time.Now()
+		if _, err := aw.RunCompiled(context.Background(), w, in, o); err != nil {
+			return nil, err
+		}
+		d := time.Since(t0)
+		cfg.logf("hist-feedback run=%d: %v engine=%s measured=%d", run, d, prof.Engine, measured)
+		f.Rows = append(f.Rows, []string{
+			fmt.Sprint(run), ms(d), prof.Engine,
+			fmt.Sprint(measured), fmt.Sprint(assumed), fmt.Sprint(collected),
+		})
+	}
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("|D| = %d records; history dir %s (%d runs, %d measured stats)", n, histDir, h.Len(), h.MeasuredStats()),
+		"run 2 plans from measured cell counts recorded by run 1 (est_source=measured)")
+	return f, nil
+}

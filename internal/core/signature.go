@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+)
+
+// NodeSignature returns a short, stable content hash identifying
+// measure i's computation: its kind, granularity, aggregate, filter,
+// windows, combine function, and — recursively — the signatures of its
+// sources and base. Two workflows computing the same measure the same
+// way produce the same signature regardless of measure names or
+// declaration order, so measured statistics collected from one run can
+// be matched to the equivalent node of a later (even re-compiled)
+// workflow.
+//
+// Predicates and combine functions contribute their display Name only:
+// anonymous predicates all render as "cond" and can collide. Name
+// predicates (the helper constructors do) when signatures must
+// distinguish them.
+func (c *Compiled) NodeSignature(i int) string {
+	c.sigMu.Lock()
+	defer c.sigMu.Unlock()
+	return c.nodeSignatureLocked(i)
+}
+
+func (c *Compiled) nodeSignatureLocked(i int) string {
+	if c.sigs == nil {
+		c.sigs = make([]string, len(c.Measures))
+	}
+	if s := c.sigs[i]; s != "" {
+		return s
+	}
+	m := c.Measures[i]
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|%s|fm=%d", m.Kind, c.Schema.GranString(m.Gran), m.Agg, m.FactMeasure)
+	if m.Filter != nil {
+		fmt.Fprintf(&b, "|where=%s", m.Filter)
+	}
+	for _, w := range m.Windows {
+		fmt.Fprintf(&b, "|win=%d:%d:%d", w.Dim, w.Lo, w.Hi)
+	}
+	if m.Combine != nil {
+		fmt.Fprintf(&b, "|fc=%s", m.Combine)
+	}
+	for _, s := range m.Sources {
+		fmt.Fprintf(&b, "|src=%s", c.nodeSignatureLocked(s))
+	}
+	if m.Base >= 0 && m.Base != i {
+		fmt.Fprintf(&b, "|base=%s", c.nodeSignatureLocked(m.Base))
+	}
+	sig := shortHash(b.String())
+	c.sigs[i] = sig
+	return sig
+}
+
+// Fingerprint returns a short content hash identifying the whole
+// workflow: every output measure's name and node signature. It is the
+// query-identity key in history records — identical workflows (same
+// outputs, same computations) fingerprint identically across processes.
+func (c *Compiled) Fingerprint() string {
+	c.sigMu.Lock()
+	defer c.sigMu.Unlock()
+	if c.fp != "" {
+		return c.fp
+	}
+	var b strings.Builder
+	for i, m := range c.Measures {
+		if m.Hidden {
+			continue
+		}
+		fmt.Fprintf(&b, "%s=%s;", m.Name, c.nodeSignatureLocked(i))
+	}
+	c.fp = shortHash(b.String())
+	return c.fp
+}
+
+// shortHash is a 64-bit FNV-1a content hash in hex. Collision
+// resistance is proportionate to use: signatures key advisory
+// statistics, never correctness decisions.
+func shortHash(s string) string {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"testing"
+
+	"awra/internal/agg"
+	"awra/internal/model"
+)
+
+func TestNodeSignatureStableAcrossCompiles(t *testing.T) {
+	a := exampleWorkflow(t)
+	b := exampleWorkflow(t)
+	if len(a.Measures) != len(b.Measures) {
+		t.Fatal("workflows differ in size")
+	}
+	for i := range a.Measures {
+		if a.NodeSignature(i) != b.NodeSignature(i) {
+			t.Errorf("measure %q: signature differs across identical compiles", a.Measures[i].Name)
+		}
+		if a.NodeSignature(i) == "" {
+			t.Errorf("measure %q: empty signature", a.Measures[i].Name)
+		}
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("fingerprint differs across identical compiles")
+	}
+}
+
+func TestNodeSignatureNameIndependent(t *testing.T) {
+	s := twoDim(t)
+	mk := func(name string) *Compiled {
+		c, err := NewWorkflow(s).Basic(name, model.Gran{1, 0}, agg.Count, -1).Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk("x"), mk("y")
+	if a.NodeSignature(0) != b.NodeSignature(0) {
+		t.Error("renaming a measure changed its node signature")
+	}
+	// The workflow fingerprint, by contrast, includes output names.
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Error("renaming an output should change the workflow fingerprint")
+	}
+}
+
+func TestNodeSignatureContentSensitive(t *testing.T) {
+	s := twoDim(t)
+	mk := func(k agg.Kind, gran model.Gran) *Compiled {
+		c, err := NewWorkflow(s).Basic("m", gran, k, -1).Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	base := mk(agg.Count, model.Gran{1, 0})
+	if base.NodeSignature(0) == mk(agg.ConstZero, model.Gran{1, 0}).NodeSignature(0) {
+		t.Error("aggregate change not reflected in signature")
+	}
+	if base.NodeSignature(0) == mk(agg.Count, model.Gran{0, 0}).NodeSignature(0) {
+		t.Error("granularity change not reflected in signature")
+	}
+	// A filter changes the signature (by display name).
+	f, err := NewWorkflow(s).Basic("m", model.Gran{1, 0}, agg.Count, -1, Where(MWhere(0, Gt, 1))).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.NodeSignature(0) == f.NodeSignature(0) {
+		t.Error("filter not reflected in signature")
+	}
+}
+
+func TestNodeSignatureRecursesThroughSources(t *testing.T) {
+	s := twoDim(t)
+	mk := func(srcAgg agg.Kind) *Compiled {
+		c, err := NewWorkflow(s).
+			Basic("src", model.Gran{1, 0}, srcAgg, -1).
+			Rollup("roll", model.Gran{1, model.LevelALL}, "src", agg.Sum).
+			Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(agg.Count), mk(agg.ConstZero)
+	ia, _ := a.Index("roll")
+	ib, _ := b.Index("roll")
+	if a.NodeSignature(ia) == b.NodeSignature(ib) {
+		t.Error("source change not reflected in dependent's signature")
+	}
+}

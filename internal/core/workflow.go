@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"awra/internal/agg"
 	"awra/internal/model"
@@ -110,6 +111,11 @@ type Compiled struct {
 	Measures []*Measure
 	byName   map[string]int
 	outputs  []string
+	// sigMu guards the lazily computed node signatures and workflow
+	// fingerprint (see signature.go).
+	sigMu sync.Mutex
+	sigs  []string
+	fp    string
 }
 
 // MeasureByName resolves a measure name.

@@ -5,6 +5,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -15,10 +16,11 @@ import (
 // snapshots so the performance trajectory is machine-diffable across
 // PRs.
 type Snapshot struct {
-	Counters map[string]int64 `json:"counters"`
-	Gauges   map[string]int64 `json:"gauges"`
-	Nodes    []NodeStats      `json:"nodes,omitempty"`
-	Spans    []*SpanSnapshot  `json:"spans,omitempty"`
+	Counters   map[string]int64    `json:"counters"`
+	Gauges     map[string]int64    `json:"gauges"`
+	Nodes      []NodeStats         `json:"nodes,omitempty"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      []*SpanSnapshot     `json:"spans,omitempty"`
 }
 
 // SpanSnapshot is one span in a Snapshot. Still-running spans carry
@@ -41,7 +43,7 @@ func (r *Recorder) Snapshot() Snapshot {
 	if o == nil {
 		return Snapshot{Counters: map[string]int64{}, Gauges: map[string]int64{}}
 	}
-	snap := Snapshot{Counters: o.counterValues(), Gauges: o.gaugeValues(), Nodes: o.NodeStats()}
+	snap := Snapshot{Counters: o.counterValues(), Gauges: o.gaugeValues(), Nodes: o.NodeStats(), Histograms: o.HistogramSnapshots()}
 	o.mu.Lock()
 	for _, c := range o.root.children {
 		snap.Spans = append(snap.Spans, snapshotSpanLocked(c))
@@ -69,6 +71,19 @@ func snapshotSpanLocked(s *Span) *SpanSnapshot {
 	return out
 }
 
+// Snapshot captures this span and its subtree as a SpanSnapshot.
+// Callers holding a span handle (e.g. the query span) use it to
+// extract that query's phase durations without walking the whole
+// recorder. Nil-safe (returns nil).
+func (s *Span) Snapshot() *SpanSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.rec.mu.Lock()
+	defer s.rec.mu.Unlock()
+	return snapshotSpanLocked(s)
+}
+
 // WriteJSON writes the snapshot as indented JSON.
 func (s Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -92,7 +107,75 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
+	if err := writeHistogramFamilies(w, snap.Histograms); err != nil {
+		return err
+	}
 	return writeNodeFamilies(w, snap.Nodes)
+}
+
+// histogramHelp documents the standard histogram families in exports.
+var histogramHelp = map[string]string{
+	HQueryLatencyUs: "End-to-end query latency in microseconds.",
+	HPhaseLatencyUs: "Per-phase query latency in microseconds.",
+	HRowsPerSec:     "Query scan throughput in fact records per second.",
+}
+
+// writeHistogramFamilies renders histograms in the Prometheus text
+// exposition format: cumulative _bucket series ending at le="+Inf",
+// plus _sum and _count, with one HELP/TYPE header per family. Only
+// non-empty buckets are written — cumulative counts stay spec-valid
+// under any bucket subset as long as +Inf is present.
+func writeHistogramFamilies(w io.Writer, hists []HistogramSnapshot) error {
+	lastName := ""
+	for _, h := range hists {
+		if h.Name != lastName {
+			help := histogramHelp[h.Name]
+			if help == "" {
+				help = "Log-scale distribution."
+			}
+			if _, err := fmt.Fprintf(w, "# HELP awra_%s %s\n# TYPE awra_%s histogram\n", h.Name, help, h.Name); err != nil {
+				return err
+			}
+			lastName = h.Name
+		}
+		labels := formatLabels(h.Labels)
+		cum := int64(0)
+		for _, b := range h.Buckets {
+			cum += b.Count
+			if _, err := fmt.Fprintf(w, "awra_%s_bucket{%sle=\"%d\"} %d\n", h.Name, labels, b.Le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "awra_%s_bucket{%sle=\"+Inf\"} %d\n", h.Name, labels, h.Count); err != nil {
+			return err
+		}
+		suffix := strings.TrimSuffix(labels, ",")
+		if suffix != "" {
+			suffix = "{" + suffix + "}"
+		}
+		if _, err := fmt.Fprintf(w, "awra_%s_sum%s %d\nawra_%s_count%s %d\n", h.Name, suffix, h.Sum, h.Name, suffix, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatLabels renders a label map as `k="v",` pairs (trailing comma)
+// in sorted key order, ready to precede the le label.
+func formatLabels(labels map[string]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%q,", k, escapeLabel(labels[k]))
+	}
+	return b.String()
 }
 
 // nodeFamilies defines the per-node labeled metric families in export

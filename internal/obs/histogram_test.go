@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestBucketIndexBounds(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0},
+		{2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1024, 10}, {1025, 11},
+		{math.MaxInt64, histMaxBucket},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+		// Every value must satisfy v <= upper(bucket(v)).
+		if c.v > 0 && c.v > bucketUpper(bucketIndex(c.v)) {
+			t.Errorf("value %d above its bucket upper bound %d", c.v, bucketUpper(bucketIndex(c.v)))
+		}
+	}
+	if bucketUpper(histMaxBucket) != math.MaxInt64 {
+		t.Errorf("top bucket upper = %d, want MaxInt64", bucketUpper(histMaxBucket))
+	}
+}
+
+func TestHistogramObserveAndSnapshot(t *testing.T) {
+	r := New()
+	h := r.Histogram(HQueryLatencyUs, "engine", "sortscan")
+	for _, v := range []int64{1, 1, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 1105 {
+		t.Fatalf("sum = %d, want 1105", h.Sum())
+	}
+	snaps := r.HistogramSnapshots()
+	if len(snaps) != 1 {
+		t.Fatalf("got %d snapshots, want 1", len(snaps))
+	}
+	s := snaps[0]
+	if s.Name != HQueryLatencyUs || s.Labels["engine"] != "sortscan" {
+		t.Fatalf("unexpected identity: %+v", s)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		if b.Count == 0 {
+			t.Errorf("snapshot contains empty bucket le=%d", b.Le)
+		}
+		total += b.Count
+	}
+	if total != s.Count {
+		t.Fatalf("bucket counts sum to %d, count is %d", total, s.Count)
+	}
+}
+
+func TestHistogramLabelCanonicalization(t *testing.T) {
+	r := New()
+	h1 := r.Histogram("h", "b", "2", "a", "1")
+	h2 := r.Histogram("h", "a", "1", "b", "2")
+	if h1 != h2 {
+		t.Fatal("label order split the series")
+	}
+	if h3 := r.Histogram("h", "a", "1"); h3 == h1 {
+		t.Fatal("different label sets resolved to the same series")
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("q")
+	// 100 observations of 100: everything in the (64,128] bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(100)
+	}
+	s := r.HistogramSnapshots()[0]
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		got := s.Quantile(q)
+		if got < 64 || got > 128 {
+			t.Errorf("Quantile(%g) = %g, want within (64,128]", q, got)
+		}
+	}
+	if (HistogramSnapshot{}).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	// Quantiles are monotone in q.
+	if s.Quantile(0.1) > s.Quantile(0.9) {
+		t.Error("quantiles not monotone")
+	}
+}
+
+func TestHistogramPrometheusExport(t *testing.T) {
+	r := New()
+	h := r.Histogram(HQueryLatencyUs, "engine", "sortscan")
+	h.Observe(3)  // bucket le=4
+	h.Observe(4)  // bucket le=4
+	h.Observe(50) // bucket le=64
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE awra_query_latency_us histogram",
+		`awra_query_latency_us_bucket{engine="sortscan",le="4"} 2`,
+		`awra_query_latency_us_bucket{engine="sortscan",le="64"} 3`, // cumulative
+		`awra_query_latency_us_bucket{engine="sortscan",le="+Inf"} 3`,
+		`awra_query_latency_us_sum{engine="sortscan"} 57`,
+		`awra_query_latency_us_count{engine="sortscan"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "# TYPE awra_query_latency_us histogram"); n != 1 {
+		t.Errorf("TYPE header appears %d times, want 1", n)
+	}
+}
+
+func TestHistogramPrometheusNoLabels(t *testing.T) {
+	r := New()
+	r.Histogram("plain").Observe(10)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`awra_plain_bucket{le="16"} 1`,
+		`awra_plain_bucket{le="+Inf"} 1`,
+		"awra_plain_sum 10",
+		"awra_plain_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramNilSafety(t *testing.T) {
+	var r *Recorder
+	h := r.Histogram("x", "k", "v")
+	if h != nil {
+		t.Fatal("nil recorder should return nil histogram")
+	}
+	h.Observe(5) // must not panic
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram should read zero")
+	}
+	if r.HistogramSnapshots() != nil {
+		t.Fatal("nil recorder snapshots should be nil")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := New()
+	h := r.Histogram("conc")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := int64(0); i < per; i++ {
+				h.Observe(seed + i)
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestSpanSubtreeSnapshot(t *testing.T) {
+	r := New()
+	q := r.Start(SpanQuery)
+	q.SetAttr("engine", "sortscan")
+	s := q.Start(SpanSort)
+	s.End()
+	q.Start(SpanScan).End()
+	q.End()
+	other := r.Start(SpanQuery) // sibling query must not appear
+	other.End()
+
+	snap := q.Snapshot()
+	if snap == nil || snap.Name != SpanQuery {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+	if snap.Attrs["engine"] != "sortscan" {
+		t.Fatalf("attrs = %v", snap.Attrs)
+	}
+	if len(snap.Children) != 2 || snap.Children[0].Name != SpanSort || snap.Children[1].Name != SpanScan {
+		t.Fatalf("children = %+v", snap.Children)
+	}
+	var nilSpan *Span
+	if nilSpan.Snapshot() != nil {
+		t.Fatal("nil span snapshot should be nil")
+	}
+}

@@ -17,6 +17,10 @@ type registry struct {
 	// nodes is the labeled per-measure-node family (see nodestats.go),
 	// keyed by node name. Created lazily on first publish.
 	nodes map[string]*NodeStats
+	// histograms holds the labeled log-scale distributions (see
+	// histogram.go), keyed by name plus canonical label pairs. Created
+	// lazily on first resolution.
+	histograms map[string]*Histogram
 }
 
 func (g *registry) init() {

@@ -54,8 +54,23 @@ const cellBytes = 48
 
 // MeasureCells estimates the full region count of measure i — the
 // hash-table size an engine without early flushing holds for it. Uses
-// per-dimension cardinalities and the records clamp from stats.
+// per-dimension cardinalities and the records clamp from stats; a
+// measured-statistics hit (stats.Measured) overrides the formula.
 func MeasureCells(c *core.Compiled, i int, stats *plan.Stats) float64 {
+	cells, _ := MeasureCellsInfo(c, i, stats)
+	return cells
+}
+
+// MeasureCellsInfo is MeasureCells plus the estimate's provenance
+// label (plan.SourceAssumed / SourceCollected / SourceMeasured).
+func MeasureCellsInfo(c *core.Compiled, i int, stats *plan.Stats) (float64, string) {
+	// The measured total region count is exactly what this function
+	// estimates, so a hit replaces the formula instead of capping it.
+	if stats != nil && stats.Measured != nil {
+		if cells, ok := stats.Measured(c.NodeSignature(i)); ok && cells > 0 {
+			return cells, plan.SourceMeasured
+		}
+	}
 	sch := c.Schema
 	m := c.Measures[i]
 	cells := 1.0
@@ -68,7 +83,7 @@ func MeasureCells(c *core.Compiled, i int, stats *plan.Stats) float64 {
 	if stats != nil && stats.Records > 0 && cells > stats.Records {
 		cells = stats.Records
 	}
-	return cells
+	return cells, stats.SourceLabel()
 }
 
 // SingleScanFootprint estimates the bytes the single-scan engine needs:

@@ -90,6 +90,9 @@ type Node struct {
 	OutOrder model.SortKey
 	// EstCells estimates the maximum number of live hash entries.
 	EstCells float64
+	// EstSource labels where EstCells came from: SourceAssumed,
+	// SourceCollected, or SourceMeasured.
+	EstSource string
 }
 
 // Plan is a streaming aggregation plan for one sort/scan pass.
@@ -101,6 +104,21 @@ type Plan struct {
 	EstBytes float64
 }
 
+// Estimate-source labels, in increasing order of trust. They answer
+// the question the paper's Section 6 leaves open ("the precision of
+// this [card()] function will only affect the size estimation"): where
+// did a node's cardinality estimate come from?
+const (
+	// SourceAssumed: paper-default cardinalities (1e6 per dimension).
+	SourceAssumed = "assumed"
+	// SourceCollected: linear-counting estimates from scanning the
+	// collection (internal/stats) or caller-supplied cardinalities.
+	SourceCollected = "collected"
+	// SourceMeasured: true cell counts observed by a previous completed
+	// run on this collection (the query-history feedback loop).
+	SourceMeasured = "measured"
+)
+
 // Stats supplies cardinality estimates for footprint estimation.
 type Stats struct {
 	// BaseCard estimates the number of distinct base-domain values per
@@ -111,6 +129,23 @@ type Stats struct {
 	// records per finalization group — a group cannot hold more
 	// distinct cells than records.
 	Records float64
+	// Source labels the provenance of BaseCard/Records (SourceAssumed
+	// when empty).
+	Source string
+	// Measured, when non-nil, returns the measured total cell count for
+	// a node content signature (core.NodeSignature) on the collection
+	// being planned. A hit caps the node's estimate and labels it
+	// SourceMeasured.
+	Measured func(sig string) (cells float64, ok bool)
+}
+
+// SourceLabel returns the stats' provenance label, defaulting to
+// SourceAssumed. Nil-safe.
+func (st *Stats) SourceLabel() string {
+	if st == nil || st.Source == "" {
+		return SourceAssumed
+	}
+	return st.Source
 }
 
 // DimCard estimates the number of distinct codes of dimension dim at
@@ -159,6 +194,20 @@ func Build(c *core.Compiled, sortKey model.SortKey, stats *Stats) (*Plan, error)
 		}
 		node.OutOrder = commonOutOrder(node.Arcs)
 		node.EstCells = estimateCells(c, m, &node, stats)
+		node.EstSource = stats.SourceLabel()
+		// Measured feedback: a completed run's true cell count for this
+		// node on this collection caps the formula estimate. Live cells
+		// never exceed the node's total output cardinality, so the cap
+		// is sound; keyed by content signature so re-compiled workflows
+		// (e.g. multipass sub-plans) still match.
+		if stats != nil && stats.Measured != nil {
+			if cells, ok := stats.Measured(c.NodeSignature(i)); ok && cells > 0 {
+				if cells < node.EstCells {
+					node.EstCells = cells
+				}
+				node.EstSource = SourceMeasured
+			}
+		}
 		pl.Nodes[i] = node
 		pl.EstBytes += node.EstCells * float64(48+m.Codec.KeyBytes())
 	}

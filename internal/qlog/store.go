@@ -1,0 +1,91 @@
+package qlog
+
+import (
+	"sync"
+	"time"
+)
+
+// Measured is the statistics remembered for one (collection, node
+// signature) pair: the true cell count the engine reported the last
+// time that node ran to completion on that collection.
+type Measured struct {
+	// Cells is the finalized cell count (the paper's card(G, D) for
+	// this node's granularity over this collection).
+	Cells float64 `json:"cells"`
+	// Runs counts the completed runs that contributed.
+	Runs int `json:"runs"`
+	// LastSeen is the timestamp of the newest contributing run.
+	LastSeen time.Time `json:"last_seen"`
+}
+
+// Store is the measured-statistics store: node-level cardinalities
+// keyed by (collection fingerprint, node signature), fed by history
+// records and consulted by the planner before it falls back to
+// collected estimates or paper defaults. All methods are safe for
+// concurrent use; a nil *Store is a valid empty no-op store.
+type Store struct {
+	mu   sync.RWMutex
+	byFP map[string]map[string]Measured
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{byFP: make(map[string]map[string]Measured)}
+}
+
+// Observe folds one history record into the store. Only OutcomeOK
+// runs contribute: canceled, budget-tripped, or failed runs saw a
+// partial stream and would undercount cells. Nil-safe.
+func (s *Store) Observe(rec *Record) {
+	if s == nil || rec == nil || rec.Outcome != OutcomeOK || rec.CollectionFP == "" {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	coll := s.byFP[rec.CollectionFP]
+	if coll == nil {
+		coll = make(map[string]Measured)
+		s.byFP[rec.CollectionFP] = coll
+	}
+	for _, n := range rec.Nodes {
+		if n.Sig == "" || n.CellsFinalized <= 0 {
+			continue
+		}
+		m := coll[n.Sig]
+		// Latest measurement wins: the true cardinality is a property
+		// of (node, collection), so successive runs agree unless the
+		// collection changed — in which case newest is correct.
+		m.Cells = float64(n.CellsFinalized)
+		m.Runs++
+		if rec.Time.After(m.LastSeen) {
+			m.LastSeen = rec.Time
+		}
+		coll[n.Sig] = m
+	}
+}
+
+// Lookup returns the measured cell count for a node signature on a
+// collection. Nil-safe (reports no measurement).
+func (s *Store) Lookup(collectionFP, sig string) (Measured, bool) {
+	if s == nil {
+		return Measured{}, false
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.byFP[collectionFP][sig]
+	return m, ok
+}
+
+// Len returns the total number of (collection, signature) entries.
+func (s *Store) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, coll := range s.byFP {
+		n += len(coll)
+	}
+	return n
+}

@@ -17,6 +17,12 @@ import (
 	"awra/internal/storage"
 )
 
+// ErrCorrupt marks structural damage in a result directory — an
+// unparsable manifest, a truncated or checksum-failing measure file —
+// as opposed to transient I/O errors. Match with errors.Is; it is the
+// same sentinel the storage layer uses, so callers need one check.
+var ErrCorrupt = storage.ErrCorrupt
+
 const manifestName = "awra-results.json"
 
 // MeasureInfo describes one stored measure in the manifest.
@@ -37,11 +43,24 @@ type Manifest struct {
 }
 
 // Save writes the tables into dir (created if needed) with a manifest.
-// Measure names become file names, so they are sanitized.
-func Save(dir string, schema *model.Schema, tables map[string]*core.Table) error {
+// Measure names become file names, so they are sanitized. Save is
+// transactional at the directory level: on any error the measure files
+// written by this call are removed, and the manifest — written last,
+// via a temp file and an atomic rename — never references files that
+// were not fully written, so a failed Save cannot leave a directory
+// that loads partially.
+func Save(dir string, schema *model.Schema, tables map[string]*core.Table) (err error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return fmt.Errorf("resultstore: %w", err)
 	}
+	var written []string
+	defer func() {
+		if err != nil {
+			for _, p := range written {
+				os.Remove(p)
+			}
+		}
+	}()
 	man := Manifest{}
 	for i := 0; i < schema.NumDims(); i++ {
 		man.Dimensions = append(man.Dimensions, schema.Dim(i).Name())
@@ -59,29 +78,39 @@ func Save(dir string, schema *model.Schema, tables map[string]*core.Table) error
 		for d := 0; d < schema.NumDims(); d++ {
 			info.Domains = append(info.Domains, schema.Dim(d).DomainName(tbl.Gran[d]))
 		}
-		w, err := storage.Create(filepath.Join(dir, file), schema.NumDims(), 1)
+		path := filepath.Join(dir, file)
+		w, err := storage.Create(path, schema.NumDims(), 1)
 		if err != nil {
-			return err
+			return fmt.Errorf("resultstore: measure %q: %w", name, err)
 		}
+		written = append(written, path)
 		rec := model.Record{Dims: make([]int64, schema.NumDims()), Ms: make([]float64, 1)}
 		for _, k := range tbl.SortedKeys() {
 			copy(rec.Dims, tbl.Codec.FullDecode(k))
 			rec.Ms[0] = tbl.Rows[k]
 			if err := w.Write(&rec); err != nil {
 				w.Close()
-				return err
+				return fmt.Errorf("resultstore: measure %q: %w", name, err)
 			}
 		}
 		if err := w.Close(); err != nil {
-			return err
+			return fmt.Errorf("resultstore: measure %q: %w", name, err)
 		}
 		man.Measures = append(man.Measures, info)
 	}
 	b, err := json.MarshalIndent(man, "", "  ")
 	if err != nil {
-		return err
+		return fmt.Errorf("resultstore: %w", err)
 	}
-	return os.WriteFile(filepath.Join(dir, manifestName), b, 0o644)
+	tmp := filepath.Join(dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	written = append(written, tmp)
+	if err := os.Rename(tmp, filepath.Join(dir, manifestName)); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	return nil
 }
 
 // ReadManifest loads and parses a result directory's manifest.
@@ -92,7 +121,7 @@ func ReadManifest(dir string) (*Manifest, error) {
 	}
 	var man Manifest
 	if err := json.Unmarshal(b, &man); err != nil {
-		return nil, fmt.Errorf("resultstore: corrupt manifest: %w", err)
+		return nil, fmt.Errorf("resultstore: corrupt manifest: %v (%w)", err, ErrCorrupt)
 	}
 	return &man, nil
 }

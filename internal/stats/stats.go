@@ -113,7 +113,7 @@ func CollectFile(path string, opts Options) (*Stats, error) {
 // PlanStats converts the collected statistics into the optimizer's
 // input form.
 func (s *Stats) PlanStats() *plan.Stats {
-	out := &plan.Stats{BaseCard: make([]float64, len(s.Dims)), Records: float64(s.Records)}
+	out := &plan.Stats{BaseCard: make([]float64, len(s.Dims)), Records: float64(s.Records), Source: plan.SourceCollected}
 	for i, d := range s.Dims {
 		out.BaseCard[i] = d.Distinct
 	}
