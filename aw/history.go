@@ -76,10 +76,24 @@ func OpenHistory(dir string) (*History, error) {
 }
 
 // absorb folds one record into the in-memory views (store, ring,
-// histograms) without touching the log.
+// histograms) without touching the log. A record carrying the
+// RequestID of an earlier absorbed record supersedes it: the retried
+// request keeps one entry (the final outcome) in the recent ring and
+// the total, so server-side retries never double-log history. The
+// dedup window is the ring; cross-run histograms still observe every
+// attempt, since each attempt's latency was really paid.
 func (h *History) absorb(r *HistoryRecord) {
 	h.store.Observe(r)
 	h.mu.Lock()
+	if r.RequestID != "" {
+		for i := len(h.recent) - 1; i >= 0; i-- {
+			if h.recent[i].RequestID == r.RequestID {
+				h.recent = append(h.recent[:i], h.recent[i+1:]...)
+				h.total--
+				break
+			}
+		}
+	}
 	h.total++
 	h.recent = append(h.recent, r)
 	if len(h.recent) > historyRecent {
@@ -290,6 +304,7 @@ func outcomeOf(err error) (outcome, msg string) {
 func buildRecord(c *Compiled, in Input, o *QueryOptions, g *qguard.Guard, qSpan *obs.Span, engine Engine, runErr error) *HistoryRecord {
 	rec := &HistoryRecord{
 		Time:         time.Now(),
+		RequestID:    o.RequestID,
 		Label:        strings.Join(c.Outputs(), ","),
 		QueryFP:      c.Fingerprint(),
 		CollectionFP: collectionFingerprint(in),

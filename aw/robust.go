@@ -26,6 +26,15 @@ var (
 	ErrBudgetExceeded = qguard.ErrBudgetExceeded
 )
 
+// ErrAdmissionRejected reports that a query never started: the serving
+// layer's admission control turned it away (per-tenant concurrency
+// limit, full wait queue, load shedding, or a draining server). It is
+// the library-level sentinel behind HTTP 429/503 responses, so clients
+// embedding the serve package match one error vocabulary whether they
+// reach the service over HTTP or in process. Rejections are cheap by
+// design — the query was refused before any planning or I/O.
+var ErrAdmissionRejected = errors.New("aw: admission rejected")
+
 // BudgetError is the concrete error behind ErrBudgetExceeded; it names
 // the resource that tripped and the limit and observed values.
 type BudgetError = qguard.BudgetError
@@ -52,6 +61,7 @@ func Run(ctx context.Context, w *Workflow, in Input, opts ...QueryOptions) (Resu
 		// the rejection with what little identity the inputs give us.
 		if len(opts) > 0 && opts[0].History != nil {
 			opts[0].History.Append(&HistoryRecord{
+				RequestID:    opts[0].RequestID,
 				CollectionFP: collectionFingerprint(in),
 				Engine:       opts[0].Engine.String(),
 				Outcome:      OutcomeError,
@@ -174,11 +184,11 @@ func runResolved(ctx context.Context, c *Compiled, in Input, o QueryOptions) (re
 				// planner's own cost model).
 				retry.MemoryBudget = limits.MaxLiveCells * 64
 			}
-			// The deferred reportOutcome only sees the retry's guard, so
-			// publish the first attempt's degraded-mode skips now.
-			if n := g.CorruptRows(); n > 0 {
-				o.Recorder.Counter(obs.MRowsCorruptSkipped).Add(n)
-			}
+			// The retry re-reads the same file and re-skips the same
+			// corrupt rows, so the first attempt's degraded-mode count is
+			// NOT pre-published here: the deferred reportOutcome publishes
+			// the final guard's count once, and a retried-then-successful
+			// read never double-counts rows_corrupt_skipped.
 			g = qguard.New(ctx, limits)
 			res, engine, err = runEngines(c, in, retry, st, g, inq, qSpan)
 		}

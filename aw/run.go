@@ -152,6 +152,38 @@ type ExecOptions struct {
 	// labels those estimates "measured"). Open one with OpenHistory and
 	// share it across queries.
 	History *History
+	// RequestID names the client request this run serves, making
+	// retries idempotent in the history: a retried request reuses its
+	// ID, and a later record with the same ID supersedes the earlier
+	// attempt's, so one request logs one final outcome no matter how
+	// many attempts it took. Empty means every run logs independently.
+	RequestID string
+}
+
+// TightenBudgets returns a copy of the options with every nonzero
+// resource guardrail scaled down by f in (0, 1) — the serving layer's
+// overload hook (see qguard.Limits.Scale). Zero (unlimited) budgets
+// stay unlimited, and f outside (0, 1) returns the options unchanged.
+func (o ExecOptions) TightenBudgets(f float64) ExecOptions {
+	if f <= 0 || f >= 1 {
+		return o
+	}
+	l := qguard.Limits{
+		MaxLiveCells:  o.MaxLiveCells,
+		MaxResultRows: o.MaxResultRows,
+		MaxSpillBytes: o.MaxSpillBytes,
+	}.Scale(f)
+	o.MaxLiveCells = l.MaxLiveCells
+	o.MaxResultRows = l.MaxResultRows
+	o.MaxSpillBytes = l.MaxSpillBytes
+	if o.MemoryBudget > 0 {
+		if s := int64(float64(o.MemoryBudget) * f); s >= 1 {
+			o.MemoryBudget = s
+		} else {
+			o.MemoryBudget = 1
+		}
+	}
+	return o
 }
 
 // QueryOptions configures batch evaluation (Run, RunCompiled). The

@@ -599,6 +599,7 @@ var runners = map[string]func(Config) (*Figure, error){
 	"abl-par":       AblPar,
 	"hist-feedback": HistFeedback,
 	"par-shard":     ParShard,
+	"serve-load":    ServeLoad,
 	"fig6a":         Fig6a,
 	"fig6b":         Fig6b,
 	"fig6c":         Fig6c,

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"awra/aw"
+	"awra/internal/serve"
+)
+
+// serveLoadWorkflow is the fixed query every load client runs: the
+// paper's Table 1 network log aggregated to (hour, IP) cells, rolled
+// up to busy hours.
+const serveLoadWorkflow = "schema net\n" +
+	"basic Count gran(t=Hour, U=IP) agg=count\n" +
+	"rollup Busy gran(t=Hour) src=Count agg=count where \"m0 > 1\"\n"
+
+// ServeLoad drives the always-on query service (internal/serve) at
+// increasing offered concurrency against a fixed admission gate, and
+// reports sustained throughput alongside the shed rate: the service's
+// answer to overload is to keep per-query latency flat and turn the
+// excess away with 429 + Retry-After rather than letting everything
+// slow down together.
+func ServeLoad(cfg Config) (*Figure, error) {
+	cfg = cfg.withDefaults()
+	f := &Figure{
+		ID:     "serve-load",
+		Title:  "query service under load: throughput and shed rate vs offered concurrency",
+		Header: []string{"clients", "requests", "ok", "shed", "throughput_qps", "ok_p50_ms", "ok_p95_ms"},
+	}
+	n := cfg.size(2)
+	fact, _, err := cfg.netFile(n)
+	if err != nil {
+		return nil, err
+	}
+	const (
+		slots     = 4 // admission slots: the fixed capacity every level contends for
+		perClient = 6 // requests each client issues back to back
+	)
+	for _, clients := range []int{1, 2, 4, 8, 16, 32} {
+		s, err := serve.New(serve.Config{
+			Collections:   map[string]string{"net": fact},
+			TempDir:       cfg.Dir,
+			Gate:          serve.GateConfig{MaxConcurrent: slots, QueueDepth: slots, QueueWait: 250 * time.Millisecond},
+			DefaultEngine: aw.EngineAuto,
+			MemoryBudget:  cfg.SingleScanBudget,
+			Recorder:      cfg.Recorder,
+		})
+		if err != nil {
+			return nil, err
+		}
+		ts := httptest.NewServer(s.Handler())
+
+		var (
+			mu        sync.Mutex
+			ok, shed  int
+			latencies []time.Duration
+			firstErr  error
+		)
+		body, _ := json.Marshal(serve.QueryRequest{Workflow: serveLoadWorkflow, Collection: "net"})
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for r := 0; r < perClient; r++ {
+					t0 := time.Now()
+					resp, err := http.Post(ts.URL+"/query", "application/json", bytes.NewReader(body))
+					d := time.Since(t0)
+					mu.Lock()
+					switch {
+					case err != nil:
+						if firstErr == nil {
+							firstErr = err
+						}
+					case resp.StatusCode == http.StatusOK:
+						ok++
+						latencies = append(latencies, d)
+					case resp.StatusCode == http.StatusTooManyRequests:
+						shed++
+					default:
+						if firstErr == nil {
+							firstErr = fmt.Errorf("serve-load: unexpected status %d", resp.StatusCode)
+						}
+					}
+					mu.Unlock()
+					if resp != nil {
+						resp.Body.Close()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		ts.Close()
+		if err := s.Drain(); err != nil {
+			return nil, err
+		}
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		total := clients * perClient
+		qps := float64(ok) / elapsed.Seconds()
+		cfg.logf("serve-load clients=%d: ok=%d shed=%d %.1f qps", clients, ok, shed, qps)
+		f.Rows = append(f.Rows, []string{
+			fmt.Sprint(clients), fmt.Sprint(total), fmt.Sprint(ok), fmt.Sprint(shed),
+			fmt.Sprintf("%.1f", qps),
+			ms(percentile(latencies, 0.50)), ms(percentile(latencies, 0.95)),
+		})
+	}
+	f.Notes = append(f.Notes,
+		fmt.Sprintf("|D| = %d records; gate: %d slots, queue depth %d, wait 250ms; %d requests per client",
+			n, slots, slots, perClient),
+		"past the gate's capacity, added clients raise the shed rate while served-query latency stays near flat",
+	)
+	return f, nil
+}
+
+// percentile returns the p-quantile of ds by nearest-rank; zero when
+// empty.
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"awra/internal/agg"
@@ -323,12 +324,19 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 	return res, nil
 }
 
+// spillSeq disambiguates spill paths across concurrent queries in one
+// process sharing a temp directory.
+var spillSeq atomic.Int64
+
 // spill writes every live entry's aggregator state to the measure's
 // spill file as fixed-width rows (key codes..., generation, position)
 // -> state value, then clears the hash table.
 func (t *table) spill(tempDir string) (int64, error) {
 	if t.writer == nil {
-		t.spillPath = filepath.Join(tempDir, fmt.Sprintf("awra-spill-%d-%s.tmp", os.Getpid(), sanitize(t.m.Name)))
+		// Measure names repeat across concurrent queries; the sequence
+		// keeps one query's spill from clobbering another's.
+		t.spillPath = filepath.Join(tempDir, fmt.Sprintf("awra-spill-%d-%d-%s.tmp",
+			os.Getpid(), spillSeq.Add(1), sanitize(t.m.Name)))
 		w, err := storage.Create(t.spillPath, t.m.Codec.Width()+2, 1)
 		if err != nil {
 			return 0, fmt.Errorf("singlescan: create spill: %w", err)

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"awra/internal/agg"
@@ -221,6 +222,10 @@ func (e *engine) publish() {
 	}
 }
 
+// sortSeq disambiguates the sorted-copy paths of concurrent runs over
+// the same fact file within this process.
+var sortSeq atomic.Int64
+
 // Run sorts the fact file by the sort key and evaluates the workflow
 // in one streaming pass.
 func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
@@ -235,7 +240,11 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 	scanPath := factPath
 	var st Stats
 	if !opts.AssumeSorted {
-		sorted := factPath + ".sorted"
+		// The sorted copy is private to this run and removed when it
+		// ends, so its name must be unique: concurrent queries over the
+		// same fact file (a serving process) must not overwrite or
+		// delete each other's copy mid-scan.
+		sorted := fmt.Sprintf("%s.sorted.%d.%d", factPath, os.Getpid(), sortSeq.Add(1))
 		defer os.Remove(sorted)
 		sortSpan := rec.Start(obs.SpanSort)
 		less := func(a, b *model.Record) bool { return pl.SortKey.RecordLess(c.Schema, a, b) }

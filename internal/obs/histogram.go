@@ -23,6 +23,13 @@ const (
 	// HRowsPerSec is the scan-throughput distribution in fact records
 	// per second, labeled {engine}.
 	HRowsPerSec = "query_rows_per_sec"
+	// HServeLatencyUs is the serve layer's end-to-end request latency
+	// (admission wait + all execution attempts) in microseconds,
+	// labeled {outcome}.
+	HServeLatencyUs = "serve_request_latency_us"
+	// HServeWaitUs is the admission-queue wait distribution in
+	// microseconds for requests that had to queue.
+	HServeWaitUs = "serve_admission_wait_us"
 )
 
 // histMaxBucket is the number of finite buckets: values land in bucket

@@ -75,6 +75,38 @@ const (
 	// engine.
 	MShardsPlanned = "shards_planned"
 
+	// Serve metric family: published by the always-on query service
+	// (internal/serve) so its admission, retry, and drain behavior is
+	// observable through the same registry as engine metrics.
+
+	// MServeRequests counts query requests received (before admission).
+	MServeRequests = "serve_requests"
+	// MServeAdmitted counts requests that passed admission control.
+	MServeAdmitted = "serve_admitted"
+	// MServeQueued counts requests that waited in the admission queue
+	// before being admitted or shed.
+	MServeQueued = "serve_queued"
+	// MServeShed counts requests rejected by admission control (tenant
+	// limit, full queue, queue-wait timeout, shedding, or draining) —
+	// the 429/503 responses.
+	MServeShed = "serve_shed"
+	// MServeRetries counts transient-fault retries of admitted queries.
+	MServeRetries = "serve_retries"
+	// MServeDegraded counts queries executed under overload-tightened
+	// budgets (the sortscan→multipass degradation ladder).
+	MServeDegraded = "serve_degraded_runs"
+	// MServeDrainCanceled counts in-flight queries canceled because the
+	// drain deadline lapsed before they finished.
+	MServeDrainCanceled = "serve_drain_canceled"
+
+	// GServeActive is the number of admitted queries currently running.
+	GServeActive = "serve_active_queries"
+	// GServeQueueDepth is the current admission-queue depth.
+	GServeQueueDepth = "serve_queue_depth"
+	// GServeOverloadLevel is the overload controller's current level
+	// (0 = normal, 1 = degraded budgets, 2 = shedding).
+	GServeOverloadLevel = "serve_overload_level"
+
 	// GLiveCellsHWM is the high-water mark of simultaneously live hash
 	// entries across all measure nodes.
 	GLiveCellsHWM = "live_cells_hwm"

@@ -78,6 +78,34 @@ type Limits struct {
 	SkipCorruptRows bool
 }
 
+// Scale returns a tightened copy of the limits: every nonzero budget
+// is multiplied by f (clamped to at least 1 so a budget never silently
+// becomes "unlimited"), while zero budgets stay unlimited — tightening
+// must not invent limits the operator never set. It is the overload
+// controller's hook: under pressure the serve layer admits queries with
+// Scale(0.5) (or tighter) limits, shrinking each query's footprint so
+// the process degrades instead of shedding. f outside (0, 1] returns
+// the limits unchanged.
+func (l Limits) Scale(f float64) Limits {
+	if f <= 0 || f >= 1 {
+		return l
+	}
+	scale := func(v int64) int64 {
+		if v <= 0 {
+			return v
+		}
+		s := int64(float64(v) * f)
+		if s < 1 {
+			s = 1
+		}
+		return s
+	}
+	l.MaxLiveCells = scale(l.MaxLiveCells)
+	l.MaxResultRows = scale(l.MaxResultRows)
+	l.MaxSpillBytes = scale(l.MaxSpillBytes)
+	return l
+}
+
 // Guard carries one query's cancellation and budget state. All methods
 // are nil-safe; a nil Guard enforces nothing. A Guard may be shared
 // across goroutines (partitions, parallel sorts): budget accounting is

@@ -170,3 +170,36 @@ func TestRecoverAbortRepanicsForeignPanics(t *testing.T) {
 	defer RecoverAbort(&err)
 	panic("not an abort")
 }
+
+// TestLimitsScale: the overload controller's tightening hook must
+// shrink set budgets, leave unlimited (zero) budgets unlimited, never
+// round a budget down to zero, and ignore nonsense factors.
+func TestLimitsScale(t *testing.T) {
+	l := Limits{MaxLiveCells: 1000, MaxResultRows: 3, MaxSpillBytes: 0, SkipCorruptRows: true}
+
+	s := l.Scale(0.5)
+	if s.MaxLiveCells != 500 {
+		t.Errorf("MaxLiveCells = %d, want 500", s.MaxLiveCells)
+	}
+	if s.MaxResultRows != 1 {
+		t.Errorf("MaxResultRows = %d, want 1", s.MaxResultRows)
+	}
+	if s.MaxSpillBytes != 0 {
+		t.Errorf("MaxSpillBytes = %d, want 0 (unlimited stays unlimited)", s.MaxSpillBytes)
+	}
+	if !s.SkipCorruptRows {
+		t.Error("SkipCorruptRows lost in Scale")
+	}
+
+	// A tiny budget tightens to 1, never 0 (0 would mean unlimited).
+	if got := (Limits{MaxResultRows: 1}).Scale(0.1).MaxResultRows; got != 1 {
+		t.Errorf("Scale(0.1) of 1 row = %d, want 1", got)
+	}
+
+	// Factors outside (0, 1) are identity.
+	for _, f := range []float64{0, -1, 1, 2} {
+		if got := l.Scale(f); got != l {
+			t.Errorf("Scale(%v) = %+v, want unchanged", f, got)
+		}
+	}
+}

@@ -47,8 +47,14 @@ type NodeProfile struct {
 // line. Fields mirror the in-flight registry's vocabulary so live and
 // historical views of a query agree.
 type Record struct {
-	Time         time.Time `json:"time"`
-	Label        string    `json:"label,omitempty"`
+	Time time.Time `json:"time"`
+	// RequestID identifies the client request that issued the run. A
+	// retried request reuses its ID, and history readers treat a later
+	// record with the same ID as superseding the earlier attempt — so a
+	// query retried after a transient fault logs one final outcome, not
+	// one per attempt.
+	RequestID    string `json:"request_id,omitempty"`
+	Label        string `json:"label,omitempty"`
 	QueryFP      string    `json:"query_fp,omitempty"`
 	CollectionFP string    `json:"collection_fp,omitempty"`
 	Engine       string    `json:"engine,omitempty"`

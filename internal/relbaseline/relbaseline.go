@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 	"time"
 
 	"awra/internal/agg"
@@ -80,7 +81,6 @@ type evaluator struct {
 	opts  Options
 	stats *Stats
 	guard *qguard.Guard
-	seq   int
 	temps []string
 	// rec is the current measure's recorder view; scanned/finalized
 	// accumulate across operators and publish at end of run.
@@ -171,9 +171,12 @@ func (ev *evaluator) cleanup() {
 	}
 }
 
+// tempSeq disambiguates temp paths across concurrent evaluators in one
+// process sharing a temp directory.
+var tempSeq atomic.Int64
+
 func (ev *evaluator) tempFile(tag string) string {
-	ev.seq++
-	p := filepath.Join(ev.opts.TempDir, fmt.Sprintf("awra-rel-%d-%s-%d.tmp", os.Getpid(), tag, ev.seq))
+	p := filepath.Join(ev.opts.TempDir, fmt.Sprintf("awra-rel-%d-%s-%d.tmp", os.Getpid(), tag, tempSeq.Add(1)))
 	ev.temps = append(ev.temps, p)
 	return p
 }

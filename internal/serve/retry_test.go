@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"awra/aw"
+	"awra/internal/faultfs"
+	"awra/internal/obs"
+)
+
+// transientErr mimics what a query returns when an engine read hits an
+// injected transient fault: the sentinel is wrapped several layers
+// deep, as real errors are.
+var transientErr = fmt.Errorf("aw: scan: %w",
+	fmt.Errorf("%w: %w: read fact.rec", faultfs.ErrInjected, faultfs.ErrTransient))
+
+func TestIsTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{nil, false},
+		{transientErr, true},
+		{faultfs.ErrTransient, true},
+		{faultfs.ErrInjected, false}, // permanent injected fault
+		{errors.New("disk on fire"), false},
+		{fmt.Errorf("wrap: %w", aw.ErrCanceled), false},
+		{fmt.Errorf("wrap: %w", aw.ErrDeadlineExceeded), false},
+		{fmt.Errorf("wrap: %w", aw.ErrBudgetExceeded), false},
+		{fmt.Errorf("wrap: %w", aw.ErrAdmissionRejected), false},
+	}
+	for _, c := range cases {
+		if got := IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRetryTransientThenSuccess(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	rec := obs.New()
+	calls := 0
+	attempts, err := p.Do(context.Background(), rec, func(attempt int) error {
+		calls++
+		if attempt != calls {
+			t.Fatalf("attempt = %d on call %d", attempt, calls)
+		}
+		if calls < 3 {
+			return transientErr
+		}
+		return nil
+	})
+	if err != nil || attempts != 3 {
+		t.Fatalf("got attempts=%d err=%v, want 3, nil", attempts, err)
+	}
+	if n := rec.Counter(obs.MServeRetries).Value(); n != 2 {
+		t.Errorf("serve_retries = %d, want 2", n)
+	}
+}
+
+func TestRetryPermanentFailsFast(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+	permanent := errors.New("checksum mismatch")
+	attempts, err := p.Do(context.Background(), nil, func(int) error { return permanent })
+	if attempts != 1 || !errors.Is(err, permanent) {
+		t.Fatalf("got attempts=%d err=%v, want 1 attempt, the permanent error", attempts, err)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond}
+	attempts, err := p.Do(context.Background(), nil, func(int) error { return transientErr })
+	if attempts != 3 || !faultfs.IsTransient(err) {
+		t.Fatalf("got attempts=%d err=%v, want 3 attempts, the transient error surfaced", attempts, err)
+	}
+}
+
+func TestRetryZeroValueMeansOneAttempt(t *testing.T) {
+	var p RetryPolicy
+	attempts, err := p.Do(context.Background(), nil, func(int) error { return transientErr })
+	if attempts != 1 || err == nil {
+		t.Fatalf("got attempts=%d err=%v, want exactly 1 attempt", attempts, err)
+	}
+}
+
+func TestRetryStopsOnContextCancel(t *testing.T) {
+	p := RetryPolicy{MaxAttempts: 10, BaseDelay: time.Hour, MaxDelay: time.Hour, Budget: 10 * time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	attempts, err := p.Do(ctx, nil, func(int) error { return transientErr })
+	if attempts != 1 || !faultfs.IsTransient(err) {
+		t.Fatalf("got attempts=%d err=%v, want 1 attempt with the transient error", attempts, err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancel did not interrupt the backoff sleep")
+	}
+}
+
+func TestRetryBackoffBounds(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 8 * time.Millisecond, MaxDelay: 20 * time.Millisecond}
+	for n := 1; n <= 10; n++ {
+		d := p.backoff(n, time.Hour)
+		if d <= 0 || d > 20*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, want in (0, 20ms]", n, d)
+		}
+		// Exponential growth with full jitter stays >= half the capped
+		// ideal delay.
+		ideal := 8 * time.Millisecond << uint(n-1)
+		if ideal <= 0 || ideal > 20*time.Millisecond {
+			ideal = 20 * time.Millisecond
+		}
+		if d < ideal/2 {
+			t.Fatalf("backoff(%d) = %v, want >= %v", n, d, ideal/2)
+		}
+	}
+	// The remaining budget clips the delay.
+	if d := p.backoff(5, time.Millisecond); d > time.Millisecond {
+		t.Fatalf("budget-clipped backoff = %v, want <= 1ms", d)
+	}
+}

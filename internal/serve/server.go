@@ -1,0 +1,607 @@
+// Package serve is the always-on query service built on the aw
+// library: an HTTP/JSON front end that keeps answering compiled
+// workflow queries for many concurrent callers without falling over.
+// Robustness is the architecture, in four layers:
+//
+//   - admission control (Gate): a semaphore of execution slots with a
+//     bounded FIFO wait queue and per-tenant concurrency limits;
+//     saturated arrivals get 429 + Retry-After instead of a pile-up;
+//   - graceful degradation (Controller): the recent p95 latency and
+//     live-cell high-water marks drive a three-level overload ladder —
+//     normal → tightened budgets with a forced sortscan→multipass
+//     downgrade (the paper's Section 6 decision procedure under a
+//     smaller budget) → shedding;
+//   - retry with backoff (RetryPolicy): transient storage faults are
+//     retried under jittered exponential backoff and a per-query retry
+//     budget, with idempotent request IDs so a retried query logs one
+//     history record;
+//   - graceful drain (Server.Drain): stop admissions, let in-flight
+//     queries finish under a deadline, cancel stragglers through the
+//     engines' cooperative cancellation, flush the history log, exit
+//     clean.
+//
+// The service surfaces /healthz, /readyz, /metrics (Prometheus), and
+// the library's /debug/aw/queries and /debug/aw/history endpoints.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"awra/aw"
+	"awra/internal/obs"
+	"awra/internal/wfdsl"
+)
+
+// Server states (the readiness ladder).
+const (
+	stateReady int32 = iota
+	stateDraining
+	stateStopped
+)
+
+// Config assembles one server.
+type Config struct {
+	// Collections maps collection names to fact-file paths. Queries
+	// name a collection; the workflow text declares its schema.
+	Collections map[string]string
+	// HistoryDir, when set, opens the persistent query history there:
+	// every request logs one record (retries are idempotent by request
+	// ID) and plans reuse measured statistics. The server owns the
+	// history and closes it on drain.
+	HistoryDir string
+	// TempDir receives sort runs and spills; empty uses os.TempDir.
+	TempDir string
+	// Gate tunes admission control.
+	Gate GateConfig
+	// Overload tunes the degradation ladder.
+	Overload OverloadConfig
+	// Retry tunes transient-fault retry. (RetryPolicy's zero value
+	// means "one attempt, no retries".)
+	Retry RetryPolicy
+	// DefaultTimeout bounds each query's execution (all attempts
+	// combined share the request context; the timeout applies per
+	// attempt). 0 means no timeout.
+	DefaultTimeout time.Duration
+	// DefaultEngine runs queries that do not name an engine;
+	// zero-value is aw.EngineSortScan, so set EngineAuto explicitly
+	// for the Section 6 decision procedure.
+	DefaultEngine aw.Engine
+	// Budgets are the per-query guardrails applied to every request;
+	// the overload controller tightens them further under pressure.
+	MaxLiveCells  int64
+	MaxResultRows int64
+	MaxSpillBytes int64
+	// MemoryBudget is the EngineAuto planning budget in bytes.
+	MemoryBudget int64
+	// Parallelism is passed through to the engines (shard count).
+	Parallelism int
+	// SkipCorruptRows enables degraded reads for all queries.
+	SkipCorruptRows bool
+	// DrainTimeout bounds how long Drain waits for in-flight queries
+	// before canceling them; 0 defaults to 10s.
+	DrainTimeout time.Duration
+	// Recorder receives process-level serve metrics; nil allocates a
+	// private one.
+	Recorder *obs.Recorder
+}
+
+// Server is one running query service. Create with New, mount
+// Handler() (or use ListenAndServe), stop with Drain.
+type Server struct {
+	cfg   Config
+	rec   *obs.Recorder
+	gate  *Gate
+	ctl   *Controller
+	hist  *aw.History
+	state atomic.Int32
+	seq   atomic.Int64
+
+	mu       sync.Mutex
+	inflight map[int64]context.CancelFunc
+
+	// wfCache caches compiled workflows by text hash: compilation is
+	// pure, so concurrent recomputation is only wasted work.
+	wfCache sync.Map // uint64 -> *wfdsl.Parsed
+
+	mux *http.ServeMux
+}
+
+// New builds a server (opening the history directory when configured)
+// but does not listen; mount Handler on any http.Server, or call
+// ListenAndServe.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Collections) == 0 {
+		return nil, fmt.Errorf("serve: no collections registered")
+	}
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = obs.New()
+	}
+	s := &Server{cfg: cfg, rec: rec, inflight: make(map[int64]context.CancelFunc)}
+	s.gate = NewGate(cfg.Gate, rec)
+	s.ctl = NewController(cfg.Overload, s.gate, rec)
+	if cfg.HistoryDir != "" {
+		h, err := aw.OpenHistory(cfg.HistoryDir)
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		s.hist = h
+	}
+	// Register the rest of the metric vocabulary up front.
+	rec.Counter(obs.MServeRequests)
+	rec.Counter(obs.MServeRetries)
+	rec.Counter(obs.MServeDrainCanceled)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/aw/queries", s.handleInflight)
+	mux.HandleFunc("/debug/aw/history", s.handleHistory)
+	s.mux = mux
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// History returns the server's history (nil when not configured).
+func (s *Server) History() *aw.History { return s.hist }
+
+// Controller returns the overload controller (tests and operators).
+func (s *Server) Controller() *Controller { return s.ctl }
+
+// Gate returns the admission gate.
+func (s *Server) Gate() *Gate { return s.gate }
+
+// QueryRequest is the POST /query payload.
+type QueryRequest struct {
+	// Workflow is the query text in the wfdsl syntax (schema + measure
+	// declarations). Required.
+	Workflow string `json:"workflow"`
+	// Collection names a registered fact file. Required.
+	Collection string `json:"collection"`
+	// Tenant scopes per-tenant admission limits; empty = "default".
+	Tenant string `json:"tenant,omitempty"`
+	// RequestID makes retries idempotent in the query history; empty
+	// generates one.
+	RequestID string `json:"request_id,omitempty"`
+	// Engine overrides the server's default engine by name.
+	Engine string `json:"engine,omitempty"`
+	// TimeoutMs overrides (only downward) the server's default query
+	// timeout.
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// Limit caps rows returned per measure; 0 defaults to 50.
+	Limit int `json:"limit,omitempty"`
+	// Measure returns only this measure's table.
+	Measure string `json:"measure,omitempty"`
+}
+
+// QueryResponse is the POST /query result envelope.
+type QueryResponse struct {
+	RequestID  string               `json:"request_id"`
+	Outcome    string               `json:"outcome"` // ok | error
+	Error      string               `json:"error,omitempty"`
+	Engine     string               `json:"engine,omitempty"`
+	DurationUs int64                `json:"duration_us"`
+	Attempts   int                  `json:"attempts"`
+	Degraded   bool                 `json:"degraded,omitempty"`
+	Measures   map[string][]ValueAt `json:"measures,omitempty"`
+}
+
+// ValueAt is one result row: a formatted region and its value.
+type ValueAt struct {
+	Region string  `json:"region"`
+	Value  float64 `json:"value"`
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// retryAfterHeader formats a Retry-After value in whole seconds,
+// rounded up (0 would invite an immediate retry).
+func retryAfterHeader(d time.Duration) string {
+	secs := int64(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// parseWorkflow compiles (with caching) the request's workflow text.
+func (s *Server) parseWorkflow(text string) (*wfdsl.Parsed, error) {
+	h := fnv.New64a()
+	h.Write([]byte(text))
+	key := h.Sum64()
+	if p, ok := s.wfCache.Load(key); ok {
+		return p.(*wfdsl.Parsed), nil
+	}
+	p, err := wfdsl.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	s.wfCache.Store(key, p)
+	return p, nil
+}
+
+// track registers an in-flight query's cancel func for drain.
+func (s *Server) track(id int64, cancel context.CancelFunc) {
+	s.mu.Lock()
+	s.inflight[id] = cancel
+	s.mu.Unlock()
+}
+
+func (s *Server) untrack(id int64) {
+	s.mu.Lock()
+	delete(s.inflight, id)
+	s.mu.Unlock()
+}
+
+// cancelInflight cancels every tracked query (drain stragglers) and
+// returns how many it canceled.
+func (s *Server) cancelInflight() int {
+	s.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(s.inflight))
+	for _, c := range s.inflight {
+		cancels = append(cancels, c)
+	}
+	s.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	return len(cancels)
+}
+
+// mergeAttempt folds one finished attempt's engine metrics into the
+// server recorder. Only the FINAL attempt of a request is merged:
+// earlier transiently-failed attempts re-read the same data, so
+// folding every attempt would double-count per-row metrics — most
+// visibly rows_corrupt_skipped after a retried-then-successful
+// degraded read.
+func (s *Server) mergeAttempt(att *obs.Recorder) (liveCells int64) {
+	snap := att.Snapshot()
+	for name, v := range snap.Counters {
+		if v != 0 {
+			s.rec.Counter(name).Add(v)
+		}
+	}
+	for name, v := range snap.Gauges {
+		s.rec.Gauge(name).SetMax(v)
+	}
+	return snap.Gauges[obs.GLiveCellsHWM]
+}
+
+// resolvedEngine pulls the engine that actually ran from the attempt's
+// query span (EngineAuto decisions resolved), falling back to the
+// requested engine.
+func resolvedEngine(att *obs.Recorder, fallback aw.Engine) string {
+	snap := att.Snapshot()
+	for _, sp := range snap.Spans {
+		if sp.Name == obs.SpanQuery && sp.Attrs["engine"] != "" {
+			return sp.Attrs["engine"]
+		}
+	}
+	return fallback.String()
+}
+
+// handleQuery is the service's one write path: admission, degradation,
+// execution with retry, and response mapping.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.rec.Counter(obs.MServeRequests).Add(1)
+	if s.state.Load() != stateReady {
+		w.Header().Set("Retry-After", retryAfterHeader(s.gate.cfg.RetryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, QueryResponse{Outcome: "error", Error: "draining"})
+		return
+	}
+	var req QueryRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Outcome: "error", Error: "bad request: " + err.Error()})
+		return
+	}
+	factPath, ok := s.cfg.Collections[req.Collection]
+	if !ok {
+		writeJSON(w, http.StatusNotFound, QueryResponse{Outcome: "error",
+			Error: fmt.Sprintf("unknown collection %q (have %s)", req.Collection, strings.Join(s.collectionNames(), ", "))})
+		return
+	}
+	parsed, err := s.parseWorkflow(req.Workflow)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, QueryResponse{Outcome: "error", Error: err.Error()})
+		return
+	}
+	engine := s.cfg.DefaultEngine
+	if req.Engine != "" {
+		if engine, err = aw.ParseEngine(req.Engine); err != nil {
+			writeJSON(w, http.StatusBadRequest, QueryResponse{Outcome: "error", Error: err.Error()})
+			return
+		}
+	}
+	tenant := req.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	reqID := req.RequestID
+	if reqID == "" {
+		reqID = "srv-" + strconv.FormatInt(s.seq.Add(1), 10)
+	}
+
+	// Admission: the only wait in the request path, bounded by the
+	// gate's queue depth and wait allowance.
+	t0 := time.Now()
+	release, err := s.gate.Admit(r.Context(), tenant)
+	if waited := time.Since(t0); waited > time.Millisecond {
+		s.rec.Histogram(obs.HServeWaitUs).Observe(waited.Microseconds())
+	}
+	if err != nil {
+		if re, ok := AsReject(err); ok {
+			status := http.StatusTooManyRequests
+			if re.Reason == ReasonDraining {
+				status = http.StatusServiceUnavailable
+			}
+			w.Header().Set("Retry-After", retryAfterHeader(re.RetryAfter))
+			writeJSON(w, status, QueryResponse{RequestID: reqID, Outcome: "error", Error: re.Error()})
+			return
+		}
+		// The client went away while queued.
+		writeJSON(w, http.StatusRequestTimeout, QueryResponse{RequestID: reqID, Outcome: "error", Error: err.Error()})
+		return
+	}
+	defer release()
+
+	opts := aw.QueryOptions{
+		ExecOptions: aw.ExecOptions{
+			Engine:          engine,
+			MemoryBudget:    s.cfg.MemoryBudget,
+			Parallelism:     s.cfg.Parallelism,
+			Timeout:         s.cfg.DefaultTimeout,
+			MaxLiveCells:    s.cfg.MaxLiveCells,
+			MaxResultRows:   s.cfg.MaxResultRows,
+			MaxSpillBytes:   s.cfg.MaxSpillBytes,
+			SkipCorruptRows: s.cfg.SkipCorruptRows,
+			History:         s.hist,
+			RequestID:       reqID,
+		},
+		TempDir: s.cfg.TempDir,
+	}
+	if req.TimeoutMs > 0 {
+		t := time.Duration(req.TimeoutMs) * time.Millisecond
+		if opts.Timeout == 0 || t < opts.Timeout {
+			opts.Timeout = t
+		}
+	}
+	degraded := s.ctl.Apply(&opts)
+
+	// The query context is the client's, cancelable by drain.
+	qctx, cancel := context.WithCancel(r.Context())
+	qid := s.seq.Add(1)
+	s.track(qid, cancel)
+	defer func() { s.untrack(qid); cancel() }()
+
+	in := aw.FromFile(factPath)
+	var (
+		res        aw.Results
+		attemptRec *obs.Recorder
+	)
+	attempts, runErr := s.cfg.Retry.Do(qctx, s.rec, func(attempt int) error {
+		// A fresh recorder per attempt: only the final attempt's
+		// metrics are merged (see mergeAttempt), so a retried attempt
+		// that re-skipped the same corrupt rows is not double-counted.
+		attemptRec = obs.New()
+		o := opts
+		o.Recorder = attemptRec
+		var err error
+		res, err = aw.RunCompiled(qctx, parsed.Compiled, in, o)
+		return err
+	})
+
+	latency := time.Since(t0)
+	liveCells := s.mergeAttempt(attemptRec)
+	s.ctl.Observe(latency, liveCells)
+	outcome := "ok"
+	if runErr != nil {
+		outcome = "error"
+	}
+	s.rec.Histogram(obs.HServeLatencyUs, "outcome", outcome).Observe(latency.Microseconds())
+
+	resp := QueryResponse{
+		RequestID:  reqID,
+		Outcome:    outcome,
+		Engine:     resolvedEngine(attemptRec, engine),
+		DurationUs: latency.Microseconds(),
+		Attempts:   attempts,
+		Degraded:   degraded,
+	}
+	if runErr != nil {
+		resp.Error = runErr.Error()
+		writeJSON(w, s.statusFor(runErr), resp)
+		return
+	}
+	limit := req.Limit
+	if limit <= 0 {
+		limit = 50
+	}
+	resp.Measures = make(map[string][]ValueAt)
+	for name, table := range res {
+		if req.Measure != "" && name != req.Measure {
+			continue
+		}
+		rows := aw.TopK(table, limit)
+		vals := make([]ValueAt, len(rows))
+		for i, row := range rows {
+			vals[i] = ValueAt{Region: row.Label, Value: row.Value}
+		}
+		resp.Measures[name] = vals
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusFor maps a final query error onto the HTTP status ladder:
+// 429/503 for admission (handled earlier), 422 for a query that blew
+// its resource budget (a client problem: the query is too big for its
+// allowance), 503 when drain canceled it, 504 for a timeout, and 500
+// for everything else (including transient faults that survived every
+// retry).
+func (s *Server) statusFor(err error) int {
+	switch {
+	case errors.Is(err, aw.ErrBudgetExceeded):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, aw.ErrDeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, aw.ErrCanceled):
+		if s.state.Load() != stateReady {
+			return http.StatusServiceUnavailable
+		}
+		return http.StatusRequestTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) collectionNames() []string {
+	names := make([]string, 0, len(s.cfg.Collections))
+	for n := range s.cfg.Collections {
+		names = append(names, n)
+	}
+	return names
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// Liveness: the process is up, even while draining.
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.state.Load() != stateReady {
+		w.Header().Set("Retry-After", retryAfterHeader(s.gate.cfg.RetryAfter))
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := s.rec.WritePrometheus(w); err != nil {
+		return
+	}
+	// The history's cross-run latency histograms use disjoint family
+	// names, so both exports share one exposition cleanly.
+	_ = s.hist.WritePrometheus(w)
+}
+
+func (s *Server) handleInflight(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := aw.WriteInflightJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	n := 50
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.hist.WriteJSON(w, n); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Draining reports whether the server has left the ready state.
+func (s *Server) Draining() bool { return s.state.Load() != stateReady }
+
+// Drain performs the graceful shutdown ladder: stop admissions (readyz
+// flips to 503, new queries get 503 + Retry-After), wait up to the
+// drain timeout for in-flight queries to finish, cancel stragglers
+// through the engines' cooperative cancellation paths, then close the
+// history log (flushing it). It returns nil when everything finished
+// or was canceled cleanly; an error if queries were still running when
+// the post-cancel grace expired. Idempotent: later calls return nil.
+func (s *Server) Drain() error {
+	if !s.state.CompareAndSwap(stateReady, stateDraining) {
+		return nil
+	}
+	s.gate.Close()
+	timeout := s.cfg.DrainTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	deadline := time.Now().Add(timeout)
+	for s.gate.Active() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	var drainErr error
+	if s.gate.Active() > 0 {
+		n := s.cancelInflight()
+		s.rec.Counter(obs.MServeDrainCanceled).Add(int64(n))
+		// Cooperative cancellation bounds are sub-250ms on engine
+		// strides; allow a generous grace for unwinding and history
+		// appends.
+		grace := time.Now().Add(5 * time.Second)
+		for s.gate.Active() > 0 && time.Now().Before(grace) {
+			time.Sleep(5 * time.Millisecond)
+		}
+		if n := s.gate.Active(); n > 0 {
+			drainErr = fmt.Errorf("serve: %d queries still running after drain deadline + cancel grace", n)
+		}
+	}
+	s.state.Store(stateStopped)
+	if s.hist != nil && drainErr == nil {
+		if err := s.hist.Close(); err != nil {
+			drainErr = err
+		}
+	}
+	return drainErr
+}
+
+// ListenAndServe runs the service on addr until ctx is canceled, then
+// drains and shuts the listener down, returning the drain error (nil
+// on a clean exit).
+func (s *Server) ListenAndServe(ctx context.Context, addr string) error {
+	hs := &http.Server{Addr: addr, Handler: s.mux}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	drainErr := s.Drain()
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	return drainErr
+}

@@ -1,0 +1,304 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"awra/aw"
+	"awra/internal/faultfs"
+	"awra/internal/obs"
+	"awra/internal/storage"
+)
+
+const testWorkflow = `
+schema net
+basic Count  gran(t=Hour, U=IP) agg=count
+rollup Busy  gran(t=Hour) src=Count agg=count where "m0 > 1"
+`
+
+// writeNetFact writes n synthetic records of the paper's Table 1
+// schema (t, U, T, P — the same shape wfdsl's "schema net" declares).
+func writeNetFact(t *testing.T, n int, seed int64) string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	recs := make([]aw.Record, n)
+	for i := range recs {
+		recs[i] = aw.Record{Dims: []int64{
+			aw.SecondCode(2004, 3, 1+rng.Intn(3), rng.Intn(24), rng.Intn(60), rng.Intn(60)),
+			aw.IPCode(1, rng.Intn(4), rng.Intn(4), rng.Intn(50)),
+			aw.IPCode(10, 0, rng.Intn(8), rng.Intn(256)),
+			int64(rng.Intn(1024)),
+		}, Ms: []float64{}}
+	}
+	fact := filepath.Join(t.TempDir(), "fact.rec")
+	if err := aw.WriteRecords(fact, 4, 0, recs); err != nil {
+		t.Fatal(err)
+	}
+	return fact
+}
+
+// newTestServer builds a server over one small collection with fast
+// defaults; mutate cfg before New via the optional tweak.
+func newTestServer(t *testing.T, tweak func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	fact := writeNetFact(t, 2000, 11)
+	cfg := Config{
+		Collections:   map[string]string{"net": fact},
+		HistoryDir:    filepath.Join(t.TempDir(), "history"),
+		TempDir:       t.TempDir(),
+		Gate:          GateConfig{MaxConcurrent: 4, QueueDepth: 4, QueueWait: 200 * time.Millisecond},
+		Retry:         RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
+		DefaultEngine: aw.EngineAuto,
+		DrainTimeout:  5 * time.Second,
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		_ = s.Drain()
+	})
+	return s, ts
+}
+
+// swapFaultFS installs a process-global fault-injecting filesystem and
+// returns its restore func. History writes bypass it (qlog uses the OS
+// directly), so injected faults hit only query reads.
+func swapFaultFS(t *testing.T, arm func(*faultfs.FS)) func() {
+	t.Helper()
+	fs := faultfs.New()
+	arm(fs)
+	return storage.SwapFS(fs)
+}
+
+func postQuery(t *testing.T, url string, req QueryRequest) (int, QueryResponse, http.Header) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var qr QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+		t.Fatalf("decoding response (status %d): %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, qr, resp.Header
+}
+
+func TestServeQueryOK(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	status, qr, _ := postQuery(t, ts.URL, QueryRequest{
+		Workflow: testWorkflow, Collection: "net", RequestID: "q-1", Limit: 5,
+	})
+	if status != http.StatusOK || qr.Outcome != "ok" {
+		t.Fatalf("status=%d outcome=%q error=%q", status, qr.Outcome, qr.Error)
+	}
+	if qr.RequestID != "q-1" || qr.Attempts != 1 || qr.Engine == "" {
+		t.Fatalf("envelope: %+v", qr)
+	}
+	for _, m := range []string{"Count", "Busy"} {
+		rows := qr.Measures[m]
+		if len(rows) == 0 || len(rows) > 5 {
+			t.Fatalf("measure %s: %d rows, want 1..5", m, len(rows))
+		}
+		if rows[0].Region == "" || rows[0].Value <= 0 {
+			t.Fatalf("measure %s row 0: %+v", m, rows[0])
+		}
+	}
+}
+
+func TestServeErrorMapping(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) { c.MaxResultRows = 3 })
+
+	// Unknown collection.
+	status, qr, _ := postQuery(t, ts.URL, QueryRequest{Workflow: testWorkflow, Collection: "nope"})
+	if status != http.StatusNotFound || !strings.Contains(qr.Error, "unknown collection") {
+		t.Fatalf("unknown collection: status=%d %+v", status, qr)
+	}
+
+	// Workflow that does not parse.
+	status, qr, _ = postQuery(t, ts.URL, QueryRequest{Workflow: "schema net\nbogus x", Collection: "net"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad workflow: status=%d %+v", status, qr)
+	}
+
+	// Unknown engine name.
+	status, _, _ = postQuery(t, ts.URL, QueryRequest{Workflow: testWorkflow, Collection: "net", Engine: "warp"})
+	if status != http.StatusBadRequest {
+		t.Fatalf("bad engine: status=%d", status)
+	}
+
+	// A query over its result-row allowance is the client's problem.
+	status, qr, _ = postQuery(t, ts.URL, QueryRequest{Workflow: testWorkflow, Collection: "net", RequestID: "big-1"})
+	if status != http.StatusUnprocessableEntity || qr.Outcome != "error" {
+		t.Fatalf("budget trip: status=%d %+v", status, qr)
+	}
+
+	// GET is not a query.
+	resp, err := http.Get(ts.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query: status=%d", resp.StatusCode)
+	}
+
+	// Budget trips and parse failures logged exactly one history record
+	// for the IDed request.
+	var n int
+	for _, r := range s.History().Recent(50) {
+		if r.RequestID == "big-1" {
+			n++
+			if r.Outcome != aw.OutcomeBudget {
+				t.Errorf("big-1 outcome = %q, want budget", r.Outcome)
+			}
+		}
+	}
+	if n != 1 {
+		t.Errorf("big-1 history records = %d, want 1", n)
+	}
+}
+
+func TestServeOverLimit429(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Gate = GateConfig{MaxConcurrent: 1, QueueDepth: 0, RetryAfter: 2 * time.Second}
+	})
+	// Occupy the only slot from outside, then knock on the front door.
+	release, err := s.Gate().Admit(context.Background(), "hog")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	status, qr, hdr := postQuery(t, ts.URL, QueryRequest{Workflow: testWorkflow, Collection: "net"})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (%+v)", status, qr)
+	}
+	if ra := hdr.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", ra)
+	}
+	// Same-tenant second query: per-tenant limit, also 429.
+	release2, err := s.Gate().Admit(context.Background(), "default")
+	if err == nil {
+		release2()
+		t.Fatal("second slot existed")
+	}
+	if !isReason(err, ReasonQueueFull) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestServeRetryTransientIdempotent(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	restore := swapFaultFS(t, func(fs *faultfs.FS) { fs.TransientReadFaults(2) })
+	defer restore()
+
+	status, qr, _ := postQuery(t, ts.URL, QueryRequest{
+		Workflow: testWorkflow, Collection: "net", RequestID: "flaky-1",
+	})
+	if status != http.StatusOK || qr.Outcome != "ok" {
+		t.Fatalf("status=%d %+v", status, qr)
+	}
+	if qr.Attempts < 2 {
+		t.Fatalf("attempts = %d, want >= 2 (the fault must have fired)", qr.Attempts)
+	}
+
+	// Exactly one history record despite the retries, with the final
+	// outcome.
+	var n int
+	for _, r := range s.History().Recent(50) {
+		if r.RequestID == "flaky-1" {
+			n++
+			if r.Outcome != aw.OutcomeOK {
+				t.Errorf("flaky-1 outcome = %q, want ok", r.Outcome)
+			}
+		}
+	}
+	if n != 1 {
+		t.Fatalf("flaky-1 history records = %d, want exactly 1", n)
+	}
+}
+
+func TestServeObservabilityEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, nil)
+	if status, _, _ := postQuery(t, ts.URL, QueryRequest{Workflow: testWorkflow, Collection: "net"}); status != 200 {
+		t.Fatalf("seed query: %d", status)
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+
+	if st, body := get("/healthz"); st != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", st, body)
+	}
+	if st, body := get("/readyz"); st != 200 || !strings.Contains(body, "ready") {
+		t.Fatalf("readyz: %d %q", st, body)
+	}
+	st, body := get("/metrics")
+	if st != 200 {
+		t.Fatalf("metrics: %d", st)
+	}
+	for _, want := range []string{
+		"awra_" + obs.MServeRequests, "awra_" + obs.MServeAdmitted, "awra_" + obs.MServeShed,
+		"awra_" + obs.GServeActive, "awra_" + obs.HServeLatencyUs,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %s", want)
+		}
+	}
+	if st, body := get("/debug/aw/queries"); st != 200 || !json.Valid([]byte(body)) {
+		t.Fatalf("debug queries: %d %q", st, body)
+	}
+	st, body = get("/debug/aw/history")
+	if st != 200 || !json.Valid([]byte(body)) {
+		t.Fatalf("debug history: %d", st)
+	}
+	if !strings.Contains(body, `"total_runs": 1`) {
+		t.Errorf("history summary does not show the run:\n%s", body)
+	}
+}
+
+func TestServeDegradedUnderOverload(t *testing.T) {
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Overload = OverloadConfig{HighP95: time.Nanosecond, Window: 4, Cooldown: 1000}
+		c.MemoryBudget = 1 << 30
+	})
+	// Any completed request trips the nanosecond p95 threshold.
+	if status, _, _ := postQuery(t, ts.URL, QueryRequest{Workflow: testWorkflow, Collection: "net"}); status != 200 {
+		t.Fatal("seed query failed")
+	}
+	if s.Controller().Level() < LevelDegraded {
+		t.Fatalf("level = %d, want >= degraded", s.Controller().Level())
+	}
+	status, qr, _ := postQuery(t, ts.URL, QueryRequest{Workflow: testWorkflow, Collection: "net"})
+	if status != 200 || !qr.Degraded {
+		t.Fatalf("degraded run: status=%d %+v", status, qr)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"awra/internal/model"
 	"awra/internal/obs"
@@ -104,6 +105,11 @@ func abortingLess(g *qguard.Guard, less Less) Less {
 	}
 }
 
+// extsortSeq disambiguates run-file names across concurrent SortFile
+// calls in one process sharing a temp directory (a serving process
+// sorting the same collection for several queries at once).
+var extsortSeq atomic.Int64
+
 // SortFile sorts a record file into a new file using an external merge
 // sort: sorted runs of ChunkRecords records are spilled to temporary
 // files and k-way merged with a heap. The input file is not modified.
@@ -128,6 +134,7 @@ func SortFile(inPath, outPath string, less Less, opts SortOptions) (SortStats, e
 	// Phase 1: produce sorted runs. In parallel mode, full chunks are
 	// handed to worker goroutines that sort and spill them while the
 	// input keeps streaming.
+	sortID := extsortSeq.Add(1)
 	var (
 		runPaths []string
 		runSeq   int
@@ -174,7 +181,7 @@ func SortFile(inPath, outPath string, less Less, opts SortOptions) (SortStats, e
 		if len(buf) == 0 {
 			return nil
 		}
-		p := filepath.Join(tempDir, fmt.Sprintf("awra-run-%d-%d.tmp", os.Getpid(), runSeq))
+		p := filepath.Join(tempDir, fmt.Sprintf("awra-run-%d-%d-%d.tmp", os.Getpid(), sortID, runSeq))
 		runSeq++
 		runPaths = append(runPaths, p)
 		if !opts.Parallel {

@@ -4,17 +4,23 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"awra/internal/model"
 	"awra/internal/qguard"
 )
 
+// shardSeq disambiguates shard paths across concurrent queries in one
+// process; pid alone is not unique when a server runs many at once.
+var shardSeq atomic.Int64
+
 // ShardOptions configures ShardFile.
 type ShardOptions struct {
 	// TempDir receives the shard files; empty uses os.TempDir().
 	TempDir string
-	// Prefix names the shard files: <TempDir>/<Prefix>-<pid>-<i>.rec.
-	// Empty uses "awra-shard".
+	// Prefix names the shard files:
+	// <TempDir>/<Prefix>-<pid>-<seq>-<i>.rec, where seq is unique per
+	// ShardFile call. Empty uses "awra-shard".
 	Prefix string
 	// Guard, if non-nil, makes the split cooperatively cancelable,
 	// applies the degraded-read policy to the input, and charges the
@@ -57,8 +63,9 @@ func ShardFile(inPath string, n int, assign func(r *model.Record) int, opts Shar
 			os.Remove(paths[i])
 		}
 	}
+	seq := shardSeq.Add(1)
 	for i := range writers {
-		paths[i] = filepath.Join(tempDir, fmt.Sprintf("%s-%d-%d.rec", prefix, os.Getpid(), i))
+		paths[i] = filepath.Join(tempDir, fmt.Sprintf("%s-%d-%d-%d.rec", prefix, os.Getpid(), seq, i))
 		w, err := Create(paths[i], hdr.NumDims, hdr.NumMeasures)
 		if err != nil {
 			writers[i] = nil
