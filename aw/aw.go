@@ -32,13 +32,10 @@
 // recorder — live in the ExecOptions struct embedded in QueryOptions
 // and StreamOptions.
 //
-// Migration note: the older entry points Query, QueryCompiled,
-// OpenStream, and OpenStreamCompiled are deprecated thin wrappers that
-// call the Run family with a background context; replace
-// aw.Query(wf, in, o) with aw.Run(ctx, wf, in, o), and
-// aw.OpenStream(wf, o) with aw.RunStream(ctx, wf, o). Options
-// literals move the shared knobs into the embedded struct:
-// QueryOptions{Workers: 4} becomes
+// The pre-context entry points (Query, QueryCompiled, OpenStream,
+// OpenStreamCompiled) and the Workers option are gone; replace
+// aw.Query(wf, in, o) with aw.Run(ctx, wf, in, o), aw.OpenStream(wf, o)
+// with aw.RunStream(ctx, wf, o), and QueryOptions{Workers: 4} with
 // QueryOptions{ExecOptions: ExecOptions{Parallelism: 4}}.
 //
 // The underlying engines (one-pass sort/scan, sharded parallel

@@ -85,7 +85,7 @@ func TestSaveLoadResultsThroughFacade(t *testing.T) {
 	}
 }
 
-func TestAutoStatsAndWorkers(t *testing.T) {
+func TestAutoStatsAndParallelism(t *testing.T) {
 	s := attackSchema(t)
 	recs := attackRecords(3000, 17)
 	dir := t.TempDir()
@@ -107,14 +107,13 @@ func TestAutoStatsAndWorkers(t *testing.T) {
 	}
 	for name, tbl := range want {
 		if !tbl.Equal(got[name], 1e-9) {
-			t.Errorf("measure %s differs with AutoStats+Workers", name)
+			t.Errorf("measure %s differs with AutoStats+Parallelism", name)
 		}
 	}
-	// Parallel single-scan, driven through the deprecated Workers alias
-	// (which must keep feeding ExecOptions.Parallelism).
+	// Parallel single-scan.
 	got, err = aw.Run(context.Background(), busyWorkflow(t, s, 1), aw.FromFile(fact), aw.QueryOptions{
-		ExecOptions: aw.ExecOptions{Engine: aw.EngineSingleScan},
-		Workers:     3, TempDir: dir,
+		ExecOptions: aw.ExecOptions{Engine: aw.EngineSingleScan, Parallelism: 3},
+		TempDir:     dir,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -171,7 +170,7 @@ func TestTableHelpers(t *testing.T) {
 	}
 }
 
-func TestOpenStreamAutoKey(t *testing.T) {
+func TestRunStreamAutoKey(t *testing.T) {
 	s := attackSchema(t)
 	stream, err := aw.RunStream(context.Background(), busyWorkflow(t, s, 1), aw.StreamOptions{})
 	if err != nil {

@@ -106,6 +106,11 @@ func runResolved(ctx context.Context, c *Compiled, in Input, o QueryOptions) (re
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if no, nerr := o.ExecOptions.normalize(); nerr != nil {
+		return nil, o.Engine, nerr
+	} else {
+		o.ExecOptions = no
+	}
 	if o.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, o.Timeout)

@@ -1,12 +1,13 @@
 package aw
 
 import (
-	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"awra/internal/exec/multipass"
 	"awra/internal/exec/partscan"
+	"awra/internal/exec/scan"
 	"awra/internal/exec/singlescan"
 	"awra/internal/exec/sortscan"
 	"awra/internal/model"
@@ -56,45 +57,71 @@ const (
 	EngineShardScan
 )
 
+// engineNames is the single source of truth tying each engine constant
+// to its canonical name: String() reads it, ParseEngine accepts every
+// entry, and UnknownEngineError lists it — so help text and the parser
+// cannot drift, and every constant round-trips through its String()
+// form.
+var engineNames = [...]string{
+	EngineSortScan:   "sortscan",
+	EngineSingleScan: "singlescan",
+	EngineMultiPass:  "multipass",
+	EngineRelational: "relational",
+	EngineAuto:       "auto",
+	EnginePartScan:   "partscan",
+	EngineShardScan:  "shardscan",
+}
+
+// engineAliases maps accepted non-canonical spellings (String() never
+// produces these, but ParseEngine keeps reading them).
+var engineAliases = map[string]Engine{
+	"scan": EngineSingleScan,
+	"db":   EngineRelational,
+}
+
+// EngineNames returns the canonical engine names, in constant order.
+func EngineNames() []string {
+	out := make([]string, len(engineNames))
+	copy(out, engineNames[:])
+	return out
+}
+
 func (e Engine) String() string {
-	switch e {
-	case EngineSortScan:
-		return "sortscan"
-	case EngineSingleScan:
-		return "singlescan"
-	case EngineMultiPass:
-		return "multipass"
-	case EngineRelational:
-		return "relational"
-	case EngineAuto:
-		return "auto"
-	case EnginePartScan:
-		return "partscan"
-	case EngineShardScan:
-		return "shardscan"
+	if e >= 0 && int(e) < len(engineNames) {
+		return engineNames[e]
 	}
 	return fmt.Sprintf("Engine(%d)", int(e))
 }
 
-// ParseEngine resolves an engine name.
+// UnknownEngineError reports an engine name ParseEngine does not
+// recognize, carrying the valid canonical names.
+type UnknownEngineError struct {
+	// Name is the rejected input.
+	Name string
+	// Valid lists the canonical engine names.
+	Valid []string
+}
+
+func (e *UnknownEngineError) Error() string {
+	return fmt.Sprintf("aw: unknown engine %q (valid: %s)", e.Name, strings.Join(e.Valid, ", "))
+}
+
+// ParseEngine resolves an engine name: every canonical String() form,
+// the aliases "scan" and "db", and "" (the default engine). Unknown
+// names return an *UnknownEngineError listing the valid names.
 func ParseEngine(name string) (Engine, error) {
-	switch name {
-	case "sortscan", "":
+	if name == "" {
 		return EngineSortScan, nil
-	case "singlescan", "scan":
-		return EngineSingleScan, nil
-	case "multipass":
-		return EngineMultiPass, nil
-	case "relational", "db":
-		return EngineRelational, nil
-	case "auto":
-		return EngineAuto, nil
-	case "partscan":
-		return EnginePartScan, nil
-	case "shardscan":
-		return EngineShardScan, nil
 	}
-	return 0, fmt.Errorf("aw: unknown engine %q (auto, sortscan, shardscan, singlescan, multipass, partscan, relational)", name)
+	for e, n := range engineNames {
+		if name == n {
+			return Engine(e), nil
+		}
+	}
+	if e, ok := engineAliases[name]; ok {
+		return e, nil
+	}
+	return 0, &UnknownEngineError{Name: name, Valid: EngineNames()}
 }
 
 // ExecOptions are the execution knobs shared by every entry point:
@@ -158,6 +185,32 @@ type ExecOptions struct {
 	// attempt's, so one request logs one final outcome no matter how
 	// many attempts it took. Empty means every run logs independently.
 	RequestID string
+	// ReadBatchSize is the chunk size in bytes for the batched fact
+	// reads under every file-backed engine (the internal/exec/scan
+	// reader). 0 uses the default (a few MB); positive values below the
+	// reader's minimum are clamped up; negative values are rejected at
+	// entry. In-memory and streaming inputs batch at a fixed record
+	// count and ignore it.
+	ReadBatchSize int
+}
+
+// normalize validates and canonicalizes the execution knobs once, at
+// every entry point (Run, RunStream, serve) — so engines can trust the
+// values they receive. It returns the normalized copy.
+func (o ExecOptions) normalize() (ExecOptions, error) {
+	if o.ReadBatchSize < 0 {
+		return o, fmt.Errorf("aw: negative ReadBatchSize %d", o.ReadBatchSize)
+	}
+	if o.Parallelism < 0 {
+		return o, fmt.Errorf("aw: negative Parallelism %d", o.Parallelism)
+	}
+	if o.MemoryBudget < 0 || o.MaxLiveCells < 0 || o.MaxResultRows < 0 || o.MaxSpillBytes < 0 {
+		return o, fmt.Errorf("aw: negative resource budget")
+	}
+	if o.ReadBatchSize > 0 && o.ReadBatchSize < scan.MinBatchBytes {
+		o.ReadBatchSize = scan.MinBatchBytes
+	}
+	return o, nil
 }
 
 // TightenBudgets returns a copy of the options with every nonzero
@@ -211,20 +264,11 @@ type QueryOptions struct {
 	// Partitions is the EnginePartScan worker count (>= 1; 0 means
 	// max(Parallelism, 1)).
 	Partitions int
-	// Workers is the old name for the parallel worker count; it is
-	// honored only when Parallelism is 0.
-	//
-	// Deprecated: set ExecOptions.Parallelism instead.
-	Workers int
 }
 
-// parallelism resolves the effective worker count, honoring the
-// deprecated Workers field when Parallelism is unset.
+// parallelism resolves the effective worker count.
 func (o *QueryOptions) parallelism() int {
-	if o.Parallelism > 0 {
-		return o.Parallelism
-	}
-	return o.Workers
+	return o.Parallelism
 }
 
 // Input is a fact-table source for Query.
@@ -242,25 +286,6 @@ func FromRecords(recs []Record) Input { return Input{recs: recs, n: len(recs)} }
 
 // Results maps measure names to their computed tables.
 type Results map[string]*Table
-
-// Query compiles the workflow (if needed) and evaluates it with a
-// background context.
-//
-// Deprecated: use Run, the canonical context-first entry point; Query
-// is a thin wrapper kept for compatibility and cannot be canceled.
-func Query(w *Workflow, in Input, opts ...QueryOptions) (Results, error) {
-	return Run(context.Background(), w, in, opts...)
-}
-
-// QueryCompiled evaluates a compiled workflow with a background
-// context.
-//
-// Deprecated: use RunCompiled, the canonical context-first entry
-// point; QueryCompiled is a thin wrapper kept for compatibility and
-// cannot be canceled.
-func QueryCompiled(c *Compiled, in Input, opts ...QueryOptions) (Results, error) {
-	return RunCompiled(context.Background(), c, in, opts...)
-}
 
 // planStats assembles the planner's cardinality input for one run:
 // caller or AutoStats cardinalities (labeled "collected"), paper
@@ -411,7 +436,8 @@ func runEngines(c *Compiled, in Input, o QueryOptions, st *plan.Stats, g *qguard
 		res, err := sortscan.Run(c, in.path, sortscan.Options{
 			SortKey: key, TempDir: o.TempDir, Stats: st,
 			ParallelSort: par > 1, SortWorkers: par,
-			Recorder: qrec, Guard: g,
+			ReadBatchBytes: o.ReadBatchSize,
+			Recorder:       qrec, Guard: g,
 		})
 		if err != nil {
 			return nil, o.Engine, err
@@ -434,34 +460,41 @@ func runEngines(c *Compiled, in Input, o QueryOptions, st *plan.Stats, g *qguard
 		}
 		res, err := sortscan.RunSharded(c, in.path, sortscan.ShardedOptions{
 			SortKey: key, Shards: shards, TempDir: o.TempDir, Stats: st,
-			Recorder: qrec, Guard: g,
+			ReadBatchBytes: o.ReadBatchSize,
+			Recorder:       qrec, Guard: g,
 		})
 		if err != nil {
 			return nil, o.Engine, err
 		}
 		return res.Tables, o.Engine, nil
 	case EngineSingleScan:
-		r, err := storage.OpenGuarded(in.path, g)
-		if err != nil {
-			return nil, o.Engine, err
-		}
-		defer r.Close()
 		var res *singlescan.Result
 		if par > 1 {
+			r, err := storage.OpenGuarded(in.path, g)
+			if err != nil {
+				return nil, o.Engine, err
+			}
+			defer r.Close()
 			res, err = singlescan.RunParallel(c, r, par, singlescan.Options{TempDir: o.TempDir, MemoryBudget: o.MemoryBudget, Recorder: qrec, Guard: g})
+			if err != nil {
+				return nil, o.Engine, err
+			}
 		} else {
-			res, err = singlescan.Run(c, r, singlescan.Options{
-				MemoryBudget: o.MemoryBudget, TempDir: o.TempDir, Recorder: qrec, Guard: g,
+			var err error
+			res, err = singlescan.RunFile(c, in.path, singlescan.Options{
+				MemoryBudget: o.MemoryBudget, TempDir: o.TempDir,
+				ReadBatchBytes: o.ReadBatchSize, Recorder: qrec, Guard: g,
 			})
-		}
-		if err != nil {
-			return nil, o.Engine, err
+			if err != nil {
+				return nil, o.Engine, err
+			}
 		}
 		return res.Tables, o.Engine, nil
 	case EngineMultiPass:
 		res, err := multipass.Run(c, in.path, multipass.Options{
 			MemoryBudget: float64(o.MemoryBudget), Stats: st, TempDir: o.TempDir,
-			Recorder: qrec, Guard: g,
+			ReadBatchBytes: o.ReadBatchSize,
+			Recorder:       qrec, Guard: g,
 		})
 		if err != nil {
 			return nil, o.Engine, err
@@ -492,6 +525,7 @@ func runEngines(c *Compiled, in Input, o QueryOptions, st *plan.Stats, g *qguard
 			SortKey:        key,
 			TempDir:        o.TempDir,
 			Stats:          st,
+			ReadBatchBytes: o.ReadBatchSize,
 			Recorder:       qrec,
 			Guard:          g,
 		})

@@ -24,9 +24,9 @@ type Stream struct {
 // StreamOptions configures streaming sessions (RunStream). The
 // execution knobs shared with batch evaluation live in the embedded
 // ExecOptions; a session honors its Recorder, Timeout, MaxLiveCells,
-// and MaxResultRows (the guardrails under RunStream only — OpenStream
-// carries no guard), and ignores the batch-only fields (Engine,
-// MemoryBudget, Parallelism, MaxSpillBytes, SkipCorruptRows).
+// and MaxResultRows, and ignores the batch-only fields (Engine,
+// MemoryBudget, Parallelism, MaxSpillBytes, SkipCorruptRows,
+// ReadBatchSize).
 type StreamOptions struct {
 	ExecOptions
 	// SortKey is the order records will arrive in; nil asks the
@@ -39,19 +39,6 @@ type StreamOptions struct {
 	ValidateOrder bool
 	// BaseCards feeds the optimizer when SortKey is nil.
 	BaseCards []float64
-}
-
-// OpenStream compiles the workflow and starts a streaming session.
-//
-// Deprecated: use RunStream, the canonical context-first entry point;
-// OpenStream is a thin wrapper kept for compatibility and enforces no
-// cancellation or guardrails.
-func OpenStream(w *Workflow, o StreamOptions) (*Stream, error) {
-	c, err := w.Compile()
-	if err != nil {
-		return nil, err
-	}
-	return OpenStreamCompiled(c, o)
 }
 
 // RunStream compiles the workflow and starts a streaming session bound
@@ -71,6 +58,11 @@ func RunStreamCompiled(ctx context.Context, c *Compiled, o StreamOptions) (*Stre
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	no, err := o.ExecOptions.normalize()
+	if err != nil {
+		return nil, err
+	}
+	o.ExecOptions = no
 	var cancel context.CancelFunc
 	if o.Timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, o.Timeout)
@@ -88,15 +80,6 @@ func RunStreamCompiled(ctx context.Context, c *Compiled, o StreamOptions) (*Stre
 	}
 	st.cancel = cancel
 	return st, nil
-}
-
-// OpenStreamCompiled starts a streaming session over a compiled
-// workflow (no cancellation or guardrails; see RunStreamCompiled).
-//
-// Deprecated: use RunStreamCompiled, the canonical context-first entry
-// point; OpenStreamCompiled is a thin wrapper kept for compatibility.
-func OpenStreamCompiled(c *Compiled, o StreamOptions) (*Stream, error) {
-	return openStreamCompiled(c, o, nil)
 }
 
 func openStreamCompiled(c *Compiled, o StreamOptions, g *qguard.Guard) (*Stream, error) {

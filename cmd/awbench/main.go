@@ -40,6 +40,7 @@ func main() {
 		seed     = flag.Int64("seed", 2006, "dataset generation seed")
 		budget   = flag.Int64("budget", 8<<20, "single-scan memory budget in bytes")
 		par      = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker count for the sharded-parallel figure")
+		readBat  = flag.Int("read-batch", 0, "batched fact-read chunk size in bytes (0 = scan reader default)")
 		list     = flag.Bool("list", false, "list available figures and exit")
 		quiet    = flag.Bool("q", false, "suppress progress output")
 		jsonOut  = flag.Bool("json", false, "print figures as JSON (rows plus metrics snapshot) instead of text tables")
@@ -70,6 +71,7 @@ func main() {
 		SingleScanBudget: *budget,
 		Parallelism:      *par,
 		History:          *histDir,
+		ReadBatchBytes:   *readBat,
 	}
 	if !*quiet {
 		cfg.Progress = os.Stderr

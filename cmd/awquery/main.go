@@ -50,7 +50,7 @@ func main() {
 		limit   = flag.Int("limit", 20, "max rows to print per measure (0 = all)")
 		budget  = flag.Int64("budget", 0, "memory budget in bytes (singlescan spill / multipass per-pass / auto decision)")
 		par     = flag.Int("parallelism", 1, "parallel workers: shardscan shards, singlescan scan workers, sortscan sort workers")
-		workers = flag.Int("workers", 0, "deprecated alias for -parallelism")
+		readBat = flag.Int("read-batch", 0, "fact-read chunk size in bytes for file-backed engines (0 = default)")
 		csvOut  = flag.String("o", "", "write the selected measure(s) as CSV file(s): PATH, or PATH prefix when printing several")
 		explain = flag.Bool("explain", false, "print the plan tree with optimizer estimates (and the workflow DOT graph), then exit")
 		analyze = flag.Bool("explain-analyze", false, "run the query, then print the plan tree with per-node actuals vs estimates instead of result rows")
@@ -211,16 +211,12 @@ func main() {
 		// SIGINT cancels the query cooperatively; the engines abort at
 		// their next scan stride and clean up temp files.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-		parallelism := *par
-		if *workers > 0 {
-			fmt.Fprintln(os.Stderr, "awquery: -workers is deprecated; use -parallelism")
-			parallelism = *workers
-		}
 		qo := aw.QueryOptions{
 			ExecOptions: aw.ExecOptions{
 				Engine:          eng,
 				MemoryBudget:    *budget,
-				Parallelism:     parallelism,
+				Parallelism:     *par,
+				ReadBatchSize:   *readBat,
 				Recorder:        rec,
 				Timeout:         *timeout,
 				MaxResultRows:   *maxRows,

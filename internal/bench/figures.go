@@ -50,6 +50,9 @@ type Config struct {
 	// History is a directory for the persistent query-history log used
 	// by the hist-feedback figure; empty defaults to Dir/history.
 	History string
+	// ReadBatchBytes is the chunk size for the batched fact reads in
+	// the engines under test; 0 uses the scan reader's default.
+	ReadBatchBytes int
 }
 
 func (c Config) withDefaults() Config {
@@ -598,6 +601,7 @@ var runners = map[string]func(Config) (*Figure, error){
 	"abl-key":       AblKey,
 	"abl-par":       AblPar,
 	"hist-feedback": HistFeedback,
+	"hotpath":       HotPath,
 	"par-shard":     ParShard,
 	"serve-load":    ServeLoad,
 	"fig6a":         Fig6a,

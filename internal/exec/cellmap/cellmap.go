@@ -1,0 +1,178 @@
+// Package cellmap provides the open-addressing hash table behind the
+// engines' cell hot path. Keys are the fixed-width encoded region keys
+// (model.Key bytes) of one region set; values are dense indices into a
+// caller-owned parallel slice of cell state. Compared to a Go
+// map[model.Key]*cell it avoids per-lookup string conversions, per-cell
+// pointer allocations, and hash-iteration overhead: FNV-1a over the key
+// bytes, linear probing, power-of-two growth, and an append-only key
+// arena that the caller can scan densely at flush time.
+//
+// The table does not support deletion; the engines' watermark flushes
+// retire whole batches of cells at once, so they rebuild the table from
+// the survivors (Reset + re-Insert) instead of tombstoning.
+package cellmap
+
+// Table maps fixed-width byte keys to dense indices 0..Len()-1 in
+// insertion order.
+type Table struct {
+	keyLen int
+	slots  []int32 // entry index + 1; 0 = empty
+	mask   uint64
+	keys   []byte // arena: entry i's key at [i*keyLen, (i+1)*keyLen)
+	n      int
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// New returns a table for keys of keyLen bytes (zero is allowed: the
+// all-ALL region set has a single, empty key).
+func New(keyLen int) *Table {
+	t := &Table{keyLen: keyLen}
+	t.init(16)
+	return t
+}
+
+func (t *Table) init(slots int) {
+	t.slots = make([]int32, slots)
+	t.mask = uint64(slots - 1)
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return t.n }
+
+// KeyLen returns the fixed key width in bytes.
+func (t *Table) KeyLen() int { return t.keyLen }
+
+func (t *Table) hash(k []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, b := range k {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// KeyAt returns entry i's key bytes (a view into the arena; do not
+// mutate or retain across Reset).
+func (t *Table) KeyAt(i int32) []byte {
+	return t.keys[int(i)*t.keyLen : int(i)*t.keyLen+t.keyLen]
+}
+
+func keyEq(a, b []byte) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup returns the entry index for k, or -1.
+func (t *Table) Lookup(k []byte) int32 {
+	i := t.hash(k) & t.mask
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			return -1
+		}
+		e := s - 1
+		if keyEq(t.KeyAt(e), k) {
+			return e
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// Insert returns the entry index for k, creating it if absent. The key
+// bytes are copied into the arena on creation.
+func (t *Table) Insert(k []byte) (idx int32, created bool) {
+	i := t.hash(k) & t.mask
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			break
+		}
+		e := s - 1
+		if keyEq(t.KeyAt(e), k) {
+			return e, false
+		}
+		i = (i + 1) & t.mask
+	}
+	e := int32(t.n)
+	t.keys = append(t.keys, k...)
+	t.n++
+	t.slots[i] = e + 1
+	// Grow at 7/8 load: linear probing stays short and the rehash only
+	// repositions slot indices — the arena never moves.
+	if uint64(t.n)*8 >= uint64(len(t.slots))*7 {
+		t.grow()
+	}
+	return e, true
+}
+
+// InsertString is Insert for string-typed keys (model.Key), avoiding
+// the []byte conversion allocation on the caller's side.
+func (t *Table) InsertString(k string) (idx int32, created bool) {
+	h := uint64(fnvOffset)
+	for j := 0; j < len(k); j++ {
+		h ^= uint64(k[j])
+		h *= fnvPrime
+	}
+	i := h & t.mask
+	for {
+		s := t.slots[i]
+		if s == 0 {
+			break
+		}
+		e := s - 1
+		if string(t.KeyAt(e)) == k {
+			return e, false
+		}
+		i = (i + 1) & t.mask
+	}
+	e := int32(t.n)
+	t.keys = append(t.keys, k...)
+	t.n++
+	t.slots[i] = e + 1
+	if uint64(t.n)*8 >= uint64(len(t.slots))*7 {
+		t.grow()
+	}
+	return e, true
+}
+
+// Append adds k as a new entry without consulting the probe index, for
+// callers that know k was never inserted — the engines' append-only
+// nodes, whose cell keys arrive in contiguous runs. The probe index is
+// not updated: after an Append, Lookup/Insert answers are undefined
+// until the next Reset. Mixing Append with probing calls on one
+// population is a caller bug.
+func (t *Table) Append(k []byte) int32 {
+	e := int32(t.n)
+	t.keys = append(t.keys, k...)
+	t.n++
+	return e
+}
+
+func (t *Table) grow() {
+	t.init(len(t.slots) * 2)
+	for e := 0; e < t.n; e++ {
+		i := t.hash(t.KeyAt(int32(e))) & t.mask
+		for t.slots[i] != 0 {
+			i = (i + 1) & t.mask
+		}
+		t.slots[i] = int32(e) + 1
+	}
+}
+
+// Reset empties the table, keeping capacity. The caller's parallel
+// value slice should be truncated alongside.
+func (t *Table) Reset() {
+	for i := range t.slots {
+		t.slots[i] = 0
+	}
+	t.keys = t.keys[:0]
+	t.n = 0
+}

@@ -1,0 +1,99 @@
+package cellmap
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+func TestTableBasics(t *testing.T) {
+	tab := New(8)
+	k := func(v uint64) []byte {
+		b := make([]byte, 8)
+		binary.BigEndian.PutUint64(b, v)
+		return b
+	}
+	if got := tab.Lookup(k(1)); got != -1 {
+		t.Fatalf("Lookup on empty = %d, want -1", got)
+	}
+	i0, created := tab.Insert(k(1))
+	if !created || i0 != 0 {
+		t.Fatalf("first Insert = (%d,%v), want (0,true)", i0, created)
+	}
+	i1, created := tab.Insert(k(2))
+	if !created || i1 != 1 {
+		t.Fatalf("second Insert = (%d,%v), want (1,true)", i1, created)
+	}
+	again, created := tab.Insert(k(1))
+	if created || again != 0 {
+		t.Fatalf("repeat Insert = (%d,%v), want (0,false)", again, created)
+	}
+	if got := tab.Lookup(k(2)); got != 1 {
+		t.Fatalf("Lookup = %d, want 1", got)
+	}
+	if string(tab.KeyAt(0)) != string(k(1)) || string(tab.KeyAt(1)) != string(k(2)) {
+		t.Fatal("KeyAt does not round-trip inserted keys in insertion order")
+	}
+	tab.Reset()
+	if tab.Len() != 0 || tab.Lookup(k(1)) != -1 {
+		t.Fatal("Reset did not empty the table")
+	}
+	if i, created := tab.Insert(k(3)); !created || i != 0 {
+		t.Fatalf("Insert after Reset = (%d,%v), want (0,true)", i, created)
+	}
+}
+
+func TestTableZeroWidthKey(t *testing.T) {
+	tab := New(0)
+	i, created := tab.Insert(nil)
+	if !created || i != 0 {
+		t.Fatalf("zero-width Insert = (%d,%v), want (0,true)", i, created)
+	}
+	if i, created := tab.Insert([]byte{}); created || i != 0 {
+		t.Fatalf("repeat zero-width Insert = (%d,%v), want (0,false)", i, created)
+	}
+	if tab.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tab.Len())
+	}
+}
+
+// TestTableAgainstMap drives the table against a Go map through growth
+// and verifies every answer, including dense enumeration.
+func TestTableAgainstMap(t *testing.T) {
+	const keyLen = 16
+	rng := rand.New(rand.NewSource(42))
+	tab := New(keyLen)
+	ref := map[string]int32{}
+	order := []string{}
+	buf := make([]byte, keyLen)
+	for i := 0; i < 20000; i++ {
+		rng.Read(buf)
+		// Small value space so repeats are common.
+		buf[0] &= 3
+		buf[1] &= 7
+		idx, created := tab.Insert(buf)
+		want, ok := ref[string(buf)]
+		if ok {
+			if created || idx != want {
+				t.Fatalf("Insert(%x) = (%d,%v), want (%d,false)", buf, idx, created, want)
+			}
+		} else {
+			if !created || int(idx) != len(order) {
+				t.Fatalf("Insert(%x) = (%d,%v), want (%d,true)", buf, idx, created, len(order))
+			}
+			ref[string(buf)] = idx
+			order = append(order, string(buf))
+		}
+	}
+	if tab.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(ref))
+	}
+	for i, k := range order {
+		if string(tab.KeyAt(int32(i))) != k {
+			t.Fatalf("KeyAt(%d) mismatch", i)
+		}
+		if got := tab.Lookup([]byte(k)); got != int32(i) {
+			t.Fatalf("Lookup(%x) = %d, want %d", k, got, i)
+		}
+	}
+}

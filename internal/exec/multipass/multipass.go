@@ -35,6 +35,9 @@ type Options struct {
 	TempDir string
 	// ChunkRecords tunes the external sort.
 	ChunkRecords int
+	// ReadBatchBytes is the chunk size of the batched fact reads in
+	// each pass (0 = scan.DefaultBatchBytes).
+	ReadBatchBytes int
 	// Recorder, if non-nil, receives one "pass" span per sort/scan
 	// iteration (each containing the sortscan engine's spans) plus a
 	// "combine" span, and the standard engine metrics.
@@ -209,6 +212,7 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 			SortKey:      p.SortKey,
 			TempDir:      opts.TempDir,
 			ChunkRecords: opts.ChunkRecords,
+			ReadBatchBytes: opts.ReadBatchBytes,
 			Stats:        opts.Stats,
 			Recorder:     orec.At(passSpan),
 			Guard:        opts.Guard,

@@ -56,6 +56,9 @@ type Options struct {
 	TempDir string
 	// ChunkRecords tunes the per-partition external sorts.
 	ChunkRecords int
+	// ReadBatchBytes is the chunk size of the batched fact reads in
+	// the split and each partition's sort/scan (0 = default).
+	ReadBatchBytes int
 	// Stats feeds footprint estimation (informational).
 	Stats *plan.Stats
 	// Recorder, if non-nil, receives a "partition" span for the split
@@ -182,12 +185,13 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 			pprof.SetGoroutineLabels(pprof.WithLabels(opts.Guard.Context(), pprof.Labels("phase", "partition")))
 			defer pprof.SetGoroutineLabels(opts.Guard.Context())
 			pr, err := sortscan.Run(c, paths[i], sortscan.Options{
-				SortKey:      opts.SortKey,
-				TempDir:      opts.TempDir,
-				ChunkRecords: opts.ChunkRecords,
-				Stats:        opts.Stats,
-				Recorder:     orec.At(pSpan),
-				Guard:        opts.Guard,
+				SortKey:        opts.SortKey,
+				TempDir:        opts.TempDir,
+				ChunkRecords:   opts.ChunkRecords,
+				ReadBatchBytes: opts.ReadBatchBytes,
+				Stats:          opts.Stats,
+				Recorder:       orec.At(pSpan),
+				Guard:          opts.Guard,
 			})
 			outs[i] = partOut{pr, err}
 			os.Remove(paths[i] + ".sorted")

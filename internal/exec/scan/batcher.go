@@ -1,0 +1,87 @@
+package scan
+
+import (
+	"encoding/binary"
+	"math"
+
+	"awra/internal/model"
+	"awra/internal/storage"
+)
+
+// batcherRecords is how many records a Batcher encodes per batch —
+// small enough to stay cache-resident, large enough that the engines'
+// per-batch bookkeeping amortizes like it does for file chunks.
+const batcherRecords = 512
+
+// Batcher adapts a row-at-a-time storage.Source (in-memory slices,
+// merge streams, already-open readers) to the batched Record view, so
+// engines run one byte-level hot loop regardless of where records come
+// from. Records are re-encoded into the row layout; for in-memory
+// sources that costs one fixed-width copy per record, which the
+// batched decode-free scan more than wins back.
+type Batcher struct {
+	src         storage.Source
+	numDims     int
+	numMeasures int
+	rowBytes    int
+	buf         []byte
+	rows        []Record
+	rec         model.Record
+	done        bool
+}
+
+// NewBatcher wraps src, whose records must have the given shape.
+func NewBatcher(src storage.Source, numDims, numMeasures int) *Batcher {
+	rb := 8 * (numDims + numMeasures)
+	return &Batcher{
+		src:         src,
+		numDims:     numDims,
+		numMeasures: numMeasures,
+		rowBytes:    rb,
+		buf:         make([]byte, batcherRecords*rb),
+		rows:        make([]Record, 0, batcherRecords),
+	}
+}
+
+// TotalRecords exposes the wrapped source's progress denominator when
+// it has one.
+func (b *Batcher) TotalRecords() int64 {
+	if tc, ok := b.src.(interface{ TotalRecords() int64 }); ok {
+		return tc.TotalRecords()
+	}
+	return 0
+}
+
+// NextBatch encodes up to a batch of records from the source. Views
+// are valid until the next call.
+func (b *Batcher) NextBatch() ([]Record, error) {
+	if b.done {
+		return nil, nil
+	}
+	b.rows = b.rows[:0]
+	off := 0
+	for len(b.rows) < batcherRecords {
+		ok, err := b.src.Next(&b.rec)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			b.done = true
+			break
+		}
+		row := b.buf[off : off+b.rowBytes]
+		for i, v := range b.rec.Dims {
+			binary.LittleEndian.PutUint64(row[8*i:], uint64(v))
+		}
+		mo := 8 * len(b.rec.Dims)
+		for i, v := range b.rec.Ms {
+			binary.LittleEndian.PutUint64(row[mo+8*i:], math.Float64bits(v))
+		}
+		b.rows = append(b.rows, Record(row))
+		off += b.rowBytes
+	}
+	if len(b.rows) == 0 {
+		return nil, nil
+	}
+	return b.rows, nil
+}

@@ -1,0 +1,55 @@
+package scan
+
+// Splitter reassembles fixed-width disk rows from arbitrarily-sized
+// byte chunks. Chunks need not align with row boundaries: a row
+// straddling two (or more) chunks is carried across Split calls and
+// emitted once complete. Rows fully contained in a chunk are emitted
+// as zero-copy views into it; at most one row per Split call (the
+// straddler) is assembled in an internal scratch buffer.
+//
+// The Splitter is deliberately free-standing (no file, no header) so
+// the fuzzer can drive it with every chunking of every well- and
+// ill-formed tail; Reader is a thin loop around it.
+type Splitter struct {
+	rowBytes int
+	tail     []byte
+	scratch  []byte
+}
+
+// NewSplitter returns a splitter for rows of rowBytes bytes.
+func NewSplitter(rowBytes int) *Splitter {
+	if rowBytes <= 0 {
+		panic("scan: splitter row size must be positive")
+	}
+	return &Splitter{rowBytes: rowBytes}
+}
+
+// Split appends the complete rows visible in (carried tail + chunk) to
+// dst and retains any trailing partial row for the next call. Emitted
+// views point into chunk (or the splitter's scratch buffer for the one
+// row that straddled the previous boundary) and are valid until the
+// next Split call.
+func (s *Splitter) Split(chunk []byte, dst []Record) []Record {
+	if len(s.tail) > 0 {
+		need := s.rowBytes - len(s.tail)
+		if len(chunk) < need {
+			s.tail = append(s.tail, chunk...)
+			return dst
+		}
+		s.scratch = append(s.scratch[:0], s.tail...)
+		s.scratch = append(s.scratch, chunk[:need]...)
+		s.tail = s.tail[:0]
+		chunk = chunk[need:]
+		dst = append(dst, Record(s.scratch))
+	}
+	whole := len(chunk) / s.rowBytes * s.rowBytes
+	for off := 0; off < whole; off += s.rowBytes {
+		dst = append(dst, Record(chunk[off:off+s.rowBytes]))
+	}
+	s.tail = append(s.tail[:0], chunk[whole:]...)
+	return dst
+}
+
+// TailLen reports how many bytes of an incomplete row are currently
+// carried; nonzero after the final chunk means a torn write.
+func (s *Splitter) TailLen() int { return len(s.tail) }

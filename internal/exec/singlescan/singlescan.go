@@ -23,6 +23,8 @@ import (
 
 	"awra/internal/agg"
 	"awra/internal/core"
+	"awra/internal/exec/cellmap"
+	"awra/internal/exec/scan"
 	"awra/internal/model"
 	"awra/internal/obs"
 	"awra/internal/qguard"
@@ -36,6 +38,9 @@ type Options struct {
 	MemoryBudget int64
 	// TempDir receives spill files; empty uses os.TempDir().
 	TempDir string
+	// ReadBatchBytes is the chunk size of the batched fact reads in
+	// RunFile (0 = scan.DefaultBatchBytes).
+	ReadBatchBytes int
 	// Recorder, if non-nil, receives the run's phase spans (scan,
 	// spill_merge, combine) and the standard engine metrics.
 	Recorder *obs.Recorder
@@ -64,11 +69,22 @@ type Result struct {
 	Stats  Stats
 }
 
-// table is the in-flight state of one basic measure.
+// table is the in-flight state of one basic measure: an open-addressing
+// cell table over encoded region keys plus a dense parallel slice of
+// aggregator states (replacing the seed's map[model.Key]Aggregator on
+// the hot path).
 type table struct {
-	m     *core.Measure
-	aggs  map[model.Key]agg.Aggregator
-	bytes int64
+	m    *core.Measure
+	tab  *cellmap.Table
+	aggs []agg.Aggregator
+	// Cell key recipe: for each non-ALL dimension (schema order), the
+	// base dimension index, the dimension, and the target level. The
+	// produced bytes are identical to m.Codec.FromBase.
+	dIdx   []int
+	dims   []*model.Dimension
+	lvls   []model.Level
+	keyBuf []byte
+	bytes  int64
 	// spill bookkeeping
 	spillPath  string
 	spillGen   int64
@@ -83,8 +99,39 @@ type table struct {
 	liveHWM   int64
 }
 
+func newTable(c *core.Compiled, m *core.Measure, guard *qguard.Guard) *table {
+	t := &table{m: m, tab: cellmap.New(m.Codec.KeyBytes()), guard: guard}
+	for d := 0; d < c.Schema.NumDims(); d++ {
+		dim := c.Schema.Dim(d)
+		if m.Gran[d] == dim.ALL() {
+			continue
+		}
+		t.dIdx = append(t.dIdx, d)
+		t.dims = append(t.dims, dim)
+		t.lvls = append(t.lvls, m.Gran[d])
+	}
+	t.keyBuf = make([]byte, 0, 8*len(t.dIdx))
+	return t
+}
+
 // Run evaluates the workflow over the record source.
 func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
+	bsrc := scan.NewBatcher(src, c.Schema.NumDims(), c.Schema.NumMeasures())
+	return run(c, bsrc, opts)
+}
+
+// RunFile evaluates the workflow over a record file through the
+// batched zero-copy reader — the fast path for file-backed runs.
+func RunFile(c *core.Compiled, path string, opts Options) (*Result, error) {
+	r, err := scan.Open(path, scan.Options{BatchBytes: opts.ReadBatchBytes, Guard: opts.Guard})
+	if err != nil {
+		return nil, fmt.Errorf("singlescan: %w", err)
+	}
+	defer r.Close()
+	return run(c, r, opts)
+}
+
+func run(c *core.Compiled, bsrc scan.BatchSource, opts Options) (*Result, error) {
 	orec := opts.Recorder
 	if orec == nil {
 		orec = obs.New() // private recorder so Stats stays complete
@@ -98,9 +145,13 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 	var stats Stats
 	var basics []*table
 	var totalBytes int64
+	needRec := false
 	for _, m := range c.Measures {
 		if m.Kind == core.KindBasic {
-			basics = append(basics, &table{m: m, aggs: make(map[model.Key]agg.Aggregator), guard: opts.Guard})
+			basics = append(basics, newTable(c, m, opts.Guard))
+			if m.Filter != nil {
+				needRec = true
+			}
 		}
 	}
 	defer func() {
@@ -115,88 +166,109 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 	}()
 
 	// Phase 1: one scan, all basic measures at once (Table 7 lines
-	// 3-7, without the sort).
+	// 3-7, without the sort). Records arrive as verified zero-copy
+	// byte-slice batches; per-record work is key assembly into a
+	// reusable buffer, one open-addressing probe, and the aggregate
+	// update.
 	scanSpan := orec.Start(obs.SpanScan)
-	if tc, ok := src.(interface{ TotalRecords() int64 }); ok {
+	if tc, ok := bsrc.(interface{ TotalRecords() int64 }); ok {
 		scanSpan.SetTotal(tc.TotalRecords())
 	}
+	numDims := c.Schema.NumDims()
+	var frec model.Record
+	if needRec {
+		frec = model.Record{Dims: make([]int64, numDims), Ms: make([]float64, c.Schema.NumMeasures())}
+	}
 	var cellsCreated, liveCells, peakLive int64
-	var rec model.Record
 	for {
-		ok, err := src.Next(&rec)
+		batch, err := bsrc.NextBatch()
 		if err != nil {
 			return nil, fmt.Errorf("singlescan: %w", err)
 		}
-		if !ok {
+		if batch == nil {
 			break
 		}
-		stats.Records++
-		if stats.Records&255 == 0 {
-			scanSpan.SetDone(stats.Records)
-			if err := opts.Guard.Err(); err != nil {
-				return nil, err
-			}
-			if err := opts.Guard.NoteLiveCells(liveCells); err != nil {
-				return nil, err
-			}
-		}
-		for _, t := range basics {
-			m := t.m
-			t.recordsIn++
-			if m.Filter != nil && !m.Filter.Eval(rec.Dims, rec.Ms) {
-				continue
-			}
-			k := m.Codec.FromBase(rec.Dims)
-			a, ok := t.aggs[k]
-			if !ok {
-				a = m.Agg.New()
-				t.aggs[k] = a
-				cellsCreated++
-				liveCells++
-				if liveCells > peakLive {
-					peakLive = liveCells
+		for _, row := range batch {
+			stats.Records++
+			// Keep the fine in-batch stride: file batches span tens of
+			// thousands of rows, too coarse for cancellation latency.
+			if stats.Records&255 == 0 {
+				scanSpan.SetDone(stats.Records)
+				if err := opts.Guard.Err(); err != nil {
+					return nil, err
 				}
-				t.created++
-				t.live++
-				if t.live > t.liveHWM {
-					t.liveHWM = t.live
+				if err := opts.Guard.NoteLiveCells(liveCells); err != nil {
+					return nil, err
 				}
-				delta := int64(len(k)) + int64(a.Bytes()) + 16
-				t.bytes += delta
-				totalBytes += delta
 			}
-			before := a.Bytes()
-			if m.FactMeasure >= 0 {
-				a.Update(rec.Ms[m.FactMeasure])
-			} else {
-				a.Update(0)
+			if needRec {
+				row.DecodeInto(frec.Dims, frec.Ms)
 			}
-			if d := int64(a.Bytes() - before); d != 0 {
-				t.bytes += d
-				totalBytes += d
-			}
-		}
-		if totalBytes > stats.PeakBytes {
-			stats.PeakBytes = totalBytes
-		}
-		if opts.MemoryBudget > 0 && totalBytes > opts.MemoryBudget {
-			// Spill the largest table and keep scanning.
-			victim := basics[0]
 			for _, t := range basics {
-				if t.bytes > victim.bytes {
-					victim = t
+				m := t.m
+				t.recordsIn++
+				if m.Filter != nil && !m.Filter.Eval(frec.Dims, frec.Ms) {
+					continue
+				}
+				kb := t.keyBuf[:0]
+				for j, d := range t.dIdx {
+					kb = model.AppendKeyCode(kb, t.dims[j].Up(0, t.lvls[j], row.Dim(d)))
+				}
+				t.keyBuf = kb
+				idx, created := t.tab.Insert(kb)
+				var a agg.Aggregator
+				if created {
+					a = m.Agg.New()
+					t.aggs = append(t.aggs, a)
+					cellsCreated++
+					liveCells++
+					if liveCells > peakLive {
+						peakLive = liveCells
+					}
+					t.created++
+					t.live++
+					if t.live > t.liveHWM {
+						t.liveHWM = t.live
+					}
+					delta := int64(len(kb)) + int64(a.Bytes()) + 16
+					t.bytes += delta
+					totalBytes += delta
+				} else {
+					a = t.aggs[idx]
+				}
+				before := a.Bytes()
+				if m.FactMeasure >= 0 {
+					a.Update(row.Measure(numDims, m.FactMeasure))
+				} else {
+					a.Update(0)
+				}
+				if d := int64(a.Bytes() - before); d != 0 {
+					t.bytes += d
+					totalBytes += d
 				}
 			}
-			n, err := victim.spill(tempDir)
-			if err != nil {
-				return nil, err
+			if totalBytes > stats.PeakBytes {
+				stats.PeakBytes = totalBytes
 			}
-			stats.Spills++
-			stats.SpilledEntries += n
-			liveCells -= n
-			victim.live -= n
-			totalBytes -= victim.bytes
-			victim.bytes = 0
+			if opts.MemoryBudget > 0 && totalBytes > opts.MemoryBudget {
+				// Spill the largest table and keep scanning.
+				victim := basics[0]
+				for _, t := range basics {
+					if t.bytes > victim.bytes {
+						victim = t
+					}
+				}
+				n, err := victim.spill(tempDir)
+				if err != nil {
+					return nil, err
+				}
+				stats.Spills++
+				stats.SpilledEntries += n
+				liveCells -= n
+				victim.live -= n
+				totalBytes -= victim.bytes
+				victim.bytes = 0
+			}
 		}
 	}
 	scanSpan.SetDone(stats.Records)
@@ -226,8 +298,11 @@ func Run(c *core.Compiled, src storage.Source, opts Options) (*Result, error) {
 			}
 		} else {
 			tbl = core.NewTable(c.Schema, t.m.Gran)
-			for k, a := range t.aggs {
-				tbl.Rows[k] = a.Final()
+			// Exact-size map build from the dense arena: one growth-free
+			// insert per cell, in insertion order.
+			tbl.Rows = make(map[model.Key]float64, t.tab.Len())
+			for i := 0; i < t.tab.Len(); i++ {
+				tbl.Rows[model.Key(t.tab.KeyAt(int32(i)))] = t.aggs[i].Final()
 			}
 		}
 		cellsFinalized += int64(len(tbl.Rows))
@@ -346,16 +421,17 @@ func (t *table) spill(tempDir string) (int64, error) {
 	var n int64
 	bytesBefore := t.spillBytes
 	rowBytes := int64(8 * (t.m.Codec.Width() + 2 + 1))
-	rec := model.Record{Dims: make([]int64, t.m.Codec.Width()+2), Ms: make([]float64, 1)}
-	for k, a := range t.aggs {
-		codes := t.m.Codec.Decode(k)
+	width := t.m.Codec.Width()
+	rec := model.Record{Dims: make([]int64, width+2), Ms: make([]float64, 1)}
+	for i := 0; i < t.tab.Len(); i++ {
+		codes := t.m.Codec.Decode(model.Key(t.tab.KeyAt(int32(i))))
 		copy(rec.Dims, codes)
-		rec.Dims[len(codes)] = t.spillGen
-		state := a.State()
+		rec.Dims[width] = t.spillGen
+		state := t.aggs[i].State()
 		if len(state) == 0 {
 			// Keep one marker row per entry so empty states survive
 			// the round trip; position -1 means "no state values".
-			rec.Dims[len(codes)+1] = -1
+			rec.Dims[width+1] = -1
 			rec.Ms[0] = 0
 			if err := t.writer.Write(&rec); err != nil {
 				return n, fmt.Errorf("singlescan: write spill: %w", err)
@@ -363,7 +439,7 @@ func (t *table) spill(tempDir string) (int64, error) {
 			t.spillBytes += rowBytes
 		}
 		for j, v := range state {
-			rec.Dims[len(codes)+1] = int64(j)
+			rec.Dims[width+1] = int64(j)
 			rec.Ms[0] = v
 			if err := t.writer.Write(&rec); err != nil {
 				return n, fmt.Errorf("singlescan: write spill: %w", err)
@@ -371,8 +447,9 @@ func (t *table) spill(tempDir string) (int64, error) {
 			t.spillBytes += rowBytes
 		}
 		n++
-		delete(t.aggs, k)
 	}
+	t.tab.Reset()
+	t.aggs = t.aggs[:0]
 	t.spillGen++
 	if err := t.guard.NoteSpill(t.spillBytes - bytesBefore); err != nil {
 		return n, err

@@ -1,10 +1,15 @@
 package sortscan
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 	"time"
 
+	"awra/internal/agg"
 	"awra/internal/core"
+	"awra/internal/exec/cellmap"
+	"awra/internal/exec/scan"
 	"awra/internal/model"
 	"awra/internal/obs"
 	"awra/internal/plan"
@@ -22,6 +27,7 @@ type Session struct {
 	e      *engine
 	basics []*node
 	last   *model.Record
+	rowBuf []byte // pushed records re-encoded into the batched row layout
 	strict bool
 	closed bool
 	t0     time.Time
@@ -87,8 +93,30 @@ func (s *Session) Push(rec *model.Record) error {
 			return err
 		}
 	}
+	// Encode into the batched row layout so streaming shares the batch
+	// engines' byte-level hot path exactly.
+	e := s.e
+	if s.rowBuf == nil {
+		s.rowBuf = make([]byte, 8*(e.numDims+e.numMeasures))
+	}
+	for i := 0; i < e.numDims; i++ {
+		var v int64
+		if i < len(rec.Dims) {
+			v = rec.Dims[i]
+		}
+		binary.LittleEndian.PutUint64(s.rowBuf[8*i:], uint64(v))
+	}
+	for i := 0; i < e.numMeasures; i++ {
+		var v float64
+		if i < len(rec.Ms) {
+			v = rec.Ms[i]
+		}
+		binary.LittleEndian.PutUint64(s.rowBuf[8*(e.numDims+i):], math.Float64bits(v))
+	}
+	row := scan.Record(s.rowBuf)
+	e.computeCodes(row)
 	for _, n := range s.basics {
-		s.e.scanRecord(n, rec)
+		s.e.scanRecord(n, row)
 	}
 	for _, n := range s.basics {
 		if n.arcs[0].advancedCoarse {
@@ -126,6 +154,7 @@ func (s *Session) Close() (*Result, error) {
 	res := &Result{Tables: make(map[string]*core.Table), Stats: s.e.stats, Plan: s.e.pl}
 	for _, name := range s.e.c.Outputs() {
 		i, _ := s.e.c.Index(name)
+		s.e.nodes[i].materialize()
 		res.Tables[name] = s.e.nodes[i].out
 	}
 	return res, nil
@@ -135,19 +164,22 @@ func (s *Session) Close() (*Result, error) {
 // sessions).
 func newEngine(c *core.Compiled, pl *plan.Plan, noEarlyFlush bool, rec *obs.Recorder) *engine {
 	e := &engine{c: c, pl: pl, noEarlyFlush: noEarlyFlush, rec: rec}
+	e.numDims = c.Schema.NumDims()
+	e.numMeasures = c.Schema.NumMeasures()
 	e.nodes = make([]*node, len(c.Measures))
 	for i, m := range c.Measures {
 		n := &node{
-			idx:     i,
-			m:       m,
-			pl:      &pl.Nodes[i],
-			cells:   make(map[model.Key]*cell),
-			baseArc: -1,
-			out:     core.NewTable(c.Schema, m.Gran),
+			idx:         i,
+			m:           m,
+			pl:          &pl.Nodes[i],
+			tab:         cellmap.New(m.Codec.KeyBytes()),
+			lastCellIdx: -1,
+			baseArc:     -1,
+			out:         core.NewTable(c.Schema, m.Gran),
 		}
 		n.srcArc = make([]int, len(m.Sources))
 		for _, a := range pl.Nodes[i].Arcs {
-			n.arcs = append(n.arcs, arcState{pl: a})
+			n.arcs = append(n.arcs, arcState{pl: a, th: make([]int64, 0, len(a.CmpKey))})
 		}
 		ai := 0
 		if m.Kind == core.KindBasic {
@@ -164,6 +196,11 @@ func newEngine(c *core.Compiled, pl *plan.Plan, noEarlyFlush bool, rec *obs.Reco
 		if m.Kind == core.KindFromParent {
 			n.parentVals = make(map[model.Key]float64)
 		}
+		// COUNT(*) cells keep their tally inline (no per-cell
+		// aggregator allocation, no interface call per update).
+		// Combine/fromparent cells do not use the cell aggregator.
+		n.isCount = m.Agg == agg.Count &&
+			(m.Kind == core.KindBasic || m.Kind == core.KindRollup || m.Kind == core.KindSibling)
 		e.nodes[i] = n
 	}
 	for i, m := range c.Measures {
@@ -173,6 +210,41 @@ func newEngine(c *core.Compiled, pl *plan.Plan, noEarlyFlush bool, rec *obs.Reco
 		if m.Base >= 0 && !containsIdx(m.Sources, m.Base) {
 			e.nodes[m.Base].deps = append(e.nodes[m.Base].deps, depEdge{node: i, role: -1})
 		}
+	}
+	// Shared per-record code table: intern every (dimension, level)
+	// mapping the basic nodes need — watermark components and cell
+	// granularities — so the scan maps each record exactly once.
+	for _, n := range e.nodes {
+		if n.m.Kind != core.KindBasic {
+			continue
+		}
+		if len(n.arcs) > 0 {
+			cmp := n.arcs[0].pl.CmpKey
+			n.wmIdx = make([]int, len(cmp))
+			for j, p := range cmp {
+				n.wmIdx[j] = e.registerCode(p)
+			}
+		}
+		for d := 0; d < e.numDims; d++ {
+			if n.m.Gran[d] == c.Schema.Dim(d).ALL() {
+				continue
+			}
+			n.cellIdx = append(n.cellIdx, e.registerCode(model.SortPart{Dim: d, Lvl: n.m.Gran[d]}))
+		}
+		n.keyBuf = make([]byte, 0, 8*len(n.cellIdx))
+		if n.m.Filter != nil {
+			e.needRec = true
+		}
+	}
+	e.cpVals = make([]int64, len(e.cpParts))
+	for j := range e.cpVals {
+		// Sentinel outside any code space, so the first record reads as
+		// "changed" on every component.
+		e.cpVals[j] = int64(-1) << 62
+	}
+	e.cpChanged = make([]bool, len(e.cpParts))
+	if e.needRec {
+		e.frec = model.Record{Dims: make([]int64, e.numDims), Ms: make([]float64, e.numMeasures)}
 	}
 	return e
 }

@@ -10,6 +10,7 @@ import (
 
 	"awra/internal/agg"
 	"awra/internal/core"
+	"awra/internal/exec/scan"
 	"awra/internal/model"
 	"awra/internal/obs"
 	"awra/internal/opt"
@@ -29,6 +30,9 @@ type ShardedOptions struct {
 	TempDir string
 	// ChunkRecords tunes the per-shard external sorts.
 	ChunkRecords int
+	// ReadBatchBytes is the chunk size of the batched fact reads
+	// (0 = scan.DefaultBatchBytes).
+	ReadBatchBytes int
 	// Stats feeds footprint estimation (informational).
 	Stats *plan.Stats
 	// Recorder, if non-nil, receives a "split" span for the two-pass
@@ -60,7 +64,8 @@ func RunSharded(c *core.Compiled, factPath string, opts ShardedOptions) (*Result
 	if opts.Shards == 1 {
 		return Run(c, factPath, Options{
 			SortKey: opts.SortKey, TempDir: opts.TempDir, ChunkRecords: opts.ChunkRecords,
-			Stats: opts.Stats, Recorder: opts.Recorder, Guard: opts.Guard,
+			ReadBatchBytes: opts.ReadBatchBytes,
+			Stats:          opts.Stats, Recorder: opts.Recorder, Guard: opts.Guard,
 		})
 	}
 	rec := opts.Recorder
@@ -167,10 +172,10 @@ func RunSharded(c *core.Compiled, factPath string, opts ShardedOptions) (*Result
 			sorted := paths[i] + ".sorted"
 			defer os.Remove(sorted)
 			sortSpan := srec.Start(obs.SpanSort)
-			less := func(a, b *model.Record) bool { return pl.SortKey.RecordLess(c.Schema, a, b) }
-			ss, err := storage.SortFile(paths[i], sorted, less, storage.SortOptions{
+			ss, err := scan.SortFileByKey(paths[i], sorted, c.Schema, pl.SortKey, scan.SortOptions{
 				ChunkRecords: opts.ChunkRecords, TempDir: opts.TempDir,
-				Recorder: srec.At(sortSpan), Guard: sg,
+				BatchBytes: opts.ReadBatchBytes,
+				Recorder:   srec.At(sortSpan), Guard: sg,
 			})
 			sortSpan.SetAttr("runs", fmt.Sprint(ss.Runs))
 			sortSpan.End()
@@ -178,13 +183,13 @@ func RunSharded(c *core.Compiled, factPath string, opts ShardedOptions) (*Result
 				outs[i].err = err
 				return
 			}
-			r, err := storage.OpenGuarded(sorted, sg)
+			r, err := scan.Open(sorted, scan.Options{BatchBytes: opts.ReadBatchBytes, Guard: sg})
 			if err != nil {
 				outs[i].err = err
 				return
 			}
 			defer r.Close()
-			res, states, err := runSortedStates(c, pl, r, false, srec, sg, stateIdx)
+			res, states, err := runSortedStates(c, pl, r, false, true, srec, sg, stateIdx)
 			if err != nil {
 				outs[i].err = err
 				return
@@ -282,23 +287,24 @@ func shardAssignment(c *core.Compiled, factPath string, sp opt.ShardChoice, shar
 	const maxUnits = 1 << 20
 	unitCounts := make(map[int64]int64)
 	var total int64
-	r, err := storage.OpenGuarded(factPath, g)
+	r, err := scan.Open(factPath, scan.Options{Guard: g})
 	if err != nil {
 		return nil, 0, err
 	}
 	defer r.Close()
-	var rec model.Record
 	for {
-		ok, err := r.Next(&rec)
+		batch, err := r.NextBatch()
 		if err != nil {
 			return nil, 0, err
 		}
-		if !ok {
+		if batch == nil {
 			break
 		}
-		total++
+		total += int64(len(batch))
 		if unitCounts != nil {
-			unitCounts[dim.Up(0, slvl, rec.Dims[sdim])]++
+			for _, row := range batch {
+				unitCounts[dim.Up(0, slvl, row.Dim(sdim))]++
+			}
 			if len(unitCounts) > maxUnits {
 				unitCounts = nil // too many units to plan; hash instead
 			}

@@ -13,6 +13,13 @@
 // every arc's comparable key is strictly below that arc's shifted
 // watermark — the watermark-array minimum of Table 8, evaluated per
 // arc because streams may have incomparable orders.
+//
+// The hot path runs on the scan package's batched record pipeline:
+// fact rows arrive as zero-copy byte views in multi-megabyte batches,
+// each record's mapped (dimension, level) codes are computed once and
+// shared across all basic nodes, and live cells sit in an
+// open-addressing cellmap.Table plus a dense cell slice instead of a
+// Go map. Guard checks run per batch, not per row.
 package sortscan
 
 import (
@@ -24,6 +31,8 @@ import (
 
 	"awra/internal/agg"
 	"awra/internal/core"
+	"awra/internal/exec/cellmap"
+	"awra/internal/exec/scan"
 	"awra/internal/model"
 	"awra/internal/obs"
 	"awra/internal/plan"
@@ -40,6 +49,9 @@ type Options struct {
 	TempDir string
 	// ChunkRecords tunes the external sort (0 = default).
 	ChunkRecords int
+	// ReadBatchBytes is the chunk size of the batched fact reads
+	// (0 = scan.DefaultBatchBytes).
+	ReadBatchBytes int
 	// AssumeSorted skips the sort phase; the input must already be
 	// ordered by SortKey.
 	AssumeSorted bool
@@ -62,8 +74,8 @@ type Options struct {
 	Recorder *obs.Recorder
 	// Guard, if non-nil, makes the run cooperatively cancelable and
 	// enforces resource budgets (live cells, result rows, spill bytes).
-	// Budgets are checked at scan strides and flush boundaries, so a
-	// small overshoot within one stride is possible by design.
+	// Budgets are checked at batch and flush boundaries, so a small
+	// overshoot within one batch is possible by design.
 	Guard *qguard.Guard
 }
 
@@ -89,20 +101,24 @@ type Result struct {
 	Plan   *plan.Plan
 }
 
-// cell is one live hash entry.
+// cell is one live hash entry. Cells live in a node's dense cellData
+// slice, parallel to its cellmap.Table entries.
 type cell struct {
 	agg     agg.Aggregator // basic/rollup/fromparent/sibling
+	cnt     int64          // devirtualized COUNT(*) state (node.isCount)
 	vals    []float64      // combine: per-source values
 	present []uint8        // combine: which sources delivered
 	inBase  bool           // confirmed by the base/cell-providing stream
 }
 
-// arcState tracks one incoming stream's watermark.
+// arcState tracks one incoming stream's watermark as a vector of
+// shifted comparable-key codes (compared lexicographically, which is
+// exactly the byte order of the encoded comparable key).
 type arcState struct {
-	pl        plan.Arc
-	threshold model.Key // shifted projection of the last update
-	seen      bool
-	advanced  bool
+	pl   plan.Arc
+	th   []int64 // shifted projection of the last update
+	seen bool
+	advanced bool
 	// advancedCoarse marks a change in the leading comparable-key
 	// component. The scan loop triggers finalization only on coarse
 	// advances — batching flushes the way the paper's examples do
@@ -118,18 +134,50 @@ type arcState struct {
 
 // node is the runtime state of one measure.
 type node struct {
-	idx   int
-	m     *core.Measure
-	pl    *plan.Node
-	arcs  []arcState
-	cells map[model.Key]*cell
+	idx  int
+	m    *core.Measure
+	pl   *plan.Node
+	arcs []arcState
+	// Live cells: open-addressing table over encoded keys plus the
+	// dense parallel cell slice. Entry i of tab owns cellData[i].
+	tab      *cellmap.Table
+	cellData []cell
+	// Survivor scratch for flush-time table rebuilds (no tombstones:
+	// retiring a batch re-inserts the survivors).
+	keepKeys  []byte
+	keepCells []cell
 	// Scan fast path: consecutive sorted records usually hit the same
-	// cell and watermark, so cache the last mapped codes and skip the
-	// key encoding when they repeat.
-	lastCellCodes []int64
-	lastCell      *cell
-	lastWmCodes   []int64
-	scratch       []int64
+	// cell, so cache its dense index and skip the key encoding and
+	// table probe until a cell code changes (cellDirty, fed by the
+	// engine's shared per-record change flags; it stays sticky across
+	// filtered records, which skip the cache update).
+	lastCellIdx int32
+	cellDirty   bool
+	keyBuf      []byte
+	// wmIdx/cellIdx index the engine's shared per-record code table:
+	// wmIdx[j] locates arc 0's CmpKey[j] code, cellIdx[t] the t-th
+	// non-ALL granularity component's code.
+	wmIdx   []int
+	cellIdx []int
+	// isCount devirtualizes COUNT(*): cells keep an inline int64
+	// instead of a heap-allocated aggregator, skipping one allocation
+	// per cell and one interface call per update on the hottest
+	// aggregate. Sharded state extraction turns it off for its marked
+	// nodes (they must hand back real aggregators to merge).
+	isCount bool
+	// appendOnly marks basic nodes whose cell keys are contiguous under
+	// the scan's full tiebreak order (contiguousCells): a changed key is
+	// provably new, so misses skip the hash probe (cellmap.Append).
+	appendOnly bool
+	// projBuf backs the flush batch's output-order projections (code
+	// vectors, stride len(pl.OutOrder)).
+	projBuf []int64
+	// batchBuf is the reusable flush-batch collection buffer.
+	batchBuf []finalEntry
+	// outRows is the emission log behind the public output table:
+	// flushes append here and materialize() builds out.Rows once, with
+	// exact size, instead of paying incremental map growth per row.
+	outRows []outKV
 	// srcArc maps "source position" (index into m.Sources) to the arc
 	// index; baseArc is the base stream's arc index (-1 if none).
 	srcArc  []int
@@ -158,6 +206,112 @@ func (n *node) noteLive(delta int64) {
 	}
 }
 
+// outKV is one emitted output row awaiting table materialization.
+type outKV struct {
+	k model.Key
+	v float64
+}
+
+// materialize moves the emission log into the node's public output
+// table as one exact-size map build. Emission order is preserved, so
+// duplicate keys keep the map's last-wins semantics.
+func (n *node) materialize() {
+	if len(n.outRows) == 0 {
+		return
+	}
+	if len(n.out.Rows) == 0 {
+		rows := make(map[model.Key]float64, len(n.outRows))
+		for _, kv := range n.outRows {
+			rows[kv.k] = kv.v
+		}
+		n.out.Rows = rows
+	} else {
+		for _, kv := range n.outRows {
+			n.out.Rows[kv.k] = kv.v
+		}
+	}
+	n.outRows = n.outRows[:0]
+}
+
+// contiguousCells reports whether scanning records in the full sorted
+// order — sort key parts, then base coordinates ascending (the order
+// scan.SortFileByKey produces) — visits gran's cell keys contiguously:
+// once the cell key changes it never returns to an earlier value.
+//
+// The proof walks the effective comparator sequence. Take two records
+// r < u of one cell class and any t between them; let position i be
+// the first comparator on which the three disagree. A comparator that
+// is a coarsening of a cell part (same dimension, level ≥ the part's)
+// is constant within the class, so it cannot be position i. At any
+// other position, t's comparator value is squeezed between r's and
+// u's; a cell part that is a generalization of that comparator is then
+// squeezed too (Up is monotone) and must equal the class's, and a part
+// determined by an earlier comparator already matched. So the class
+// contains t — i.e. it is contiguous — provided that at every
+// position, each part not yet determined by an earlier comparator is a
+// generalization of the current one. One comparator carries one
+// dimension, so at most one part may still be undetermined when such a
+// position arrives.
+func contiguousCells(sch *model.Schema, key model.SortKey, gran model.Gran) bool {
+	numDims := len(gran)
+	part := make([]model.Level, numDims) // cell part level per dim; -1 = ALL
+	remaining := 0
+	for d := 0; d < numDims; d++ {
+		part[d] = -1
+		if gran[d] != sch.Dim(d).ALL() {
+			part[d] = gran[d]
+			remaining++
+		}
+	}
+	covered := make([]bool, numDims)
+	comps := append([]model.SortPart{}, key...)
+	for _, p := range key {
+		if p.Lvl == 0 {
+			covered[p.Dim] = true
+		}
+	}
+	for d := 0; d < numDims; d++ {
+		if !covered[d] {
+			comps = append(comps, model.SortPart{Dim: d, Lvl: 0})
+		}
+	}
+	det := make([]bool, numDims)
+	for _, cp := range comps {
+		if remaining == 0 {
+			return true
+		}
+		g := part[cp.Dim]
+		if g >= 0 && g <= cp.Lvl {
+			// Comparator is a coarsening of the cell part: constant
+			// within a class, never a first difference. Equal levels
+			// also determine the part for later positions.
+			if cp.Lvl <= g && !det[cp.Dim] {
+				det[cp.Dim] = true
+				remaining--
+			}
+			continue
+		}
+		// Possible first difference: every still-undetermined part must
+		// be a generalization of this comparator.
+		if remaining > 1 {
+			return false
+		}
+		ud := -1
+		for d := 0; d < numDims; d++ {
+			if part[d] >= 0 && !det[d] {
+				ud = d
+				break
+			}
+		}
+		if ud != cp.Dim || cp.Lvl > part[ud] {
+			return false
+		}
+		det[ud] = true
+		remaining--
+	}
+	return remaining == 0
+}
+
 type depEdge struct {
 	node int
 	role int // source position in the dependent's Sources, -1 = base
@@ -176,6 +330,25 @@ type engine struct {
 	// stateIdx, when non-nil, marks nodes whose cells are extracted as
 	// raw aggregator states instead of finalized (sharded runs).
 	stateIdx []bool
+	// Shared per-record code table: every distinct (dimension, level)
+	// pair any basic node maps records through — watermark components
+	// and cell-granularity components alike — is computed exactly once
+	// per record into cpVals, and nodes index into it.
+	cpParts []model.SortPart
+	cpDims  []*model.Dimension
+	cpVals  []int64
+	// cpChanged[j] reports whether cpVals[j] differs from the previous
+	// record's value — the shared record-to-record delta every node's
+	// watermark and cell fast paths key off.
+	cpChanged []bool
+	// frec is the decoded-record scratch for basic-measure filters;
+	// it is filled once per record only when a filter exists.
+	needRec     bool
+	frec        model.Record
+	numDims     int
+	numMeasures int
+	// projScratch backs cellFinal/deliver comparable-key projections.
+	projScratch []int64
 	// Per-record tallies stay in plain fields (the scan loop never
 	// touches the recorder); publish() flushes them at end of run.
 	created   int64 // cells created
@@ -247,11 +420,11 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 		sorted := fmt.Sprintf("%s.sorted.%d.%d", factPath, os.Getpid(), sortSeq.Add(1))
 		defer os.Remove(sorted)
 		sortSpan := rec.Start(obs.SpanSort)
-		less := func(a, b *model.Record) bool { return pl.SortKey.RecordLess(c.Schema, a, b) }
-		ss, err := storage.SortFile(factPath, sorted, less, storage.SortOptions{
+		ss, err := scan.SortFileByKey(factPath, sorted, c.Schema, pl.SortKey, scan.SortOptions{
 			ChunkRecords: opts.ChunkRecords, TempDir: opts.TempDir,
 			Parallel: opts.ParallelSort, Workers: opts.SortWorkers,
-			Recorder: rec.At(sortSpan), Guard: opts.Guard,
+			BatchBytes: opts.ReadBatchBytes,
+			Recorder:   rec.At(sortSpan), Guard: opts.Guard,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("sortscan: sort: %w", err)
@@ -263,12 +436,15 @@ func Run(c *core.Compiled, factPath string, opts Options) (*Result, error) {
 		st.SortRuns = ss.Runs
 		scanPath = sorted
 	}
-	r, err := storage.OpenGuarded(scanPath, opts.Guard)
+	r, err := scan.Open(scanPath, scan.Options{BatchBytes: opts.ReadBatchBytes, Guard: opts.Guard})
 	if err != nil {
 		return nil, err
 	}
 	defer r.Close()
-	res, err := runSorted(c, pl, r, opts.DisableEarlyFlush, rec, opts.Guard)
+	// A file sorted by this run carries the full base-coordinate
+	// tiebreak order, which unlocks the append-only cell-table path;
+	// caller-sorted input only promises the plan key.
+	res, err := runSorted(c, pl, r, opts.DisableEarlyFlush, !opts.AssumeSorted, rec, opts.Guard)
 	if err != nil {
 		return nil, err
 	}
@@ -285,20 +461,20 @@ func RunSorted(c *core.Compiled, pl *plan.Plan, src storage.Source, recorder ...
 	if len(recorder) > 0 {
 		rec = recorder[0]
 	}
-	return runSorted(c, pl, src, false, rec, nil)
+	return runSorted(c, pl, scan.NewBatcher(src, c.Schema.NumDims(), c.Schema.NumMeasures()), false, false, rec, nil)
 }
 
 // RunSortedGuarded is RunSorted under a query guard (cancellation and
 // resource budgets).
 func RunSortedGuarded(c *core.Compiled, pl *plan.Plan, src storage.Source, g *qguard.Guard, rec *obs.Recorder) (*Result, error) {
-	return runSorted(c, pl, src, false, rec, g)
+	return runSorted(c, pl, scan.NewBatcher(src, c.Schema.NumDims(), c.Schema.NumMeasures()), false, false, rec, g)
 }
 
-func runSorted(c *core.Compiled, pl *plan.Plan, src storage.Source, disableEarlyFlush bool, obsRec *obs.Recorder, guard *qguard.Guard) (*Result, error) {
+func runSorted(c *core.Compiled, pl *plan.Plan, src scan.BatchSource, disableEarlyFlush, fullOrder bool, obsRec *obs.Recorder, guard *qguard.Guard) (*Result, error) {
 	if obsRec == nil {
 		obsRec = obs.New()
 	}
-	res, _, err := runSortedStates(c, pl, src, disableEarlyFlush, obsRec, guard, nil)
+	res, _, err := runSortedStates(c, pl, src, disableEarlyFlush, fullOrder, obsRec, guard, nil)
 	return res, err
 }
 
@@ -307,16 +483,37 @@ func runSorted(c *core.Compiled, pl *plan.Plan, src storage.Source, disableEarly
 // never finalized: their cells stay live through the whole scan and
 // their raw aggregator states are returned, keyed like their output
 // tables, for a cross-shard merge by the sharded driver. All other
-// nodes flush normally.
-func runSortedStates(c *core.Compiled, pl *plan.Plan, src storage.Source, disableEarlyFlush bool, obsRec *obs.Recorder, guard *qguard.Guard, stateIdx []bool) (*Result, []map[model.Key]agg.Aggregator, error) {
+// nodes flush normally. fullOrder asserts the source carries the full
+// tiebreak order (sort key, then base coordinates ascending) — the
+// order this package's own sort produces — not just the plan key.
+func runSortedStates(c *core.Compiled, pl *plan.Plan, src scan.BatchSource, disableEarlyFlush, fullOrder bool, obsRec *obs.Recorder, guard *qguard.Guard, stateIdx []bool) (*Result, []map[model.Key]agg.Aggregator, error) {
 	e := newEngine(c, pl, disableEarlyFlush, obsRec)
 	e.guard = guard
 	e.stateIdx = stateIdx
+	if stateIdx != nil {
+		// State-extraction nodes hand raw aggregators to the sharded
+		// merge; they cannot use the inline COUNT(*) representation.
+		for _, n := range e.nodes {
+			if stateIdx[n.idx] {
+				n.isCount = false
+			}
+		}
+	}
+	if fullOrder {
+		// Under the full tiebreak order, a node whose cell keys are
+		// provably contiguous in the scan never revisits a retired key:
+		// a changed key is always new, so its table skips hash probes
+		// entirely (cellmap.Append).
+		for _, n := range e.nodes {
+			if n.m.Kind == core.KindBasic && contiguousCells(c.Schema, pl.SortKey, n.m.Gran) {
+				n.appendOnly = true
+			}
+		}
+	}
 	scanSpan := obsRec.Start(obs.SpanScan)
 	if tc, ok := src.(interface{ TotalRecords() int64 }); ok {
 		scanSpan.SetTotal(tc.TotalRecords())
 	}
-	var rec model.Record
 	var basics []*node
 	for _, n := range e.nodes {
 		if n.m.Kind == core.KindBasic {
@@ -324,37 +521,45 @@ func runSortedStates(c *core.Compiled, pl *plan.Plan, src storage.Source, disabl
 		}
 	}
 	for {
-		ok, err := src.Next(&rec)
+		batch, err := src.NextBatch()
 		if err != nil {
 			return nil, nil, fmt.Errorf("sortscan: %w", err)
 		}
-		if !ok {
+		if batch == nil {
 			break
 		}
-		e.stats.Records++
-		// Cooperative cancellation + live-cell guardrail, checked at a
-		// stride so the hot loop stays hot. File sources also check the
-		// guard inside Reader.Next; this covers in-memory sources.
-		if e.stats.Records&255 == 0 {
-			scanSpan.SetDone(e.stats.Records)
-			if err := e.checkGuard(); err != nil {
-				return nil, nil, err
-			}
+		// Cooperative cancellation + live-cell guardrail, once per
+		// batch, plus a cheap in-batch stride so budgets still trip
+		// promptly when a whole input fits in one batch. The stride
+		// test is a bitmask branch; the guard itself is off the
+		// per-row path.
+		scanSpan.SetDone(e.stats.Records)
+		if err := e.checkGuard(); err != nil {
+			return nil, nil, err
 		}
-		for _, n := range basics {
-			e.scanRecord(n, &rec)
-		}
-		if e.noEarlyFlush {
-			continue
-		}
-		for _, n := range basics {
-			if n.arcs[0].advancedCoarse {
-				n.arcs[0].advancedCoarse = false
-				if stateIdx != nil && stateIdx[n.idx] {
-					continue
-				}
-				if err := e.finalizeNode(n, false); err != nil {
+		for _, row := range batch {
+			e.stats.Records++
+			if e.stats.Records&255 == 0 {
+				if err := e.checkGuard(); err != nil {
 					return nil, nil, err
+				}
+			}
+			e.computeCodes(row)
+			for _, n := range basics {
+				e.scanRecord(n, row)
+			}
+			if e.noEarlyFlush {
+				continue
+			}
+			for _, n := range basics {
+				if n.arcs[0].advancedCoarse {
+					n.arcs[0].advancedCoarse = false
+					if stateIdx != nil && stateIdx[n.idx] {
+						continue
+					}
+					if err := e.finalizeNode(n, false); err != nil {
+						return nil, nil, err
+					}
 				}
 			}
 		}
@@ -372,13 +577,15 @@ func runSortedStates(c *core.Compiled, pl *plan.Plan, src storage.Source, disabl
 	}
 	for _, n := range e.nodes {
 		if stateIdx != nil && stateIdx[n.idx] {
-			st := make(map[model.Key]agg.Aggregator, len(n.cells))
-			for k, cl := range n.cells {
-				st[k] = cl.agg
-				delete(n.cells, k)
+			st := make(map[model.Key]agg.Aggregator, n.tab.Len())
+			for i := 0; i < n.tab.Len(); i++ {
+				st[model.Key(n.tab.KeyAt(int32(i)))] = n.cellData[i].agg
 				e.noteLive(-1)
 				n.noteLive(-1)
 			}
+			n.tab.Reset()
+			n.cellData = n.cellData[:0]
+			n.lastCellIdx = -1
 			states[n.idx] = st
 			continue
 		}
@@ -393,6 +600,7 @@ func runSortedStates(c *core.Compiled, pl *plan.Plan, src storage.Source, disabl
 	res := &Result{Tables: make(map[string]*core.Table), Stats: e.stats, Plan: pl}
 	for _, name := range c.Outputs() {
 		i, _ := c.Index(name)
+		e.nodes[i].materialize()
 		res.Tables[name] = e.nodes[i].out
 	}
 	return res, states, nil
@@ -407,29 +615,48 @@ func containsIdx(xs []int, x int) bool {
 	return false
 }
 
+// registerCode interns one (dimension, level) mapping in the engine's
+// shared per-record code table and returns its index.
+func (e *engine) registerCode(p model.SortPart) int {
+	for i, q := range e.cpParts {
+		if q.Dim == p.Dim && q.Lvl == p.Lvl {
+			return i
+		}
+	}
+	e.cpParts = append(e.cpParts, p)
+	e.cpDims = append(e.cpDims, e.c.Schema.Dim(p.Dim))
+	return len(e.cpParts) - 1
+}
+
+// computeCodes fills the shared code table for one record: each
+// distinct (dimension, level) pair used by any basic node is mapped
+// exactly once, no matter how many nodes consume it.
+func (e *engine) computeCodes(row scan.Record) {
+	for j := range e.cpParts {
+		v := e.cpDims[j].Up(0, e.cpParts[j].Lvl, row.Dim(e.cpParts[j].Dim))
+		e.cpChanged[j] = v != e.cpVals[j]
+		e.cpVals[j] = v
+	}
+	if e.needRec {
+		row.DecodeInto(e.frec.Dims, e.frec.Ms)
+	}
+}
+
 // scanRecord feeds one fact record into a basic measure node and
-// advances its fact-arc watermark.
-func (e *engine) scanRecord(n *node, rec *model.Record) {
+// advances its fact-arc watermark. The record's mapped codes were
+// already computed by computeCodes; this only compares, encodes on
+// change, and updates the aggregate.
+func (e *engine) scanRecord(n *node, row scan.Record) {
 	m := n.m
-	sch := e.c.Schema
 	arc := &n.arcs[0]
 	n.nRecordsIn++
 
 	// Watermark first: it must advance even for filtered-out records.
-	// Fast path: skip the byte encoding when the mapped codes repeat
-	// (consecutive sorted records almost always share them).
-	cmp := arc.pl.CmpKey
-	if cap(n.lastWmCodes) < len(cmp) {
-		n.lastWmCodes = make([]int64, len(cmp))
-		for j := range n.lastWmCodes {
-			n.lastWmCodes[j] = int64(-1) << 62
-		}
-	}
+	// computeCodes already flagged which shared codes changed since the
+	// previous record, so the common no-change case is a few bool reads.
 	wmChanged := !arc.seen
-	for j, p := range cmp {
-		code := sch.Dim(p.Dim).Up(0, p.Lvl, rec.Dims[p.Dim])
-		if code != n.lastWmCodes[j] {
-			n.lastWmCodes[j] = code
+	for j, ci := range n.wmIdx {
+		if e.cpChanged[ci] {
 			wmChanged = true
 			if j == 0 {
 				arc.advancedCoarse = true
@@ -437,77 +664,102 @@ func (e *engine) scanRecord(n *node, rec *model.Record) {
 		}
 	}
 	if wmChanged {
-		b := make([]byte, 0, 8*len(cmp))
-		for j := range cmp {
-			b = appendOrdered(b, n.lastWmCodes[j]-arc.pl.Shift[j])
+		th := arc.th[:0]
+		for j, ci := range n.wmIdx {
+			th = append(th, e.cpVals[ci]-arc.pl.Shift[j])
 		}
-		arc.threshold = model.Key(b)
+		arc.th = th
 		arc.seen = true
 		arc.advanced = true
 		arc.advances++
 		e.wmAdv++
 	}
 
-	if m.Filter != nil && !m.Filter.Eval(rec.Dims, rec.Ms) {
+	// cellDirty accumulates cell-code changes across records so the
+	// fast path below stays exact even when filtered records skip the
+	// cache update.
+	for _, ci := range n.cellIdx {
+		if e.cpChanged[ci] {
+			n.cellDirty = true
+			break
+		}
+	}
+
+	if m.Filter != nil && !m.Filter.Eval(e.frec.Dims, e.frec.Ms) {
 		return
 	}
 
-	// Cell fast path: reuse the previous cell when the record maps to
-	// the same region.
-	gran := m.Gran
-	if cap(n.scratch) < len(gran) {
-		n.scratch = make([]int64, len(gran))
-	}
-	same := n.lastCell != nil
-	sc := n.scratch[:0]
-	for d := 0; d < sch.NumDims(); d++ {
-		if gran[d] == sch.Dim(d).ALL() {
-			continue
-		}
-		code := sch.Dim(d).Up(0, gran[d], rec.Dims[d])
-		sc = append(sc, code)
-		if same && (len(n.lastCellCodes) <= len(sc)-1 || n.lastCellCodes[len(sc)-1] != code) {
-			same = false
-		}
-	}
-	n.scratch = sc
-	var cl *cell
-	if same && len(sc) == len(n.lastCellCodes) {
-		cl = n.lastCell
+	// Cell fast path: reuse the previous cell when no cell-code changed
+	// since it was cached; otherwise encode the key and probe the table.
+	var idx int32
+	if n.lastCellIdx >= 0 && !n.cellDirty {
+		idx = n.lastCellIdx
 	} else {
-		k := m.Codec.FromCodes(sc)
-		var ok bool
-		cl, ok = n.cells[k]
-		if !ok {
-			cl = &cell{agg: m.Agg.New(), inBase: true}
-			n.cells[k] = cl
+		kb := n.keyBuf[:0]
+		for _, ci := range n.cellIdx {
+			kb = appendOrdered(kb, e.cpVals[ci])
+		}
+		n.keyBuf = kb
+		var created bool
+		if n.appendOnly {
+			// Contiguous cell keys: a changed key was never seen, so
+			// skip the probe and append a fresh entry directly.
+			idx, created = n.tab.Append(kb), true
+		} else {
+			idx, created = n.tab.Insert(kb)
+		}
+		if created {
+			fresh := cell{inBase: true}
+			if !n.isCount {
+				fresh.agg = m.Agg.New()
+			}
+			n.cellData = append(n.cellData, fresh)
 			e.created++
 			e.noteLive(1)
 			n.nCreated++
 			n.noteLive(1)
 		}
-		n.lastCellCodes = append(n.lastCellCodes[:0], sc...)
-		n.lastCell = cl
+		n.lastCellIdx = idx
+		n.cellDirty = false
 	}
-	if m.FactMeasure >= 0 {
-		cl.agg.Update(rec.Ms[m.FactMeasure])
-	} else {
+	cl := &n.cellData[idx]
+	switch {
+	case n.isCount:
+		cl.cnt++
+	case m.FactMeasure >= 0:
+		cl.agg.Update(row.Measure(e.numDims, m.FactMeasure))
+	default:
 		cl.agg.Update(0)
 	}
 }
 
-// projectKey maps a region key (from codec) onto a comparable key,
-// optionally applying shifts (for watermarks; nil for entries).
-func projectKey(s *model.Schema, cmp model.SortKey, shift []int64, codec *model.KeyCodec, k model.Key) model.Key {
-	b := make([]byte, 0, 8*len(cmp))
+// projectCodes maps a region key (from codec) onto a comparable key
+// as a code vector, optionally applying shifts (for watermarks; nil
+// for entries), reusing dst. Lexicographic comparison of code vectors
+// equals byte comparison of the encoded comparable keys.
+func projectCodes(s *model.Schema, cmp model.SortKey, shift []int64, codec *model.KeyCodec, k model.Key, dst []int64) []int64 {
+	dst = dst[:0]
 	for j, p := range cmp {
 		code := s.Dim(p.Dim).Up(codec.Gran()[p.Dim], p.Lvl, codec.CodeAt(k, p.Dim))
 		if shift != nil {
 			code -= shift[j]
 		}
-		b = appendOrdered(b, code)
+		dst = append(dst, code)
 	}
-	return model.Key(b)
+	return dst
+}
+
+// codesCompare lexicographically compares equal-length code vectors.
+func codesCompare(a, b []int64) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
 }
 
 func appendOrdered(b []byte, code int64) []byte {
@@ -526,7 +778,7 @@ func (e *engine) noteLive(delta int64) {
 }
 
 // checkGuard folds the cancellation check and the live-cell guardrail
-// into one call for the scan loop's stride.
+// into one call for the scan loop's batch boundary.
 func (e *engine) checkGuard() error {
 	if err := e.guard.Err(); err != nil {
 		return err
@@ -534,27 +786,28 @@ func (e *engine) checkGuard() error {
 	return e.guard.NoteLiveCells(e.live)
 }
 
-// finalEntry is one finalized cell ready for emission.
+// finalEntry is one finalized cell ready for emission. Its
+// output-order projection lives in the node's projBuf at
+// [proj*stride, (proj+1)*stride) — code vectors, not encoded keys, so
+// collecting a flush batch does not allocate per cell.
 type finalEntry struct {
 	key   model.Key
-	proj  model.Key
+	proj  int
 	value float64
 	emit  bool
 }
 
 // finalizeNode collects finalized cells (all of them when flush is
 // true), emits them in output order, and propagates them to dependent
-// nodes, recursively finalizing those.
+// nodes, recursively finalizing those. Retired cells leave no
+// tombstones: the table is rebuilt from the survivors.
 func (e *engine) finalizeNode(n *node, flush bool) error {
 	for i := range n.arcs {
 		n.arcs[i].advanced = false
 	}
-	if len(n.cells) == 0 {
+	if n.tab.Len() == 0 {
 		return nil
 	}
-	// Flushing may delete the cached cell; drop the fast-path cache.
-	n.lastCell = nil
-	n.lastCellCodes = n.lastCellCodes[:0]
 	if !flush {
 		// Without complete watermarks nothing can finalize.
 		for i := range n.arcs {
@@ -563,33 +816,90 @@ func (e *engine) finalizeNode(n *node, flush bool) error {
 			}
 		}
 	}
-	var batch []finalEntry
+	batch := n.batchBuf[:0]
 	sch := e.c.Schema
-	for k, cl := range n.cells {
+	kw := n.tab.KeyLen()
+	keepKeys := n.keepKeys[:0]
+	keepCells := n.keepCells[:0]
+	projBuf := n.projBuf[:0]
+	stride := len(n.pl.OutOrder)
+	total := n.tab.Len()
+	// The scan fast-path cache holds a dense index; survivors move
+	// during the rebuild, so track where the cached cell lands (-1 if
+	// it flushed — the next record then provably opens a new cell).
+	lastKept := int32(-1)
+	uniformProj := true
+	for i := 0; i < total; i++ {
+		k := model.Key(n.tab.KeyAt(int32(i)))
+		cl := &n.cellData[i]
 		if !flush && !e.cellFinal(n, k) {
+			keepKeys = append(keepKeys, n.tab.KeyAt(int32(i))...)
+			keepCells = append(keepCells, *cl)
+			if int32(i) == n.lastCellIdx {
+				lastKept = int32(len(keepCells) - 1)
+			}
 			continue
 		}
-		fe := finalEntry{key: k}
+		fe := finalEntry{key: k, proj: len(batch)}
 		fe.value, fe.emit = e.cellValue(n, k, cl)
-		fe.proj = projectKey(sch, n.pl.OutOrder, nil, n.m.Codec, k)
+		for _, p := range n.pl.OutOrder {
+			projBuf = append(projBuf, sch.Dim(p.Dim).Up(n.m.Codec.Gran()[p.Dim], p.Lvl, n.m.Codec.CodeAt(k, p.Dim)))
+		}
+		if uniformProj && fe.proj > 0 &&
+			codesCompare(projBuf[fe.proj*stride:fe.proj*stride+stride], projBuf[:stride]) != 0 {
+			uniformProj = false
+		}
 		batch = append(batch, fe)
-		delete(n.cells, k)
 		e.finalized++
 		e.noteLive(-1)
 		n.nFinalized++
 		n.noteLive(-1)
 	}
+	n.keepKeys = keepKeys
+	n.keepCells = keepCells
+	n.projBuf = projBuf
+	n.batchBuf = batch
 	if len(batch) == 0 {
-		return nil
+		return nil // table untouched; the scan cache stays valid
 	}
+	n.tab.Reset()
+	n.cellData = n.cellData[:0]
+	for i := range keepCells {
+		if n.appendOnly {
+			n.tab.Append(keepKeys[i*kw : i*kw+kw])
+		} else {
+			n.tab.Insert(keepKeys[i*kw : i*kw+kw])
+		}
+		n.cellData = append(n.cellData, keepCells[i])
+	}
+	n.lastCellIdx = lastKept
 	e.stats.FlushBatches++
 	n.nFlushes++
-	sort.Slice(batch, func(i, j int) bool {
-		if batch[i].proj != batch[j].proj {
-			return batch[i].proj < batch[j].proj
+	// Emission order is (output-order projection, key). Flush batches
+	// very often hold a single projection class — one finalized region
+	// of the coarse component — so detect that while collecting and
+	// sort by key alone, skipping the vector compares.
+	if uniformProj {
+		sorted := true
+		for i := 1; i < len(batch); i++ {
+			if batch[i].key < batch[i-1].key {
+				sorted = false
+				break
+			}
 		}
-		return batch[i].key < batch[j].key
-	})
+		if !sorted {
+			sort.Slice(batch, func(i, j int) bool { return batch[i].key < batch[j].key })
+		}
+	} else {
+		sort.Slice(batch, func(i, j int) bool {
+			pi := projBuf[batch[i].proj*stride : batch[i].proj*stride+stride]
+			pj := projBuf[batch[j].proj*stride : batch[j].proj*stride+stride]
+			if c := codesCompare(pi, pj); c != 0 {
+				return c < 0
+			}
+			return batch[i].key < batch[j].key
+		})
+	}
 	// Record output rows and propagate as an update stream.
 	touched := map[int]bool{}
 	var emitted int64
@@ -598,7 +908,7 @@ func (e *engine) finalizeNode(n *node, flush bool) error {
 			continue
 		}
 		if !n.m.Hidden {
-			n.out.Rows[fe.key] = fe.value
+			n.outRows = append(n.outRows, outKV{fe.key, fe.value})
 			emitted++
 			if e.emit != nil {
 				e.emit(n.m.Name, fe.key, fe.value)
@@ -647,12 +957,13 @@ func (e *engine) cellFinal(n *node, k model.Key) bool {
 	sch := e.c.Schema
 	for i := range n.arcs {
 		a := &n.arcs[i]
-		if len(a.pl.CmpKey) == 0 {
+		if len(a.pl.CmpKey) == 0 || !a.seen {
 			a.heldBack++
 			return false // no ordering information from this stream
 		}
-		p := projectKey(sch, a.pl.CmpKey, nil, n.m.Codec, k)
-		if !(p < a.threshold) {
+		p := projectCodes(sch, a.pl.CmpKey, nil, n.m.Codec, k, e.projScratch)
+		e.projScratch = p
+		if codesCompare(p, a.th) >= 0 {
 			a.heldBack++
 			return false
 		}
@@ -689,8 +1000,14 @@ func (e *engine) cellValue(n *node, k model.Key, cl *cell) (float64, bool) {
 		if !cl.inBase {
 			return 0, false
 		}
+		if n.isCount {
+			return float64(cl.cnt), true
+		}
 		return cl.agg.Final(), true
 	default:
+		if n.isCount {
+			return float64(cl.cnt), true
+		}
 		return cl.agg.Final(), true
 	}
 }
@@ -709,9 +1026,10 @@ func (e *engine) deliver(n *node, role int, src *node, key model.Key, value floa
 	}
 	arc := &n.arcs[arcIdx]
 	n.nRecordsIn++
-	pk := projectKey(sch, arc.pl.CmpKey, arc.pl.Shift, src.m.Codec, key)
-	if !arc.seen || pk != arc.threshold {
-		arc.threshold = pk
+	pk := projectCodes(sch, arc.pl.CmpKey, arc.pl.Shift, src.m.Codec, key, e.projScratch)
+	e.projScratch = pk
+	if !arc.seen || codesCompare(pk, arc.th) != 0 {
+		arc.th = append(arc.th[:0], pk...)
 		arc.seen = true
 		arc.advanced = true
 		arc.advances++
@@ -740,7 +1058,11 @@ func (e *engine) deliver(n *node, role int, src *node, key model.Key, value floa
 		up := src.m.Codec.UpTo(key, m.Codec)
 		cl := n.getCell(up, e)
 		cl.inBase = true
-		cl.agg.Update(value)
+		if n.isCount {
+			cl.cnt++
+		} else {
+			cl.agg.Update(value)
+		}
 	case core.KindFromParent:
 		if baseRole {
 			n.getCell(key, e).inBase = true
@@ -760,7 +1082,11 @@ func (e *engine) deliver(n *node, role int, src *node, key model.Key, value floa
 		// An update at key k touches cells in [k-hi, k-lo] per window.
 		forEachShifted(m.Codec, key, m.Windows, func(ck model.Key) {
 			cl := n.getCell(ck, e)
-			cl.agg.Update(value)
+			if n.isCount {
+				cl.cnt++
+			} else {
+				cl.agg.Update(value)
+			}
 		})
 	case core.KindCombine:
 		cl := n.getCell(key, e)
@@ -772,10 +1098,13 @@ func (e *engine) deliver(n *node, role int, src *node, key model.Key, value floa
 	}
 }
 
+// getCell returns the live cell for k, creating it if absent. The
+// returned pointer is valid only until the next getCell or scanRecord
+// on the same node (the dense slice may grow).
 func (n *node) getCell(k model.Key, e *engine) *cell {
-	cl, ok := n.cells[k]
-	if !ok {
-		cl = &cell{}
+	idx, created := n.tab.InsertString(string(k))
+	if created {
+		var cl cell
 		switch n.m.Kind {
 		case core.KindCombine:
 			cl.vals = make([]float64, len(n.m.Sources))
@@ -783,15 +1112,17 @@ func (n *node) getCell(k model.Key, e *engine) *cell {
 		case core.KindFromParent:
 			// value computed at finalization from parentVals
 		default:
-			cl.agg = n.m.Agg.New()
+			if !n.isCount {
+				cl.agg = n.m.Agg.New()
+			}
 		}
-		n.cells[k] = cl
+		n.cellData = append(n.cellData, cl)
 		e.created++
 		e.noteLive(1)
 		n.nCreated++
 		n.noteLive(1)
 	}
-	return cl
+	return &n.cellData[idx]
 }
 
 // forEachShifted enumerates the cell keys affected by a sibling-source

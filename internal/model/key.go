@@ -22,6 +22,13 @@ func appendCode(b []byte, code int64) []byte {
 	return append(b, buf[:]...)
 }
 
+// AppendKeyCode appends the order-preserving 8-byte encoding of one
+// code — the building block of Key — for engines that assemble keys
+// into reusable buffers instead of allocating through a codec.
+func AppendKeyCode(b []byte, code int64) []byte {
+	return appendCode(b, code)
+}
+
 // decodeCode reads one code back out of its 8-byte encoding.
 func decodeCode(b []byte) int64 {
 	return int64(binary.BigEndian.Uint64(b) ^ (1 << 63))

@@ -86,6 +86,10 @@ type Config struct {
 	MemoryBudget int64
 	// Parallelism is passed through to the engines (shard count).
 	Parallelism int
+	// ReadBatchSize is the fact-read chunk size in bytes for every
+	// query (0 = engine default); validated by aw's shared option
+	// normalization at run time.
+	ReadBatchSize int
 	// SkipCorruptRows enables degraded reads for all queries.
 	SkipCorruptRows bool
 	// DrainTimeout bounds how long Drain waits for in-flight queries
@@ -376,6 +380,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Engine:          engine,
 			MemoryBudget:    s.cfg.MemoryBudget,
 			Parallelism:     s.cfg.Parallelism,
+			ReadBatchSize:   s.cfg.ReadBatchSize,
 			Timeout:         s.cfg.DefaultTimeout,
 			MaxLiveCells:    s.cfg.MaxLiveCells,
 			MaxResultRows:   s.cfg.MaxResultRows,
