@@ -47,8 +47,12 @@ const historyRecent = 512
 // All methods are safe for concurrent use; a nil *History disables
 // history without branching at call sites.
 type History struct {
-	log   *qlog.Log
-	store *qlog.Store
+	log *qlog.Log
+	// traces is the pinned-trace sibling log (traces.jsonl): full
+	// flight-recorder entries for errored, retried, budget-tripped, and
+	// slow queries, replayed into the flight ring on open.
+	traces *qlog.Log
+	store  *qlog.Store
 	// rec aggregates the cross-run histograms (query/phase latency,
 	// rows/sec); replayed on open so percentiles survive restarts.
 	rec *obs.Recorder
@@ -67,11 +71,21 @@ func OpenHistory(dir string) (*History, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := &History{log: l, store: qlog.NewStore(), rec: obs.New()}
-	if _, err := qlog.Replay(dir, func(r *HistoryRecord) { h.absorb(r) }); err != nil {
+	tl, err := qlog.OpenNamed(dir, tracesLogName)
+	if err != nil {
 		l.Close()
 		return nil, err
 	}
+	h := &History{log: l, traces: tl, store: qlog.NewStore(), rec: obs.New()}
+	if _, err := qlog.Replay(dir, func(r *HistoryRecord) { h.absorb(r) }); err != nil {
+		l.Close()
+		tl.Close()
+		return nil, err
+	}
+	// Pinned flight traces survive restarts: restore them into the
+	// in-memory ring so /debug/aw/traces/{id} answers for past slow or
+	// failed queries immediately.
+	replayTraces(dir)
 	return h, nil
 }
 
@@ -132,12 +146,18 @@ func (h *History) Dir() string {
 	return h.log.Dir()
 }
 
-// Close closes the underlying log. Nil-safe.
+// Close closes the underlying logs. Nil-safe.
 func (h *History) Close() error {
 	if h == nil {
 		return nil
 	}
-	return h.log.Close()
+	err := h.log.Close()
+	if h.traces != nil {
+		if terr := h.traces.Close(); err == nil {
+			err = terr
+		}
+	}
+	return err
 }
 
 // Len returns the total number of records seen (replayed plus
@@ -305,6 +325,7 @@ func buildRecord(c *Compiled, in Input, o *QueryOptions, g *qguard.Guard, qSpan 
 	rec := &HistoryRecord{
 		Time:         time.Now(),
 		RequestID:    o.RequestID,
+		TraceID:      o.TraceID,
 		Label:        strings.Join(c.Outputs(), ","),
 		QueryFP:      c.Fingerprint(),
 		CollectionFP: collectionFingerprint(in),

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"awra/internal/obs"
+	"awra/internal/obs/flight"
 	"awra/internal/qguard"
 )
 
@@ -119,7 +120,15 @@ func runResolved(ctx context.Context, c *Compiled, in Input, o QueryOptions) (re
 	if o.Recorder == nil {
 		o.Recorder = obs.New()
 	}
+	// Every run gets a stable flight-recorder trace ID. Callers that
+	// must know it up front (the serve layer echoing it to clients, a
+	// CLI printing the trace) pass one in; retried requests reuse theirs
+	// so all attempts merge into one trace.
+	if o.TraceID == "" {
+		o.TraceID = flight.NewTraceID()
+	}
 	inq := obs.DefaultInflight.Begin(strings.Join(c.Outputs(), ","), o.Recorder, nil)
+	inq.SetTraceID(o.TraceID)
 	defer inq.Finish()
 	// Label this goroutine (and, through the guard's context, every
 	// engine worker) so CPU profiles attribute samples to the query.
@@ -138,6 +147,7 @@ func runResolved(ctx context.Context, c *Compiled, in Input, o QueryOptions) (re
 	// fallback retry, so history and in-flight views see a single
 	// query with its true end-to-end phases.
 	qSpan := o.Recorder.Start(obs.SpanQuery)
+	qSpan.SetAttr("trace_id", o.TraceID)
 	inq.SetSpan(qSpan)
 	defer func() {
 		if r := recover(); r != nil {
@@ -150,11 +160,15 @@ func runResolved(ctx context.Context, c *Compiled, in Input, o QueryOptions) (re
 		}
 		qSpan.End()
 		reportOutcome(o.Recorder, g, err)
+		rec := buildRecord(c, in, &o, g, qSpan, engine, err)
 		if o.History != nil {
 			// Best effort: a full disk must not turn a finished query
 			// into a failure.
-			_ = o.History.Append(buildRecord(c, in, &o, g, qSpan, engine, err))
+			_ = o.History.Append(rec)
 		}
+		// Commit the finished attempt into the flight recorder (one
+		// trace per trace ID; serve-layer retries merge as attempts).
+		commitFlightTrace(&o, rec, qSpan.Snapshot())
 	}()
 
 	if o.AutoStats {

@@ -185,6 +185,12 @@ type ExecOptions struct {
 	// attempt's, so one request logs one final outcome no matter how
 	// many attempts it took. Empty means every run logs independently.
 	RequestID string
+	// TraceID keys this run's entry in the query flight recorder. Empty
+	// means the run generates its own ID (NewTraceID). Callers that must
+	// know the ID up front — the serve layer echoing it to clients, or a
+	// CLI printing the trace — generate one and pass it here; a retried
+	// request reuses its ID so all attempts land in one trace.
+	TraceID string
 	// ReadBatchSize is the chunk size in bytes for the batched fact
 	// reads under every file-backed engine (the internal/exec/scan
 	// reader). 0 uses the default (a few MB); positive values below the

@@ -118,12 +118,38 @@ func main() {
 				http.Error(w, err.Error(), http.StatusInternalServerError)
 			}
 		})
+		// Flight-recorder endpoints: every benchmark run commits a trace,
+		// so the ring doubles as a live query post-mortem view here too.
+		http.HandleFunc("/debug/aw/traces", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := aw.WriteTracesJSON(w, 0); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
+		http.HandleFunc("/debug/aw/traces/", func(w http.ResponseWriter, r *http.Request) {
+			id := strings.TrimPrefix(r.URL.Path, "/debug/aw/traces/")
+			w.Header().Set("Content-Type", "application/json")
+			found, err := aw.WriteTraceJSON(w, id)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			if !found {
+				http.Error(w, "trace not retained", http.StatusNotFound)
+			}
+		})
+		http.HandleFunc("/debug/aw/slow", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := aw.WriteSlowJSON(w, 0); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+			}
+		})
 		go func() {
 			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "awbench: http:", err)
 			}
 		}()
-		fmt.Fprintf(os.Stderr, "awbench: serving /metrics, /debug/aw/queries, /debug/vars, /debug/pprof on %s\n", *httpAddr)
+		fmt.Fprintf(os.Stderr, "awbench: serving /metrics, /debug/aw/queries, /debug/aw/traces, /debug/aw/slow, /debug/vars, /debug/pprof on %s\n", *httpAddr)
 	}
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)

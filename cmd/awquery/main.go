@@ -61,6 +61,8 @@ func main() {
 		save    = flag.String("save", "", "persist all computed measures into this directory (resultstore)")
 		load    = flag.String("load", "", "print measures previously saved into this directory instead of recomputing")
 		trace   = flag.Bool("trace", false, "print the query's span tree (per-phase times and percentages) to stderr")
+		traceID = flag.String("trace-id", "", "flight-recorder trace ID for this run (32 hex digits; default: generated). The ID is printed to stderr so the run's flight trace can be referenced")
+		traceJS = flag.String("trace-json", "", "write the run's full flight-recorder trace as JSON to FILE (\"-\" = stdout)")
 		metrics = flag.String("metrics", "", "write the query's metrics snapshot as JSON to FILE (\"-\" = stdout)")
 		partDim = flag.String("partdim", "", "partscan: partition dimension, by name or index (default: dimension 0)")
 		partLvl = flag.Int("partlevel", 0, "partscan: partition hierarchy level (0 = base)")
@@ -211,6 +213,12 @@ func main() {
 		// SIGINT cancels the query cooperatively; the engines abort at
 		// their next scan stride and clean up temp files.
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		// The trace ID is fixed before the run so the flight-recorder
+		// entry can be referenced whatever the outcome.
+		tid := *traceID
+		if tid == "" {
+			tid = aw.NewTraceID()
+		}
 		qo := aw.QueryOptions{
 			ExecOptions: aw.ExecOptions{
 				Engine:          eng,
@@ -224,6 +232,7 @@ func main() {
 				MaxSpillBytes:   *maxSpil,
 				SkipCorruptRows: *skipBad,
 				History:         hist,
+				TraceID:         tid,
 			},
 			AutoStats:      *auto,
 			PartitionDim:   pd,
@@ -240,6 +249,12 @@ func main() {
 			res, err = aw.RunCompiled(ctx, c, aw.FromFile(*data), qo)
 		}
 		stop()
+		// The flight trace exists for failed runs too — that is the
+		// point of a flight recorder — so emit it before exiting.
+		if *traceID != "" || *traceJS != "" {
+			fmt.Fprintln(os.Stderr, "trace_id:", tid)
+		}
+		writeFlightTrace(*traceJS, tid)
 		if err != nil {
 			fatal(err)
 		}
@@ -328,6 +343,35 @@ func main() {
 			fmt.Printf("   %-50s %v\n", tbl.Codec.Format(k), tbl.Rows[k])
 			shown++
 		}
+	}
+}
+
+// writeFlightTrace writes the run's flight-recorder trace to dst
+// ("" = skip, "-" = stdout). A run sampled out of the flight ring
+// (healthy and fast) may legitimately not be retained.
+func writeFlightTrace(dst, tid string) {
+	if dst == "" {
+		return
+	}
+	out := os.Stdout
+	if dst != "-" {
+		f, err := os.Create(dst)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}()
+		out = f
+	}
+	found, err := aw.WriteTraceJSON(out, tid)
+	if err != nil {
+		fatal(err)
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "awquery: trace %s not retained (healthy fast runs are sampled)\n", tid)
 	}
 }
 

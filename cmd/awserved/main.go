@@ -18,7 +18,14 @@
 //
 // Operational endpoints: /healthz (liveness), /readyz (flips to 503
 // while draining), /metrics (Prometheus), /debug/aw/queries (in-flight
-// registry), /debug/aw/history (recent runs).
+// registry), /debug/aw/history (recent runs), /debug/aw/traces (the
+// query flight recorder; /debug/aw/traces/{trace_id} for one full
+// trace), and /debug/aw/slow (the slow-query log).
+//
+// Every query response carries a trace_id (a caller-supplied W3C
+// traceparent header is honored and echoed) keying its entry in the
+// flight recorder; pinned traces — errors, budget trips, retries, slow
+// queries — persist in the history directory across restarts.
 //
 // On SIGTERM or SIGINT the server stops admitting, lets in-flight
 // queries finish under -drain-timeout, cancels stragglers, flushes the

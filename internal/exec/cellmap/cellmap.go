@@ -20,6 +20,44 @@ type Table struct {
 	mask   uint64
 	keys   []byte // arena: entry i's key at [i*keyLen, (i+1)*keyLen)
 	n      int
+	// Plain-field tallies for the flight recorder, maintained off the
+	// per-probe path (a register increment inside the probe loop, one
+	// compare per insert) and read only at phase boundaries via Stats.
+	probeHWM int64 // longest linear-probe walk any Insert took
+	grows    int64 // rehash count (table doublings)
+	arenaHWM int64 // peak arena bytes, surviving Reset
+}
+
+// Stats is a point-in-time view of a table's probe and growth
+// behavior, for phase-boundary publishing — never read it per row.
+type Stats struct {
+	// Entries is the current entry count.
+	Entries int64
+	// Slots is the current probe-index size.
+	Slots int64
+	// ProbeHWM is the longest linear-probe walk any insert performed
+	// (0 = every insert landed on its home slot).
+	ProbeHWM int64
+	// Grows counts table doublings (rehashes) over the table's life.
+	Grows int64
+	// ArenaBytesHWM is the peak key-arena size in bytes, including
+	// populations retired by Reset.
+	ArenaBytesHWM int64
+}
+
+// Stats snapshots the table's tallies.
+func (t *Table) Stats() Stats {
+	arena := t.arenaHWM
+	if cur := int64(len(t.keys)); cur > arena {
+		arena = cur
+	}
+	return Stats{
+		Entries:       int64(t.n),
+		Slots:         int64(len(t.slots)),
+		ProbeHWM:      t.probeHWM,
+		Grows:         t.grows,
+		ArenaBytesHWM: arena,
+	}
 }
 
 const (
@@ -90,6 +128,7 @@ func (t *Table) Lookup(k []byte) int32 {
 // bytes are copied into the arena on creation.
 func (t *Table) Insert(k []byte) (idx int32, created bool) {
 	i := t.hash(k) & t.mask
+	var probe int64
 	for {
 		s := t.slots[i]
 		if s == 0 {
@@ -100,6 +139,10 @@ func (t *Table) Insert(k []byte) (idx int32, created bool) {
 			return e, false
 		}
 		i = (i + 1) & t.mask
+		probe++
+	}
+	if probe > t.probeHWM {
+		t.probeHWM = probe
 	}
 	e := int32(t.n)
 	t.keys = append(t.keys, k...)
@@ -122,6 +165,7 @@ func (t *Table) InsertString(k string) (idx int32, created bool) {
 		h *= fnvPrime
 	}
 	i := h & t.mask
+	var probe int64
 	for {
 		s := t.slots[i]
 		if s == 0 {
@@ -132,6 +176,10 @@ func (t *Table) InsertString(k string) (idx int32, created bool) {
 			return e, false
 		}
 		i = (i + 1) & t.mask
+		probe++
+	}
+	if probe > t.probeHWM {
+		t.probeHWM = probe
 	}
 	e := int32(t.n)
 	t.keys = append(t.keys, k...)
@@ -157,6 +205,7 @@ func (t *Table) Append(k []byte) int32 {
 }
 
 func (t *Table) grow() {
+	t.grows++
 	t.init(len(t.slots) * 2)
 	for e := 0; e < t.n; e++ {
 		i := t.hash(t.KeyAt(int32(e))) & t.mask
@@ -168,8 +217,13 @@ func (t *Table) grow() {
 }
 
 // Reset empties the table, keeping capacity. The caller's parallel
-// value slice should be truncated alongside.
+// value slice should be truncated alongside. Tallies (probe HWM, grow
+// count, arena HWM) survive: they describe the table's whole life
+// across watermark-flush rebuilds.
 func (t *Table) Reset() {
+	if cur := int64(len(t.keys)); cur > t.arenaHWM {
+		t.arenaHWM = cur
+	}
 	for i := range t.slots {
 		t.slots[i] = 0
 	}

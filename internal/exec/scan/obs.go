@@ -1,0 +1,21 @@
+package scan
+
+import "awra/internal/obs"
+
+// PublishReadStats flushes a batched source's chunk tallies into the
+// recorder under the standard hot-path metric names — once, at a phase
+// boundary, never per batch or per row. Sources that are not chunked
+// readers (in-memory batchers) publish nothing. Nil-safe on rec.
+func PublishReadStats(rec *obs.Recorder, src BatchSource) {
+	rs, ok := src.(interface{ ReadStats() ReadStats })
+	if !ok {
+		return
+	}
+	st := rs.ReadStats()
+	if st.Chunks == 0 {
+		return
+	}
+	rec.Counter(obs.MScanChunks).Add(st.Chunks)
+	rec.Counter(obs.MScanBytes).Add(st.BytesRead)
+	rec.Gauge(obs.GScanBatchFill).Set(st.FillPermille)
+}

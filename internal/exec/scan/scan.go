@@ -93,8 +93,49 @@ type Reader struct {
 	emit     int // emitted view size (payload, or full disk row)
 	seen     int64
 	corrupt  int64
-	guard    *qguard.Guard
-	eof      bool
+	// chunks/bytesRead tally the batched read pattern in plain fields
+	// (one increment per NextBatch, never per row); engines publish
+	// them at phase boundaries via ReadStats.
+	chunks    int64
+	bytesRead int64
+	guard     *qguard.Guard
+	eof       bool
+}
+
+// ReadStats is a point-in-time view of a reader's batched-read tallies.
+// It is flight-recorder food: engines read it once per phase boundary
+// and publish under the standard metric names, so the batching behavior
+// (chunk count, bytes moved, average chunk fill) of the hot path is
+// observable without any per-row instrumentation.
+type ReadStats struct {
+	// Chunks is the number of read chunks consumed so far.
+	Chunks int64
+	// BytesRead is the total bytes filled into chunk buffers.
+	BytesRead int64
+	// Records is the number of rows delivered (corrupt-skipped rows
+	// excluded).
+	Records int64
+	// CorruptRows is the number of checksum-failing rows skipped in
+	// degraded mode.
+	CorruptRows int64
+	// FillPermille is the average chunk fill ratio in permille (1000 =
+	// every chunk read completely full); the final, partial chunk of a
+	// file drags it below 1000.
+	FillPermille int64
+}
+
+// ReadStats snapshots the reader's batched-read tallies.
+func (r *Reader) ReadStats() ReadStats {
+	st := ReadStats{
+		Chunks:      r.chunks,
+		BytesRead:   r.bytesRead,
+		Records:     r.seen - r.corrupt,
+		CorruptRows: r.corrupt,
+	}
+	if r.chunks > 0 && len(r.buf) > 0 {
+		st.FillPermille = r.bytesRead * 1000 / (r.chunks * int64(len(r.buf)))
+	}
+	return st
 }
 
 // Open opens a record file for batched reading through the active
@@ -171,6 +212,8 @@ func (r *Reader) NextBatch() ([]Record, error) {
 				return nil, fmt.Errorf("storage: read records: %w", err)
 			}
 		}
+		r.chunks++
+		r.bytesRead += int64(n)
 		r.disk = r.sp.Split(r.buf[:n], r.disk[:0])
 		if len(r.disk) == 0 {
 			continue

@@ -377,6 +377,19 @@ func run(c *core.Compiled, bsrc scan.BatchSource, opts Options) (*Result, error)
 	orec.Counter(obs.MSpilledEntries).Add(stats.SpilledEntries)
 	orec.Gauge(obs.GLiveCellsHWM).SetMax(peakLive)
 	orec.Gauge(obs.GHashBytesHWM).SetMax(stats.PeakBytes)
+	scan.PublishReadStats(orec, bsrc)
+	var probeHWM, grows, arena int64
+	for _, t := range basics {
+		ts := t.tab.Stats()
+		if ts.ProbeHWM > probeHWM {
+			probeHWM = ts.ProbeHWM
+		}
+		grows += ts.Grows
+		arena += ts.ArenaBytesHWM
+	}
+	orec.Counter(obs.MCellTableGrows).Add(grows)
+	orec.Gauge(obs.GCellProbeHWM).SetMax(probeHWM)
+	orec.Gauge(obs.GCellArenaBytes).SetMax(arena)
 	for _, t := range basics {
 		ns := obs.NodeStats{
 			Node:           t.m.Name,

@@ -372,6 +372,20 @@ func (e *engine) publish() {
 	rec.Counter(obs.MSpillBytes)
 	rec.Gauge(obs.GLiveCellsHWM).SetMax(e.stats.PeakCells)
 	rec.Gauge(obs.GHashBytesHWM).SetMax(e.stats.PeakBytes)
+	// Cell-table probe/arena behavior, aggregated across nodes from the
+	// tables' plain-field tallies (one Stats read per node, end of run).
+	var probeHWM, grows, arena int64
+	for _, n := range e.nodes {
+		ts := n.tab.Stats()
+		if ts.ProbeHWM > probeHWM {
+			probeHWM = ts.ProbeHWM
+		}
+		grows += ts.Grows
+		arena += ts.ArenaBytesHWM
+	}
+	rec.Counter(obs.MCellTableGrows).Add(grows)
+	rec.Gauge(obs.GCellProbeHWM).SetMax(probeHWM)
+	rec.Gauge(obs.GCellArenaBytes).SetMax(arena)
 	for _, n := range e.nodes {
 		ns := obs.NodeStats{
 			Node:           n.m.Name,
@@ -567,6 +581,7 @@ func runSortedStates(c *core.Compiled, pl *plan.Plan, src scan.BatchSource, disa
 	scanSpan.SetDone(e.stats.Records)
 	scanSpan.SetAttr("records", fmt.Sprint(e.stats.Records))
 	scanSpan.End()
+	scan.PublishReadStats(obsRec, src)
 	// End of scan: flush everything in topological order (Table 7's
 	// final "flush the hash tables of all measures"), except the
 	// state-extraction nodes, whose cells are handed back unmerged.

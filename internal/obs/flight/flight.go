@@ -1,0 +1,487 @@
+// Package flight is the query flight recorder: a bounded in-memory
+// ring of completed query traces with tail-based retention. Every
+// aw.Run* commits its finished trace — the finalized span tree with
+// durations and attrs, per-node estimate-vs-actual profile, guard
+// stats, engine, outcome, and retry-attempt chain — keyed by a stable
+// trace ID that callers can supply (e.g. ingested from a W3C
+// traceparent header) or let the library generate.
+//
+// Tail-based retention means the interesting tail is pinned: errored,
+// canceled, budget-tripped, retried, and slow traces survive eviction
+// preferentially, while healthy fast queries are probabilistically
+// sampled so steady-state memory and publishing overhead stay near
+// zero. "Slow" is judged against an operator-supplied threshold (the
+// serve layer feeds its overload controller's sliding-window latency)
+// with the ring's own sliding-window p99 as the fallback, so the
+// recorder self-calibrates even without a serving layer.
+//
+// The ring is the queryable runtime artifact behind /debug/aw/traces,
+// /debug/aw/traces/{id}, and /debug/aw/slow; pinned traces can be
+// mirrored to a persistence sink (the aw history layer appends them to
+// a rotating JSONL log) so post-mortems survive restarts.
+package flight
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"awra/internal/obs"
+	"awra/internal/qlog"
+)
+
+// Pin reasons recorded on a retained trace.
+const (
+	PinError   = "error"   // outcome error
+	PinBudget  = "budget"  // budget-tripped
+	PinCancel  = "canceled"
+	PinRetried = "retried" // more than one attempt
+	PinSlow    = "slow"    // duration at or above the slow threshold
+)
+
+// GuardStats is one attempt's resource-guard accumulators.
+type GuardStats struct {
+	ResultRows  int64 `json:"result_rows,omitempty"`
+	SpillBytes  int64 `json:"spill_bytes,omitempty"`
+	CorruptRows int64 `json:"corrupt_rows,omitempty"`
+}
+
+// Attempt is one execution attempt within a trace. A query retried
+// after a transient fault commits one trace with N attempts — not N
+// traces — so the retry chain reads as a single story.
+type Attempt struct {
+	Seq        int                `json:"seq"`
+	Engine     string             `json:"engine,omitempty"`
+	Outcome    string             `json:"outcome"`
+	Error      string             `json:"error,omitempty"`
+	DurationUs int64              `json:"duration_us"`
+	Guard      GuardStats         `json:"guard,omitempty"`
+	Nodes      []qlog.NodeProfile `json:"nodes,omitempty"`
+	// Span is the attempt's finalized span tree (query root), with
+	// durations, attrs, and per-span record progress.
+	Span *obs.SpanSnapshot `json:"span,omitempty"`
+}
+
+// Trace is one completed query's flight record. Top-level fields
+// reflect the latest attempt; the full chain is in Attempts.
+type Trace struct {
+	ID         string    `json:"trace_id"`
+	Time       time.Time `json:"time"`
+	RequestID  string    `json:"request_id,omitempty"`
+	Label      string    `json:"label,omitempty"`
+	Engine     string    `json:"engine,omitempty"`
+	SortKey    string    `json:"sort_key,omitempty"`
+	Outcome    string    `json:"outcome"`
+	Error      string    `json:"error,omitempty"`
+	DurationUs int64     `json:"duration_us"`
+	Pinned     bool      `json:"pinned,omitempty"`
+	PinReasons []string  `json:"pin_reasons,omitempty"`
+	// Sampled marks a healthy fast trace retained by probabilistic
+	// sampling rather than pinning.
+	Sampled  bool      `json:"sampled,omitempty"`
+	Attempts []Attempt `json:"attempts,omitempty"`
+}
+
+// Summary is the list-view projection of a trace (no span trees), the
+// row format of /debug/aw/traces.
+type Summary struct {
+	ID         string    `json:"trace_id"`
+	Time       time.Time `json:"time"`
+	RequestID  string    `json:"request_id,omitempty"`
+	Label      string    `json:"label,omitempty"`
+	Engine     string    `json:"engine,omitempty"`
+	Outcome    string    `json:"outcome"`
+	Error      string    `json:"error,omitempty"`
+	DurationUs int64     `json:"duration_us"`
+	Attempts   int       `json:"attempts"`
+	Pinned     bool      `json:"pinned,omitempty"`
+	PinReasons []string  `json:"pin_reasons,omitempty"`
+	Sampled    bool      `json:"sampled,omitempty"`
+	Path       string    `json:"path"`
+}
+
+// TracePath returns the debug-endpoint path for a trace ID — the
+// link-ready form surfaced by in-flight snapshots and list views.
+func TracePath(id string) string { return "/debug/aw/traces/" + id }
+
+// DefaultCapacity bounds the default ring.
+const DefaultCapacity = 256
+
+// DefaultSampleN retains 1 in N healthy fast traces.
+const DefaultSampleN = 16
+
+// slowWindow is the ring's internal latency window for the p99
+// fallback threshold; minSlowWindow gates it until it has signal.
+const (
+	slowWindow    = 256
+	minSlowWindow = 32
+)
+
+// Ring is a bounded trace store with tail-based retention. All methods
+// are safe for concurrent use and nil-safe (a nil ring drops commits
+// and reports nothing), so callers thread it without branching.
+type Ring struct {
+	mu      sync.Mutex
+	cap     int
+	sampleN int64
+	seq     int64 // commit counter driving deterministic sampling
+	traces  map[string]*Trace
+	order   []string // insertion order, oldest first
+	// slowUs is the operator-supplied slow threshold (0 = unset); win
+	// is the sliding duration window behind the p99 fallback.
+	slowUs int64
+	win    []int64
+	pos    int
+}
+
+// NewRing builds a ring retaining up to capacity traces and sampling 1
+// in sampleN healthy fast queries (0 picks the defaults).
+func NewRing(capacity int, sampleN int64) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	if sampleN <= 0 {
+		sampleN = DefaultSampleN
+	}
+	return &Ring{
+		cap:     capacity,
+		sampleN: sampleN,
+		traces:  make(map[string]*Trace),
+		win:     make([]int64, 0, slowWindow),
+	}
+}
+
+// Default is the process-global flight recorder, mirroring
+// obs.DefaultInflight: every aw.Run* commits here.
+var Default = NewRing(0, 0)
+
+// NewTraceID returns a fresh 32-hex-digit (16-byte) trace ID, the W3C
+// trace-context format.
+func NewTraceID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; a constant non-zero
+		// ID keeps the recorder functional (traces merge, nothing panics).
+		return "00000000000000000000000000000001"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SetSlowThreshold sets the operator slow threshold in microseconds
+// (0 reverts to the ring's internal p99 fallback). The serve layer
+// feeds it from the overload controller's sliding latency window.
+func (r *Ring) SetSlowThreshold(us int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.slowUs = us
+	r.mu.Unlock()
+}
+
+// SlowThresholdUs returns the effective slow threshold: the operator
+// value if set, else the internal window p99, else 0 (no slow pinning
+// yet).
+func (r *Ring) SlowThresholdUs() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.slowThresholdLocked()
+}
+
+func (r *Ring) slowThresholdLocked() int64 {
+	if r.slowUs > 0 {
+		return r.slowUs
+	}
+	n := len(r.win)
+	if n < minSlowWindow {
+		return 0
+	}
+	s := make([]int64, n)
+	copy(s, r.win)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := n * 99 / 100
+	if idx >= n {
+		idx = n - 1
+	}
+	return s[idx]
+}
+
+// Commit folds one finished attempt-bearing trace into the ring. A
+// trace whose ID already exists absorbs the new attempts (the retry
+// chain grows; top-level fields follow the latest attempt); otherwise
+// the trace is inserted, evicting the oldest unpinned entry when full.
+// It returns the retained state (a private copy) and whether the trace
+// is pinned; a healthy fast trace that misses the sampling draw
+// returns a zero Trace and false.
+func (r *Ring) Commit(t *Trace) (Trace, bool) {
+	if r == nil || t == nil || t.ID == "" {
+		return Trace{}, false
+	}
+	if t.Time.IsZero() {
+		t.Time = time.Now()
+	}
+	r.mu.Lock()
+	r.seq++
+	// Slide the duration window (every commit, pinned or not, so the
+	// p99 fallback sees the true distribution).
+	if len(r.win) < slowWindow {
+		r.win = append(r.win, t.DurationUs)
+	} else {
+		r.win[r.pos] = t.DurationUs
+	}
+	r.pos = (r.pos + 1) % slowWindow
+
+	existing := r.traces[t.ID]
+	if existing != nil {
+		// Merge: append attempts, renumbering the chain; latest attempt
+		// wins the top-level fields.
+		for i := range t.Attempts {
+			a := t.Attempts[i]
+			a.Seq = len(existing.Attempts) + 1
+			existing.Attempts = append(existing.Attempts, a)
+		}
+		existing.Engine, existing.Outcome, existing.Error = t.Engine, t.Outcome, t.Error
+		existing.DurationUs = t.DurationUs
+		if t.SortKey != "" {
+			existing.SortKey = t.SortKey
+		}
+		t = existing
+	} else {
+		for i := range t.Attempts {
+			t.Attempts[i].Seq = i + 1
+		}
+	}
+	r.pinLocked(t)
+	if existing == nil {
+		if !t.Pinned && !r.sampleLocked() {
+			r.mu.Unlock()
+			return Trace{}, false
+		}
+		t.Sampled = !t.Pinned
+		r.insertLocked(t)
+	} else if t.Pinned {
+		t.Sampled = false
+	}
+	out := copyTrace(t)
+	pinned := t.Pinned
+	r.mu.Unlock()
+	return out, pinned
+}
+
+// Restore inserts a replayed trace (e.g. from the persisted trace log)
+// without sampling, window updates, or re-persisting. Later restores
+// of the same ID supersede earlier ones (the log's last word wins).
+func (r *Ring) Restore(t *Trace) {
+	if r == nil || t == nil || t.ID == "" {
+		return
+	}
+	r.mu.Lock()
+	c := copyTrace(t)
+	if _, ok := r.traces[t.ID]; ok {
+		r.traces[t.ID] = &c
+	} else {
+		r.insertLocked(&c)
+	}
+	r.mu.Unlock()
+}
+
+// pinLocked re-evaluates a trace's pin state from its outcome, retry
+// chain, and duration against the slow threshold. Pinning is sticky:
+// reasons accumulate, a pinned trace never unpins.
+func (r *Ring) pinLocked(t *Trace) {
+	add := func(reason string) {
+		for _, have := range t.PinReasons {
+			if have == reason {
+				return
+			}
+		}
+		t.PinReasons = append(t.PinReasons, reason)
+		t.Pinned = true
+	}
+	switch t.Outcome {
+	case qlog.OutcomeError:
+		add(PinError)
+	case qlog.OutcomeBudget:
+		add(PinBudget)
+	case qlog.OutcomeCanceled:
+		add(PinCancel)
+	}
+	if len(t.Attempts) > 1 {
+		add(PinRetried)
+	}
+	if th := r.slowThresholdLocked(); th > 0 && t.DurationUs >= th {
+		add(PinSlow)
+	}
+}
+
+// sampleLocked draws the deterministic 1-in-N retention lot for a
+// healthy fast trace. The very first commit always wins the draw, so a
+// process that runs one query (the CLI case) retains its trace.
+func (r *Ring) sampleLocked() bool {
+	if r.sampleN <= 1 {
+		return true
+	}
+	return r.seq%r.sampleN == 1
+}
+
+// insertLocked adds a new trace, evicting to capacity: the oldest
+// unpinned trace first; if everything is pinned, the oldest pinned one
+// (bounded memory wins over retention).
+func (r *Ring) insertLocked(t *Trace) {
+	r.traces[t.ID] = t
+	r.order = append(r.order, t.ID)
+	for len(r.order) > r.cap {
+		victim := -1
+		for i, id := range r.order {
+			if !r.traces[id].Pinned {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			victim = 0
+		}
+		delete(r.traces, r.order[victim])
+		r.order = append(r.order[:victim], r.order[victim+1:]...)
+	}
+}
+
+func copyTrace(t *Trace) Trace {
+	c := *t
+	c.Attempts = append([]Attempt(nil), t.Attempts...)
+	c.PinReasons = append([]string(nil), t.PinReasons...)
+	return c
+}
+
+// Get returns a private copy of the trace with the given ID.
+func (r *Ring) Get(id string) (Trace, bool) {
+	if r == nil {
+		return Trace{}, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.traces[id]
+	if !ok {
+		return Trace{}, false
+	}
+	return copyTrace(t), true
+}
+
+// Len returns the number of retained traces.
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.order)
+}
+
+func summarize(t *Trace) Summary {
+	return Summary{
+		ID:         t.ID,
+		Time:       t.Time,
+		RequestID:  t.RequestID,
+		Label:      t.Label,
+		Engine:     t.Engine,
+		Outcome:    t.Outcome,
+		Error:      t.Error,
+		DurationUs: t.DurationUs,
+		Attempts:   len(t.Attempts),
+		Pinned:     t.Pinned,
+		PinReasons: append([]string(nil), t.PinReasons...),
+		Sampled:    t.Sampled,
+		Path:       TracePath(t.ID),
+	}
+}
+
+// List returns up to n trace summaries, newest first (n <= 0 = all).
+func (r *Ring) List(n int) []Summary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > len(r.order) {
+		n = len(r.order)
+	}
+	out := make([]Summary, 0, n)
+	for i := len(r.order) - 1; i >= 0 && len(out) < n; i-- {
+		out = append(out, summarize(r.traces[r.order[i]]))
+	}
+	return out
+}
+
+// Slow returns up to n retained traces at or above the effective slow
+// threshold, slowest first — the slow-query log. With no threshold
+// signal yet it returns nothing (an empty log, not a noisy one).
+func (r *Ring) Slow(n int) []Summary {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	th := r.slowThresholdLocked()
+	var out []Summary
+	if th > 0 {
+		for _, id := range r.order {
+			if t := r.traces[id]; t.DurationUs >= th {
+				out = append(out, summarize(t))
+			}
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].DurationUs > out[j].DurationUs })
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// listPayload is the JSON envelope of /debug/aw/traces and
+// /debug/aw/slow.
+type listPayload struct {
+	Total           int       `json:"total"`
+	SlowThresholdUs int64     `json:"slow_threshold_us,omitempty"`
+	Traces          []Summary `json:"traces"`
+}
+
+// WriteListJSON writes the newest n trace summaries as indented JSON.
+func (r *Ring) WriteListJSON(w io.Writer, n int) error {
+	p := listPayload{Total: r.Len(), SlowThresholdUs: r.SlowThresholdUs(), Traces: r.List(n)}
+	if p.Traces == nil {
+		p.Traces = []Summary{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// WriteSlowJSON writes the slow-query log as indented JSON.
+func (r *Ring) WriteSlowJSON(w io.Writer, n int) error {
+	p := listPayload{Total: r.Len(), SlowThresholdUs: r.SlowThresholdUs(), Traces: r.Slow(n)}
+	if p.Traces == nil {
+		p.Traces = []Summary{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p)
+}
+
+// WriteTraceJSON writes one full trace (span tree included) as
+// indented JSON; found=false means the ID is not retained.
+func (r *Ring) WriteTraceJSON(w io.Writer, id string) (bool, error) {
+	t, ok := r.Get(id)
+	if !ok {
+		return false, nil
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return true, enc.Encode(t)
+}

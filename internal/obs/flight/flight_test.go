@@ -1,0 +1,309 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"awra/internal/qlog"
+)
+
+func mkTrace(id, outcome string, durUs int64) *Trace {
+	return &Trace{
+		ID:         id,
+		Outcome:    outcome,
+		DurationUs: durUs,
+		Attempts:   []Attempt{{Outcome: outcome, DurationUs: durUs}},
+	}
+}
+
+func reasons(t Trace) string { return strings.Join(t.PinReasons, ",") }
+
+func TestPinOnBadOutcomes(t *testing.T) {
+	for _, tc := range []struct {
+		outcome string
+		reason  string
+	}{
+		{qlog.OutcomeError, PinError},
+		{qlog.OutcomeBudget, PinBudget},
+		{qlog.OutcomeCanceled, PinCancel},
+	} {
+		r := NewRing(8, 4)
+		got, pinned := r.Commit(mkTrace("t-"+tc.outcome, tc.outcome, 100))
+		if !pinned || !got.Pinned {
+			t.Fatalf("%s: not pinned", tc.outcome)
+		}
+		if reasons(got) != tc.reason {
+			t.Fatalf("%s: reasons %q, want %q", tc.outcome, reasons(got), tc.reason)
+		}
+	}
+}
+
+func TestHealthySampling(t *testing.T) {
+	r := NewRing(64, 4)
+	retained := 0
+	for i := 0; i < 16; i++ {
+		if _, ok := r.Get(fmt.Sprintf("h%d", i)); ok {
+			t.Fatal("trace present before commit")
+		}
+		got, pinned := r.Commit(mkTrace(fmt.Sprintf("h%d", i), qlog.OutcomeOK, 50))
+		if pinned {
+			t.Fatalf("healthy trace %d pinned: %v", i, got.PinReasons)
+		}
+		if got.ID != "" {
+			retained++
+			if !got.Sampled {
+				t.Fatalf("retained healthy trace %d not marked sampled", i)
+			}
+		}
+	}
+	// 1-in-4 sampling over 16 commits, first commit always retained.
+	if retained != 4 {
+		t.Fatalf("retained %d of 16 healthy traces, want 4", retained)
+	}
+	if _, ok := r.Get("h0"); !ok {
+		t.Fatal("first commit should always win the sampling draw")
+	}
+}
+
+func TestRetryMergesIntoOneTrace(t *testing.T) {
+	r := NewRing(8, 1)
+	first := mkTrace("tr", qlog.OutcomeError, 80)
+	first.Attempts[0].Error = "transient read fault"
+	r.Commit(first)
+	second := mkTrace("tr", qlog.OutcomeOK, 120)
+	got, pinned := r.Commit(second)
+	if !pinned {
+		t.Fatal("retried trace not pinned")
+	}
+	if len(got.Attempts) != 2 {
+		t.Fatalf("attempts = %d, want 2 (one trace, N attempts)", len(got.Attempts))
+	}
+	if got.Attempts[0].Seq != 1 || got.Attempts[1].Seq != 2 {
+		t.Fatalf("attempt seqs = %d,%d", got.Attempts[0].Seq, got.Attempts[1].Seq)
+	}
+	// Top-level fields follow the final attempt; pin reasons accumulate.
+	if got.Outcome != qlog.OutcomeOK || got.DurationUs != 120 {
+		t.Fatalf("merged top-level = %s/%d", got.Outcome, got.DurationUs)
+	}
+	for _, want := range []string{PinError, PinRetried} {
+		if !strings.Contains(reasons(got), want) {
+			t.Fatalf("reasons %q missing %q", reasons(got), want)
+		}
+	}
+	if r.Len() != 1 {
+		t.Fatalf("ring holds %d traces, want 1", r.Len())
+	}
+}
+
+func TestSlowPinAgainstOperatorThreshold(t *testing.T) {
+	r := NewRing(8, 1)
+	r.SetSlowThreshold(1000)
+	fast, _ := r.Commit(mkTrace("fast", qlog.OutcomeOK, 500))
+	if fast.Pinned {
+		t.Fatal("fast trace pinned")
+	}
+	slow, pinned := r.Commit(mkTrace("slow", qlog.OutcomeOK, 1500))
+	if !pinned || reasons(slow) != PinSlow {
+		t.Fatalf("slow trace: pinned=%v reasons=%q", pinned, reasons(slow))
+	}
+	log := r.Slow(0)
+	if len(log) != 1 || log[0].ID != "slow" {
+		t.Fatalf("slow log = %+v, want [slow]", log)
+	}
+	if log[0].Path != "/debug/aw/traces/slow" {
+		t.Fatalf("slow log path = %q", log[0].Path)
+	}
+}
+
+func TestInternalP99Fallback(t *testing.T) {
+	r := NewRing(512, 1)
+	// Fill the window with uniform fast traces, then one outlier: once
+	// the window has signal, the outlier lands at/above its p99.
+	for i := 0; i < minSlowWindow; i++ {
+		r.Commit(mkTrace(fmt.Sprintf("w%d", i), qlog.OutcomeOK, 100))
+	}
+	if th := r.SlowThresholdUs(); th == 0 {
+		t.Fatal("p99 fallback threshold still 0 after warm-up")
+	}
+	got, pinned := r.Commit(mkTrace("outlier", qlog.OutcomeOK, 10000))
+	if !pinned || !strings.Contains(reasons(got), PinSlow) {
+		t.Fatalf("outlier: pinned=%v reasons=%q", pinned, reasons(got))
+	}
+}
+
+func TestEvictionPrefersUnpinned(t *testing.T) {
+	r := NewRing(3, 1)
+	r.Commit(mkTrace("bad1", qlog.OutcomeError, 10))
+	r.Commit(mkTrace("ok1", qlog.OutcomeOK, 10))
+	r.Commit(mkTrace("bad2", qlog.OutcomeError, 10))
+	r.Commit(mkTrace("bad3", qlog.OutcomeError, 10)) // evicts ok1, not bad1
+	if _, ok := r.Get("ok1"); ok {
+		t.Fatal("unpinned trace survived eviction over pinned ones")
+	}
+	for _, id := range []string{"bad1", "bad2", "bad3"} {
+		if _, ok := r.Get(id); !ok {
+			t.Fatalf("pinned trace %s evicted while an unpinned one existed", id)
+		}
+	}
+	// All pinned: the oldest pinned trace goes (bounded memory wins).
+	r.Commit(mkTrace("bad4", qlog.OutcomeError, 10))
+	if _, ok := r.Get("bad1"); ok {
+		t.Fatal("oldest pinned trace survived an all-pinned eviction")
+	}
+	if r.Len() != 3 {
+		t.Fatalf("ring holds %d, want cap 3", r.Len())
+	}
+}
+
+func TestRestoreLastWordWins(t *testing.T) {
+	r := NewRing(8, 1)
+	r.Restore(mkTrace("p", qlog.OutcomeError, 100))
+	merged := mkTrace("p", qlog.OutcomeOK, 150)
+	merged.Attempts = append(merged.Attempts, Attempt{Outcome: qlog.OutcomeOK})
+	r.Restore(merged)
+	got, ok := r.Get("p")
+	if !ok || len(got.Attempts) != 2 || got.Outcome != qlog.OutcomeOK {
+		t.Fatalf("restored trace = %+v", got)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("restore of the same ID duplicated the entry: len=%d", r.Len())
+	}
+}
+
+func TestWriteJSONEndpoints(t *testing.T) {
+	r := NewRing(8, 1)
+	r.SetSlowThreshold(100)
+	r.Commit(mkTrace("a", qlog.OutcomeBudget, 500))
+	var buf bytes.Buffer
+	if err := r.WriteListJSON(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Total  int       `json:"total"`
+		Traces []Summary `json:"traces"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Total != 1 || len(list.Traces) != 1 || !list.Traces[0].Pinned {
+		t.Fatalf("list payload = %+v", list)
+	}
+	buf.Reset()
+	found, err := r.WriteTraceJSON(&buf, "a")
+	if err != nil || !found {
+		t.Fatalf("WriteTraceJSON: found=%v err=%v", found, err)
+	}
+	var tr Trace
+	if err := json.Unmarshal(buf.Bytes(), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.ID != "a" || len(tr.Attempts) != 1 {
+		t.Fatalf("trace payload = %+v", tr)
+	}
+	if found, _ := r.WriteTraceJSON(&buf, "missing"); found {
+		t.Fatal("missing trace reported found")
+	}
+}
+
+// TestConcurrentCommitSnapshotEvict drives commits (fresh IDs, merges,
+// restores) against readers and JSON snapshots from many goroutines;
+// run under -race this is the ring's concurrency proof.
+func TestConcurrentCommitSnapshotEvict(t *testing.T) {
+	r := NewRing(32, 4)
+	const writers, readers, per = 8, 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				outcome := qlog.OutcomeOK
+				if i%3 == 0 {
+					outcome = qlog.OutcomeError
+				}
+				// A shared ID across writers exercises attempt merging.
+				id := fmt.Sprintf("w%d-%d", w, i)
+				if i%7 == 0 {
+					id = fmt.Sprintf("shared-%d", i)
+				}
+				r.Commit(mkTrace(id, outcome, int64(50+i)))
+				if i%11 == 0 {
+					r.Restore(mkTrace(fmt.Sprintf("restored-%d-%d", w, i), qlog.OutcomeBudget, 10))
+				}
+				if i%13 == 0 {
+					r.SetSlowThreshold(int64(i))
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var buf bytes.Buffer
+			for i := 0; i < per; i++ {
+				r.List(10)
+				r.Slow(10)
+				r.Get(fmt.Sprintf("shared-%d", i%per))
+				buf.Reset()
+				_ = r.WriteListJSON(&buf, 5)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Len() > 32 {
+		t.Fatalf("ring exceeded its capacity: %d > 32", r.Len())
+	}
+	// Mutating a returned copy must not corrupt the retained trace.
+	if got, ok := r.Get("shared-0"); ok {
+		got.PinReasons = append(got.PinReasons[:0], "clobbered")
+		got.Attempts = nil
+		again, _ := r.Get("shared-0")
+		if len(again.PinReasons) > 0 && again.PinReasons[0] == "clobbered" {
+			t.Fatal("Get returned a shared slice, not a copy")
+		}
+	}
+}
+
+func TestNewTraceIDShape(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		id := NewTraceID()
+		if len(id) != 32 || !isHex(id) {
+			t.Fatalf("trace ID %q not 32 hex digits", id)
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	h := FormatTraceparent(id)
+	got, ok := ParseTraceparent(h)
+	if !ok || got != id {
+		t.Fatalf("round trip %q -> %q (ok=%v), want %q", h, got, ok, id)
+	}
+	for _, bad := range []string{
+		"",
+		"00-short-0123456789abcdef-01",
+		"00-" + strings.Repeat("0", 32) + "-0123456789abcdef-01", // all-zero trace ID
+		"ff-" + id + "-0123456789abcdef-01",                      // forbidden version
+		"00-" + id + "-xyz-01",
+	} {
+		if _, ok := ParseTraceparent(bad); ok {
+			t.Fatalf("accepted invalid traceparent %q", bad)
+		}
+	}
+	// Uppercase hex and extra future fields are tolerated.
+	up := "00-" + strings.ToUpper(id) + "-0123456789ABCDEF-01-extra"
+	if got, ok := ParseTraceparent(up); !ok || got != id {
+		t.Fatalf("uppercase/extended traceparent rejected: %q -> %q %v", up, got, ok)
+	}
+}

@@ -1,0 +1,60 @@
+package flight
+
+import "strings"
+
+// W3C trace-context (traceparent) support: the serve layer ingests a
+// caller-supplied traceparent header so a distributed trace spans the
+// client and the query engine, and echoes one back so clients without
+// tracing infrastructure still get a correlation handle.
+
+// Traceparent is the HTTP header name.
+const Traceparent = "traceparent"
+
+// ParseTraceparent extracts the trace ID from a W3C traceparent header
+// value ("00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>").
+// Unknown versions with the same shape are accepted, per spec; an
+// all-zero trace ID is invalid.
+func ParseTraceparent(h string) (traceID string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 {
+		return "", false
+	}
+	ver, id := parts[0], strings.ToLower(parts[1])
+	if len(ver) != 2 || !isHex(ver) || ver == "ff" {
+		return "", false
+	}
+	if len(id) != 32 || !isHex(id) || id == strings.Repeat("0", 32) {
+		return "", false
+	}
+	if len(parts[2]) != 16 || !isHex(parts[2]) || len(parts[3]) != 2 || !isHex(parts[3]) {
+		return "", false
+	}
+	return id, true
+}
+
+// FormatTraceparent renders a traceparent header value for a trace ID,
+// with this process as the parent span and the sampled flag set (the
+// flight recorder made a retention decision, which is what the flag
+// communicates downstream).
+func FormatTraceparent(traceID string) string {
+	if len(traceID) != 32 || !isHex(traceID) {
+		return ""
+	}
+	// The parent-id nibble-folds the trace ID: deterministic, non-zero
+	// for any valid trace ID, and good enough absent real span IDs.
+	parent := strings.ToLower(traceID[:16])
+	if parent == strings.Repeat("0", 16) {
+		parent = "0000000000000001" // spec forbids an all-zero parent-id
+	}
+	return "00-" + strings.ToLower(traceID) + "-" + parent + "-01"
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') && (c < 'A' || c > 'F') {
+			return false
+		}
+	}
+	return true
+}

@@ -37,9 +37,10 @@ type InflightQuery struct {
 	start time.Time
 	rec   *Recorder
 
-	mu     sync.Mutex
-	span   *Span
-	engine string
+	mu      sync.Mutex
+	span    *Span
+	engine  string
+	traceID string
 	// maxProgress (float64 bits) smooths the reported fraction into a
 	// monotonic non-decreasing series even when new work spans appear
 	// and grow the denominator (e.g. a second multipass pass).
@@ -48,8 +49,13 @@ type InflightQuery struct {
 
 // QuerySnapshot is one in-flight query as reported by Snapshot.
 type QuerySnapshot struct {
-	ID        int64  `json:"id"`
-	Label     string `json:"label,omitempty"`
+	ID    int64  `json:"id"`
+	Label string `json:"label,omitempty"`
+	// TraceID is the query's flight-recorder trace ID, and TracePath the
+	// link-ready debug endpoint where its full trace lands on completion
+	// (/debug/aw/traces/<id>) — inflight → flight-recorder continuity.
+	TraceID   string `json:"trace_id,omitempty"`
+	TracePath string `json:"trace_path,omitempty"`
 	Engine    string `json:"engine,omitempty"`
 	Phase     string `json:"phase,omitempty"`
 	ElapsedUs int64  `json:"elapsed_us"`
@@ -121,6 +127,18 @@ func (q *InflightQuery) SetEngine(name string) {
 	q.mu.Unlock()
 }
 
+// SetTraceID records the query's flight-recorder trace ID so live
+// snapshots link to where the completed trace will be retrievable.
+// Nil-safe.
+func (q *InflightQuery) SetTraceID(id string) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	q.traceID = id
+	q.mu.Unlock()
+}
+
 // SetSpan attaches the query-root span that scopes phase detection and
 // progress aggregation. Callers that must register the query before the
 // span exists (to obtain the ID for pprof labels) pass nil to Begin and
@@ -169,13 +187,19 @@ func (f *Inflight) WriteJSON(w io.Writer) error {
 
 func (q *InflightQuery) snapshot() QuerySnapshot {
 	q.mu.Lock()
-	engine, span := q.engine, q.span
+	engine, span, traceID := q.engine, q.span, q.traceID
 	q.mu.Unlock()
 	s := QuerySnapshot{
 		ID:        q.id,
 		Label:     q.label,
+		TraceID:   traceID,
 		Engine:    engine,
 		ElapsedUs: time.Since(q.start).Microseconds(),
+	}
+	if traceID != "" {
+		// Mirrors flight.TracePath (obs cannot import flight — the flight
+		// recorder is built on obs).
+		s.TracePath = "/debug/aw/traces/" + traceID
 	}
 	if q.rec != nil {
 		snap := q.rec.Snapshot()

@@ -75,6 +75,30 @@ const (
 	// engine.
 	MShardsPlanned = "shards_planned"
 
+	// Hot-path instrumentation family: batch-granularity tallies from
+	// the chunked scan reader (internal/exec/scan) and the open-
+	// addressing cell tables (internal/exec/cellmap). Engines publish
+	// them once per phase boundary from plain struct fields — the scan
+	// loop itself never touches the recorder.
+
+	// MScanChunks counts read chunks consumed by batched fact reads.
+	MScanChunks = "scan_chunks"
+	// MScanBytes counts bytes filled into read-chunk buffers.
+	MScanBytes = "scan_bytes"
+	// MCellTableGrows counts cell-table doublings (rehashes) across all
+	// measure nodes.
+	MCellTableGrows = "cellmap_grows"
+
+	// GScanBatchFill is the average read-chunk fill ratio in permille
+	// (1000 = every chunk completely full).
+	GScanBatchFill = "scan_batch_fill_permille"
+	// GCellProbeHWM is the longest linear-probe walk any cell-table
+	// insert performed.
+	GCellProbeHWM = "cellmap_probe_len_hwm"
+	// GCellArenaBytes is the peak cell-key arena footprint in bytes,
+	// summed across measure nodes.
+	GCellArenaBytes = "cellmap_arena_bytes_hwm"
+
 	// Serve metric family: published by the always-on query service
 	// (internal/serve) so its admission, retry, and drain behavior is
 	// observable through the same registry as engine metrics.

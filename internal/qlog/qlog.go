@@ -53,7 +53,10 @@ type Record struct {
 	// record with the same ID as superseding the earlier attempt — so a
 	// query retried after a transient fault logs one final outcome, not
 	// one per attempt.
-	RequestID    string `json:"request_id,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+	// TraceID is the run's flight-recorder trace ID; the full span tree
+	// lives in the flight ring (and the pinned-trace log) under it.
+	TraceID      string `json:"trace_id,omitempty"`
 	Label        string `json:"label,omitempty"`
 	QueryFP      string    `json:"query_fp,omitempty"`
 	CollectionFP string    `json:"collection_fp,omitempty"`
@@ -73,7 +76,10 @@ type Record struct {
 }
 
 const (
-	logName = "history.jsonl"
+	// defaultBase is the base name of the classic history log; sibling
+	// logs (e.g. the pinned-trace log) share the directory under their
+	// own base names via OpenNamed.
+	defaultBase = "history"
 	// DefaultMaxBytes rotates the active log segment past ~4 MiB.
 	DefaultMaxBytes = 4 << 20
 	// DefaultMaxFiles keeps the active segment plus two rotated ones.
@@ -93,17 +99,27 @@ type Log struct {
 
 	mu   sync.Mutex
 	dir  string
+	base string
 	f    *os.File
 	size int64
 }
 
 // Open creates (if needed) the history directory and opens the active
 // log segment for appending.
-func Open(dir string) (*Log, error) {
+func Open(dir string) (*Log, error) { return OpenNamed(dir, defaultBase) }
+
+// OpenNamed opens a rotating JSONL log under dir with the given base
+// name (active segment <base>.jsonl, rotated <base>.N.jsonl). The
+// history log and its siblings — e.g. the pinned-trace log — share one
+// directory this way.
+func OpenNamed(dir, base string) (*Log, error) {
+	if base == "" {
+		base = defaultBase
+	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("qlog: %w", err)
 	}
-	f, err := os.OpenFile(filepath.Join(dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(filepath.Join(dir, base+".jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("qlog: %w", err)
 	}
@@ -112,7 +128,7 @@ func Open(dir string) (*Log, error) {
 		f.Close()
 		return nil, fmt.Errorf("qlog: %w", err)
 	}
-	return &Log{dir: dir, f: f, size: st.Size(), MaxBytes: DefaultMaxBytes, MaxFiles: DefaultMaxFiles}, nil
+	return &Log{dir: dir, base: base, f: f, size: st.Size(), MaxBytes: DefaultMaxBytes, MaxFiles: DefaultMaxFiles}, nil
 }
 
 // Dir returns the history directory.
@@ -125,6 +141,14 @@ func (l *Log) Append(rec *Record) error {
 	if err != nil {
 		return fmt.Errorf("qlog: %w", err)
 	}
+	return l.AppendJSON(b)
+}
+
+// AppendJSON writes one pre-marshaled JSON value as a JSONL line,
+// rotating first if the active segment is full. Logs whose line type
+// is not Record (e.g. the pinned-trace log) append through here. Safe
+// for concurrent use.
+func (l *Log) AppendJSON(b []byte) error {
 	b = append(b, '\n')
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -163,10 +187,10 @@ func (l *Log) rotateLocked() error {
 			}
 		}
 	}
-	if err := os.Rename(filepath.Join(l.dir, logName), l.segPath(1)); err != nil {
+	if err := os.Rename(filepath.Join(l.dir, l.base+".jsonl"), l.segPath(1)); err != nil {
 		return fmt.Errorf("qlog: rotate: %w", err)
 	}
-	f, err := os.OpenFile(filepath.Join(l.dir, logName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := os.OpenFile(filepath.Join(l.dir, l.base+".jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("qlog: rotate: %w", err)
 	}
@@ -175,7 +199,7 @@ func (l *Log) rotateLocked() error {
 }
 
 func (l *Log) segPath(i int) string {
-	return filepath.Join(l.dir, fmt.Sprintf("history.%d.jsonl", i))
+	return filepath.Join(l.dir, fmt.Sprintf("%s.%d.jsonl", l.base, i))
 }
 
 // Close closes the active segment. Further Appends fail.
@@ -196,12 +220,30 @@ func (l *Log) Close() error {
 // count is returned. A missing directory or missing log is not an
 // error: replay of an empty history calls fn zero times.
 func Replay(dir string, fn func(*Record)) (skipped int, err error) {
+	return ReplayLines(dir, defaultBase, func(line []byte) bool {
+		rec := &Record{}
+		if json.Unmarshal(line, rec) != nil {
+			return false
+		}
+		fn(rec)
+		return true
+	})
+}
+
+// ReplayLines streams every JSONL line of the named log in dir, oldest
+// segment first, calling fn for each non-empty line. fn returns false
+// for lines it could not parse; those count as skipped. Missing logs
+// replay as empty, and torn lines are tolerated, matching Replay.
+func ReplayLines(dir, base string, fn func(line []byte) bool) (skipped int, err error) {
+	if base == "" {
+		base = defaultBase
+	}
 	var paths []string
 	// Oldest rotated segment first. Segments are numbered contiguously
 	// from 1, so stop at the first gap.
 	var rotated []string
 	for i := 1; ; i++ {
-		p := filepath.Join(dir, fmt.Sprintf("history.%d.jsonl", i))
+		p := filepath.Join(dir, fmt.Sprintf("%s.%d.jsonl", base, i))
 		if _, statErr := os.Stat(p); statErr != nil {
 			break
 		}
@@ -210,7 +252,7 @@ func Replay(dir string, fn func(*Record)) (skipped int, err error) {
 	for i := len(rotated) - 1; i >= 0; i-- {
 		paths = append(paths, rotated[i])
 	}
-	paths = append(paths, filepath.Join(dir, logName))
+	paths = append(paths, filepath.Join(dir, base+".jsonl"))
 	for _, p := range paths {
 		f, openErr := os.Open(p)
 		if openErr != nil {
@@ -226,12 +268,9 @@ func Replay(dir string, fn func(*Record)) (skipped int, err error) {
 			if len(line) == 0 {
 				continue
 			}
-			rec := &Record{}
-			if json.Unmarshal(line, rec) != nil {
+			if !fn(line) {
 				skipped++
-				continue
 			}
-			fn(rec)
 		}
 		scanErr := sc.Err()
 		f.Close()

@@ -141,6 +141,16 @@ func (c *Controller) p95Locked() int64 {
 	return s[idx]
 }
 
+// WindowP95 returns the sliding window's p95 request latency (0 until
+// the window has observations). The flight recorder's slow-query
+// threshold is derived from it, so "slow" tracks the service's actual
+// recent latency distribution instead of a static cutoff.
+func (c *Controller) WindowP95() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.p95Locked()) * time.Microsecond
+}
+
 // evaluateLocked moves the level one step based on the window.
 func (c *Controller) evaluateLocked() {
 	overloaded := false

@@ -21,7 +21,11 @@
 //     clean.
 //
 // The service surfaces /healthz, /readyz, /metrics (Prometheus), and
-// the library's /debug/aw/queries and /debug/aw/history endpoints.
+// the library's /debug/aw/queries and /debug/aw/history endpoints,
+// plus the query flight recorder: /debug/aw/traces (retained traces),
+// /debug/aw/traces/{trace_id} (one full trace), and /debug/aw/slow
+// (the slow-query log). Every response carries the query's trace ID
+// (W3C traceparent in, trace_id + traceparent echo out).
 package serve
 
 import (
@@ -40,6 +44,7 @@ import (
 
 	"awra/aw"
 	"awra/internal/obs"
+	"awra/internal/obs/flight"
 	"awra/internal/wfdsl"
 )
 
@@ -154,6 +159,9 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/debug/aw/queries", s.handleInflight)
 	mux.HandleFunc("/debug/aw/history", s.handleHistory)
+	mux.HandleFunc("/debug/aw/traces", s.handleTraces)
+	mux.HandleFunc("/debug/aw/traces/", s.handleTraceByID)
+	mux.HandleFunc("/debug/aw/slow", s.handleSlow)
 	s.mux = mux
 	return s, nil
 }
@@ -195,7 +203,13 @@ type QueryRequest struct {
 
 // QueryResponse is the POST /query result envelope.
 type QueryResponse struct {
-	RequestID  string               `json:"request_id"`
+	RequestID string `json:"request_id"`
+	// TraceID keys the query's flight-recorder entry: GET
+	// /debug/aw/traces/<trace_id> returns the full trace. Every
+	// response — success or error — carries it (and echoes a W3C
+	// traceparent header), so any outcome can be correlated after the
+	// fact.
+	TraceID    string               `json:"trace_id,omitempty"`
 	Outcome    string               `json:"outcome"` // ok | error
 	Error      string               `json:"error,omitempty"`
 	Engine     string               `json:"engine,omitempty"`
@@ -314,42 +328,51 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.rec.Counter(obs.MServeRequests).Add(1)
-	if s.state.Load() != stateReady {
-		w.Header().Set("Retry-After", retryAfterHeader(s.gate.cfg.RetryAfter))
-		writeJSON(w, http.StatusServiceUnavailable, QueryResponse{Outcome: "error", Error: "draining"})
-		return
+	// Trace identity first: ingest the caller's W3C traceparent (so a
+	// distributed trace spans client and engine) or mint a fresh ID,
+	// and echo it on every response — including the early rejects below
+	// — so any outcome can be correlated with its flight-recorder entry.
+	traceID, ok := flight.ParseTraceparent(r.Header.Get(flight.Traceparent))
+	if !ok {
+		traceID = flight.NewTraceID()
 	}
+	w.Header().Set(flight.Traceparent, flight.FormatTraceparent(traceID))
 	var req QueryRequest
 	body := http.MaxBytesReader(w, r.Body, 1<<20)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		writeJSON(w, http.StatusBadRequest, QueryResponse{Outcome: "error", Error: "bad request: " + err.Error()})
+		writeJSON(w, http.StatusBadRequest, QueryResponse{TraceID: traceID, Outcome: "error", Error: "bad request: " + err.Error()})
+		return
+	}
+	reqID := req.RequestID
+	if reqID == "" {
+		reqID = "srv-" + strconv.FormatInt(s.seq.Add(1), 10)
+	}
+	if s.state.Load() != stateReady {
+		w.Header().Set("Retry-After", retryAfterHeader(s.gate.cfg.RetryAfter))
+		writeJSON(w, http.StatusServiceUnavailable, QueryResponse{RequestID: reqID, TraceID: traceID, Outcome: "error", Error: "draining"})
 		return
 	}
 	factPath, ok := s.cfg.Collections[req.Collection]
 	if !ok {
-		writeJSON(w, http.StatusNotFound, QueryResponse{Outcome: "error",
+		writeJSON(w, http.StatusNotFound, QueryResponse{RequestID: reqID, TraceID: traceID, Outcome: "error",
 			Error: fmt.Sprintf("unknown collection %q (have %s)", req.Collection, strings.Join(s.collectionNames(), ", "))})
 		return
 	}
 	parsed, err := s.parseWorkflow(req.Workflow)
 	if err != nil {
-		writeJSON(w, http.StatusBadRequest, QueryResponse{Outcome: "error", Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, QueryResponse{RequestID: reqID, TraceID: traceID, Outcome: "error", Error: err.Error()})
 		return
 	}
 	engine := s.cfg.DefaultEngine
 	if req.Engine != "" {
 		if engine, err = aw.ParseEngine(req.Engine); err != nil {
-			writeJSON(w, http.StatusBadRequest, QueryResponse{Outcome: "error", Error: err.Error()})
+			writeJSON(w, http.StatusBadRequest, QueryResponse{RequestID: reqID, TraceID: traceID, Outcome: "error", Error: err.Error()})
 			return
 		}
 	}
 	tenant := req.Tenant
 	if tenant == "" {
 		tenant = "default"
-	}
-	reqID := req.RequestID
-	if reqID == "" {
-		reqID = "srv-" + strconv.FormatInt(s.seq.Add(1), 10)
 	}
 
 	// Admission: the only wait in the request path, bounded by the
@@ -366,11 +389,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 				status = http.StatusServiceUnavailable
 			}
 			w.Header().Set("Retry-After", retryAfterHeader(re.RetryAfter))
-			writeJSON(w, status, QueryResponse{RequestID: reqID, Outcome: "error", Error: re.Error()})
+			writeJSON(w, status, QueryResponse{RequestID: reqID, TraceID: traceID, Outcome: "error", Error: re.Error()})
 			return
 		}
 		// The client went away while queued.
-		writeJSON(w, http.StatusRequestTimeout, QueryResponse{RequestID: reqID, Outcome: "error", Error: err.Error()})
+		writeJSON(w, http.StatusRequestTimeout, QueryResponse{RequestID: reqID, TraceID: traceID, Outcome: "error", Error: err.Error()})
 		return
 	}
 	defer release()
@@ -388,6 +411,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			SkipCorruptRows: s.cfg.SkipCorruptRows,
 			History:         s.hist,
 			RequestID:       reqID,
+			// One trace ID across every retry attempt: the flight ring
+			// merges attempts sharing it, so a retried request reads as
+			// one trace with N attempt spans.
+			TraceID: traceID,
 		},
 		TempDir: s.cfg.TempDir,
 	}
@@ -425,6 +452,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	latency := time.Since(t0)
 	liveCells := s.mergeAttempt(attemptRec)
 	s.ctl.Observe(latency, liveCells)
+	// The slow-query threshold tracks the service's recent latency
+	// distribution: 2× the overload window's p95 (0 until the window
+	// has signal, which leaves the flight ring on its own p99 fallback).
+	aw.SetSlowThresholdUs(2 * s.ctl.WindowP95().Microseconds())
 	outcome := "ok"
 	if runErr != nil {
 		outcome = "error"
@@ -433,6 +464,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	resp := QueryResponse{
 		RequestID:  reqID,
+		TraceID:    traceID,
 		Outcome:    outcome,
 		Engine:     resolvedEngine(attemptRec, engine),
 		DurationUs: latency.Microseconds(),
@@ -535,6 +567,55 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := s.hist.WriteJSON(w, n); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleTraces lists the flight recorder's retained traces, newest
+// first (?n= caps the count).
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := aw.WriteTracesJSON(w, n); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleTraceByID serves one full flight trace (span tree, per-node
+// profile, attempt chain) at /debug/aw/traces/{trace_id}.
+func (s *Server) handleTraceByID(w http.ResponseWriter, r *http.Request) {
+	id := strings.TrimPrefix(r.URL.Path, "/debug/aw/traces/")
+	if id == "" {
+		s.handleTraces(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	found, err := aw.WriteTraceJSON(w, id)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !found {
+		http.Error(w, fmt.Sprintf("trace %q not retained", id), http.StatusNotFound)
+	}
+}
+
+// handleSlow serves the slow-query log: retained traces at or above
+// the effective slow threshold, slowest first.
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := aw.WriteSlowJSON(w, n); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
