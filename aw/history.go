@@ -27,6 +27,11 @@ const (
 	OutcomeCanceled = qlog.OutcomeCanceled
 	OutcomeBudget   = qlog.OutcomeBudget
 	OutcomeError    = qlog.OutcomeError
+	// OutcomeCacheHit marks a query answered from the serve layer's
+	// result cache. It never feeds measured statistics (the store only
+	// folds OutcomeOK), so zero-work cache hits cannot skew per-node
+	// cardinalities.
+	OutcomeCacheHit = qlog.OutcomeCacheHit
 )
 
 // historyRecent bounds the in-memory ring of recent runs kept for
@@ -277,6 +282,12 @@ func (h *History) FormatRecent(n int) string {
 	}
 	return b.String()
 }
+
+// CollectionFingerprint identifies the dataset a query runs against —
+// the CollectionFP of its history records. The serve layer uses it to
+// stamp synthesized records (cache hits, shared fan-outs) consistently
+// with the records real runs write.
+func CollectionFingerprint(in Input) string { return collectionFingerprint(in) }
 
 // collectionFingerprint identifies the dataset a query ran against.
 // File inputs hash the absolute path plus size and mtime, so the

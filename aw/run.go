@@ -293,6 +293,29 @@ func FromRecords(recs []Record) Input { return Input{recs: recs, n: len(recs)} }
 // Results maps measure names to their computed tables.
 type Results map[string]*Table
 
+// ResultsEqual reports whether two result sets answer the same query
+// identically: the same measure names, each table equal within eps.
+// With eps 0 this is the bit-identity discipline the serve cache and
+// scan-sharing differential tests pin cached/shared answers against.
+func ResultsEqual(a, b Results, eps float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for name, ta := range a {
+		tb, ok := b[name]
+		if !ok {
+			return false
+		}
+		if (ta == nil) != (tb == nil) {
+			return false
+		}
+		if ta != nil && !ta.Equal(tb, eps) {
+			return false
+		}
+	}
+	return true
+}
+
 // planStats assembles the planner's cardinality input for one run:
 // caller or AutoStats cardinalities (labeled "collected"), paper
 // defaults otherwise ("assumed"), plus — when a History is attached —

@@ -20,7 +20,14 @@
 // while draining), /metrics (Prometheus), /debug/aw/queries (in-flight
 // registry), /debug/aw/history (recent runs), /debug/aw/traces (the
 // query flight recorder; /debug/aw/traces/{trace_id} for one full
-// trace), and /debug/aw/slow (the slow-query log).
+// trace), /debug/aw/slow (the slow-query log), and /debug/aw/cache
+// (the result cache: entries, hit/miss/eviction counts).
+//
+// Identical queries over an unchanged collection are answered from the
+// result cache (served_from=cache in the response) without occupying
+// an admission slot; -share-window additionally merges compatible
+// concurrent queries onto one fact-table pass (served_from=shared for
+// the fanned-out members).
 //
 // Every query response carries a trace_id (a caller-supplied W3C
 // traceparent header is honored and echoed) keying its entry in the
@@ -92,6 +99,11 @@ func main() {
 		maxRows  = flag.Int64("max-result-rows", 0, "per-query cap on result rows (0 = unlimited)")
 		maxSpill = flag.Int64("max-spill-bytes", 0, "per-query cap on bytes spilled to disk (0 = unlimited)")
 		skipBad  = flag.Bool("skip-corrupt", false, "degraded reads: skip and count checksum-failing rows instead of failing")
+		noCache  = flag.Bool("no-cache", false, "disable the result cache (every query executes)")
+		cacheByt = flag.Int64("cache-max-bytes", 64<<20, "result-cache byte budget (LRU eviction past it)")
+		cacheEnt = flag.Int("cache-max-entries", 256, "result-cache entry cap")
+		shareWin = flag.Duration("share-window", 0, "scan-sharing hold window: compatible queries arriving within it run as one merged fact-table pass (0 = off)")
+		shareMax = flag.Int("share-max-batch", 8, "max queries merged into one scan-sharing run")
 		highP95  = flag.Duration("overload-p95", 0, "tighten budgets when recent p95 latency exceeds this (0 = latency trigger off)")
 		highCell = flag.Int64("overload-live-cells", 0, "tighten budgets when a query's live-cell high-water mark exceeds this (0 = memory trigger off)")
 		drainTO  = flag.Duration("drain-timeout", 10*time.Second, "how long SIGTERM waits for in-flight queries before canceling them")
@@ -142,7 +154,16 @@ func main() {
 		Parallelism:     *par,
 		ReadBatchSize:   *readBat,
 		SkipCorruptRows: *skipBad,
-		DrainTimeout:    *drainTO,
+		Cache: serve.CacheConfig{
+			Disabled:   *noCache,
+			MaxBytes:   *cacheByt,
+			MaxEntries: *cacheEnt,
+		},
+		Share: serve.ShareConfig{
+			Window:   *shareWin,
+			MaxBatch: *shareMax,
+		},
+		DrainTimeout: *drainTO,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "awserved: %v\n", err)

@@ -597,21 +597,22 @@ func mustSynthSchema(c gen.SynthConfig) *model.Schema {
 
 // runners maps figure ids to their runners.
 var runners = map[string]func(Config) (*Figure, error){
-	"abl-flush":     AblFlush,
-	"abl-key":       AblKey,
-	"abl-par":       AblPar,
-	"hist-feedback": HistFeedback,
-	"hotpath":       HotPath,
-	"par-shard":     ParShard,
-	"serve-load":    ServeLoad,
-	"fig6a":         Fig6a,
-	"fig6b":         Fig6b,
-	"fig6c":         Fig6c,
-	"fig6d":         Fig6d,
-	"fig6e":         Fig6e,
-	"fig6f":         Fig6f,
-	"fig7a":         Fig7a,
-	"fig7b":         Fig7b,
+	"abl-flush":         AblFlush,
+	"abl-key":           AblKey,
+	"abl-par":           AblPar,
+	"hist-feedback":     HistFeedback,
+	"hotpath":           HotPath,
+	"par-shard":         ParShard,
+	"serve-load":        ServeLoad,
+	"serve-load-cached": ServeLoadCached,
+	"fig6a":             Fig6a,
+	"fig6b":             Fig6b,
+	"fig6c":             Fig6c,
+	"fig6d":             Fig6d,
+	"fig6e":             Fig6e,
+	"fig6f":             Fig6f,
+	"fig7a":             Fig7a,
+	"fig7b":             Fig7b,
 }
 
 // IDs lists the available figures in order.

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"awra/internal/model"
+)
+
+// MergeCompiled combines several compiled workflows over the same
+// schema into one, deduplicating structurally identical measures so a
+// shared subgraph is computed once. This is the paper's Section 5
+// scan-sharing idea pushed one level up: where a single workflow shares
+// one pass over the fact table across its measures, a merged workflow
+// shares that pass across *queries* — the serve layer batches
+// concurrently admitted queries, runs the merged workflow once, and
+// fans the finalized tables back out to each waiter.
+//
+// The result is the merged workflow plus one name map per input part,
+// translating each part's measure names to the corresponding merged
+// measure names. Callers project a part's answer out of the merged
+// results through its map; a part's output tables are bit-identical to
+// what running it alone would produce, because merging only ever
+// deduplicates structurally identical nodes and never alters any
+// node's computation.
+//
+// Deduplication is deliberately conservative. Two nodes are collapsed
+// only when their full structural descriptions match — kind,
+// granularity, aggregate, fact measure, filter, windows, combine
+// function, and recursively their sources and base — AND every
+// predicate or combine function in the subtree is either absent or
+// carries a non-empty display name that is not one of the anonymous
+// renders ("cond", "fc"). Anonymous closures all render alike, so two
+// different filters could otherwise collide and silently merge distinct
+// computations; such nodes are instead appended as separate (renamed)
+// measures — still correct, just unshared. Unlike NodeSignature, the
+// dedup key is the full structural string, never its hash, so hash
+// collisions cannot cause a wrong merge.
+//
+// All parts must share the schema (same pointer or equal
+// model.SchemaSignature); otherwise MergeCompiled fails.
+func MergeCompiled(parts []*Compiled) (*Compiled, []map[string]string, error) {
+	if len(parts) == 0 {
+		return nil, nil, fmt.Errorf("core: MergeCompiled needs at least one workflow")
+	}
+	for i, p := range parts {
+		if p == nil {
+			return nil, nil, fmt.Errorf("core: MergeCompiled: part %d is nil", i)
+		}
+	}
+	sig0 := model.SchemaSignature(parts[0].Schema)
+	for i, p := range parts[1:] {
+		if p.Schema != parts[0].Schema && model.SchemaSignature(p.Schema) != sig0 {
+			return nil, nil, fmt.Errorf("core: MergeCompiled: part %d has a different schema", i+1)
+		}
+	}
+
+	merged := &Compiled{
+		Schema: parts[0].Schema,
+		byName: make(map[string]int),
+	}
+	// shared maps a dedupable node's full structural key to its index
+	// in merged.Measures.
+	shared := make(map[string]int)
+	nameMaps := make([]map[string]string, len(parts))
+
+	for pi, p := range parts {
+		keys, dedupable := structuralKeys(p)
+		idxMap := make([]int, len(p.Measures)) // part index -> merged index
+		nm := make(map[string]string, len(p.Measures))
+		// Measures are topologically ordered, so every source/base is
+		// already mapped when its dependent is visited.
+		for i, m := range p.Measures {
+			if dedupable[i] {
+				if j, ok := shared[keys[i]]; ok {
+					idxMap[i] = j
+					ex := merged.Measures[j]
+					if !m.Hidden && ex.Hidden {
+						// A node one part treats as an internal base is
+						// another part's declared output: surface it.
+						ex.Hidden = false
+						merged.outputs = append(merged.outputs, ex.Name)
+					}
+					nm[m.Name] = ex.Name
+					continue
+				}
+			}
+			m2 := *m // shallow clone; Gran/Codec/Filter/Windows/Combine are read-only at exec time
+			if len(m.Sources) > 0 {
+				m2.Sources = make([]int, len(m.Sources))
+				for k, s := range m.Sources {
+					m2.Sources[k] = idxMap[s]
+				}
+			}
+			if m.Base >= 0 {
+				m2.Base = idxMap[m.Base]
+			}
+			m2.Name = uniqueName(merged.byName, m.Name)
+			j := len(merged.Measures)
+			merged.Measures = append(merged.Measures, &m2)
+			merged.byName[m2.Name] = j
+			if !m2.Hidden {
+				merged.outputs = append(merged.outputs, m2.Name)
+			}
+			if dedupable[i] {
+				shared[keys[i]] = j
+			}
+			idxMap[i] = j
+			nm[m.Name] = m2.Name
+		}
+		nameMaps[pi] = nm
+	}
+	return merged, nameMaps, nil
+}
+
+// structuralKeys computes, for every measure of a compiled workflow,
+// its full (unhashed) structural description and whether the node's
+// entire dependency subtree is safe to deduplicate: every filter and
+// combine function absent or faithfully named. The key format mirrors
+// NodeSignature's preimage but embeds child keys verbatim instead of
+// their hashes.
+func structuralKeys(c *Compiled) (keys []string, dedupable []bool) {
+	keys = make([]string, len(c.Measures))
+	dedupable = make([]bool, len(c.Measures))
+	for i, m := range c.Measures {
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s|%s|%s|fm=%d", m.Kind, c.Schema.GranString(m.Gran), m.Agg, m.FactMeasure)
+		ok := true
+		if m.Filter != nil {
+			fmt.Fprintf(&b, "|where=%s", m.Filter)
+			if m.Filter.Name == "" || m.Filter.Name == "cond" {
+				ok = false
+			}
+		}
+		for _, w := range m.Windows {
+			fmt.Fprintf(&b, "|win=%d:%d:%d", w.Dim, w.Lo, w.Hi)
+		}
+		if m.Combine != nil {
+			fmt.Fprintf(&b, "|fc=%s", m.Combine)
+			if m.Combine.Name == "" || m.Combine.Name == "fc" {
+				ok = false
+			}
+		}
+		for _, s := range m.Sources {
+			fmt.Fprintf(&b, "|src={%s}", keys[s])
+			ok = ok && dedupable[s]
+		}
+		if m.Base >= 0 && m.Base != i {
+			fmt.Fprintf(&b, "|base={%s}", keys[m.Base])
+			ok = ok && dedupable[m.Base]
+		}
+		keys[i] = b.String()
+		dedupable[i] = ok
+	}
+	return keys, dedupable
+}
+
+// uniqueName returns name if unused in taken, else the first
+// "name~2", "name~3", ... that is. The suffix is deterministic so
+// merged fingerprints are stable for a given part order.
+func uniqueName(taken map[string]int, name string) string {
+	if _, dup := taken[name]; !dup {
+		return name
+	}
+	for n := 2; ; n++ {
+		cand := fmt.Sprintf("%s~%d", name, n)
+		if _, dup := taken[cand]; !dup {
+			return cand
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package core
+
+import (
+	"testing"
+
+	"awra/internal/agg"
+	"awra/internal/model"
+)
+
+// evalMeasure runs one measure of a compiled workflow through the
+// Translate/Eval reference path — the serial oracle the merge tests
+// compare against.
+func evalMeasure(t *testing.T, c *Compiled, name string, recs []model.Record) *Table {
+	t.Helper()
+	e, err := Translate(c, name)
+	if err != nil {
+		t.Fatalf("translate %s: %v", name, err)
+	}
+	tbl, err := Eval(e, recs)
+	if err != nil {
+		t.Fatalf("eval %s: %v", name, err)
+	}
+	return tbl
+}
+
+// checkMergedMatches verifies that every output of every part, when
+// projected through its name map and evaluated on the merged workflow,
+// is bit-identical (eps 0) to evaluating the part alone.
+func checkMergedMatches(t *testing.T, merged *Compiled, parts []*Compiled, maps []map[string]string, recs []model.Record) {
+	t.Helper()
+	for pi, p := range parts {
+		for _, out := range p.Outputs() {
+			mergedName, ok := maps[pi][out]
+			if !ok {
+				t.Fatalf("part %d: output %q missing from name map %v", pi, out, maps[pi])
+			}
+			want := evalMeasure(t, p, out, recs)
+			got := evalMeasure(t, merged, mergedName, recs)
+			if !got.Equal(want, 0) {
+				t.Fatalf("part %d output %q (merged %q): merged result differs from solo run", pi, out, mergedName)
+			}
+		}
+	}
+}
+
+func busyWorkflow(t *testing.T, s *model.Schema, threshold float64) *Compiled {
+	t.Helper()
+	c, err := NewWorkflow(s).
+		Basic("Count", model.Gran{1, 0}, agg.Count, -1).
+		Rollup("Busy", model.Gran{1, model.LevelALL}, "Count", agg.Count,
+			Where(MWhere(0, Gt, threshold))).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestMergeIdenticalWorkflowsDedupsFully(t *testing.T) {
+	s := twoDim(t)
+	a := busyWorkflow(t, s, 1)
+	b := busyWorkflow(t, s, 1)
+	merged, maps, err := MergeCompiled([]*Compiled{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Measures) != len(a.Measures) {
+		t.Fatalf("merged has %d measures, want %d (full dedup of identical workflows)",
+			len(merged.Measures), len(a.Measures))
+	}
+	for _, out := range a.Outputs() {
+		if maps[0][out] != maps[1][out] {
+			t.Fatalf("identical parts map %q to different merged names: %q vs %q",
+				out, maps[0][out], maps[1][out])
+		}
+	}
+	checkMergedMatches(t, merged, []*Compiled{a, b}, maps, paperRecords())
+}
+
+func TestMergeSharesCommonSubgraph(t *testing.T) {
+	s := twoDim(t)
+	// Both parts compute the same base Count; their rollups differ
+	// (different thresholds), so only Count should be shared.
+	a := busyWorkflow(t, s, 1)
+	b := busyWorkflow(t, s, 3)
+	merged, maps, err := MergeCompiled([]*Compiled{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3; len(merged.Measures) != want { // Count + Busy(>1) + Busy(>3)
+		t.Fatalf("merged has %d measures, want %d (shared Count, distinct rollups)",
+			len(merged.Measures), want)
+	}
+	if maps[0]["Count"] != maps[1]["Count"] {
+		t.Fatalf("common Count node not shared: %q vs %q", maps[0]["Count"], maps[1]["Count"])
+	}
+	if maps[0]["Busy"] == maps[1]["Busy"] {
+		t.Fatalf("distinct rollups wrongly merged to %q", maps[0]["Busy"])
+	}
+	checkMergedMatches(t, merged, []*Compiled{a, b}, maps, paperRecords())
+}
+
+func TestMergeAnonymousPredicatesNeverDedup(t *testing.T) {
+	s := twoDim(t)
+	// Two structurally identical-looking workflows whose filters are
+	// anonymous closures with different semantics: both render as
+	// "cond", so a signature-keyed merge would silently collapse them.
+	mk := func(th float64) *Compiled {
+		c, err := NewWorkflow(s).
+			Basic("Count", model.Gran{1, 0}, agg.Count, -1).
+			Rollup("Busy", model.Gran{1, model.LevelALL}, "Count", agg.Count,
+				Where(Predicate{Fn: func(_ []int64, ms []float64) bool {
+					return !agg.IsNull(ms[0]) && ms[0] > th
+				}})).
+			Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	a, b := mk(1), mk(3)
+	merged, maps, err := MergeCompiled([]*Compiled{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maps[0]["Busy"] == maps[1]["Busy"] {
+		t.Fatal("anonymous-predicate rollups were deduplicated — unsound merge")
+	}
+	// The unfiltered Count is still shared; only the filtered nodes split.
+	if maps[0]["Count"] != maps[1]["Count"] {
+		t.Fatal("unfiltered Count should still be shared")
+	}
+	checkMergedMatches(t, merged, []*Compiled{a, b}, maps, paperRecords())
+}
+
+func TestMergeUnhidesSharedBase(t *testing.T) {
+	s := twoDim(t)
+	g := model.Gran{1, 0}
+	// Part a's Sliding generates a hidden __base measure (basic,
+	// ConstZero); part b declares the structurally identical measure as
+	// a visible output. The merged node must serve both: computed once,
+	// reported for b.
+	a, err := NewWorkflow(s).
+		Basic("Count", g, agg.Count, -1).
+		Sliding("Smooth", "Count", agg.Sum, []Window{{Dim: 0, Lo: -1, Hi: 1}}).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWorkflow(s).
+		Basic("Cells", g, agg.ConstZero, -1).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, maps, err := MergeCompiled([]*Compiled{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := merged.MeasureByName(maps[1]["Cells"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mb.Hidden {
+		t.Fatalf("merged base %q still hidden though part 1 outputs it", mb.Name)
+	}
+	found := false
+	for _, o := range merged.Outputs() {
+		if o == mb.Name {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("unhidden %q missing from merged outputs %v", mb.Name, merged.Outputs())
+	}
+	checkMergedMatches(t, merged, []*Compiled{a, b}, maps, paperRecords())
+}
+
+func TestMergeRenamesColumnClashes(t *testing.T) {
+	s := twoDim(t)
+	// Same output name, different computation: the second must be
+	// renamed, not collide and not dedup.
+	a, err := NewWorkflow(s).Basic("Count", model.Gran{1, 0}, agg.Count, -1).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWorkflow(s).Basic("Count", model.Gran{1, 1}, agg.Count, -1).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, maps, err := MergeCompiled([]*Compiled{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maps[0]["Count"] == maps[1]["Count"] {
+		t.Fatal("different-granularity Counts wrongly merged")
+	}
+	if got := maps[1]["Count"]; got != "Count~2" {
+		t.Fatalf("clash rename = %q, want Count~2", got)
+	}
+	checkMergedMatches(t, merged, []*Compiled{a, b}, maps, paperRecords())
+}
+
+func TestMergeCombineAndDiffWorkflows(t *testing.T) {
+	s := twoDim(t)
+	a, err := NewWorkflow(s).
+		Basic("Sum", model.Gran{1, 0}, agg.Sum, 0).
+		Basic("N", model.Gran{1, 0}, agg.Count, -1).
+		Combine("Avg", []string{"Sum", "N"}, Ratio(0, 1)).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWorkflow(s).
+		Basic("Total", model.Gran{1, 0}, agg.Sum, 0). // same node as a's "Sum"
+		Rollup("Top", model.Gran{model.LevelALL, model.LevelALL}, "Total", agg.Max).
+		Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, maps, err := MergeCompiled([]*Compiled{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maps[0]["Sum"] != maps[1]["Total"] {
+		t.Fatalf("structurally identical Sum/Total not shared: %q vs %q",
+			maps[0]["Sum"], maps[1]["Total"])
+	}
+	checkMergedMatches(t, merged, []*Compiled{a, b}, maps, paperRecords())
+}
+
+func TestMergeSchemaMismatchFails(t *testing.T) {
+	s1 := twoDim(t)
+	s2, err := model.NewSchema([]*model.Dimension{
+		model.FixedFanout("A", 3, 10),
+		model.FixedFanout("C", 3, 10),
+	}, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NewWorkflow(s1).Basic("Count", model.Gran{1, 0}, agg.Count, -1).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWorkflow(s2).Basic("Count", model.Gran{1, 0}, agg.Count, -1).Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MergeCompiled([]*Compiled{a, b}); err == nil {
+		t.Fatal("merging workflows over different schemas should fail")
+	}
+}
+
+func TestMergePreservesNodeSignatures(t *testing.T) {
+	// Deduped merged nodes must sign identically to the originals, so
+	// measured statistics from merged runs remain usable by solo runs.
+	s := twoDim(t)
+	a := busyWorkflow(t, s, 1)
+	b := busyWorkflow(t, s, 3)
+	merged, maps, err := MergeCompiled([]*Compiled{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, p := range []*Compiled{a, b} {
+		for _, out := range p.Outputs() {
+			i, err := p.Index(out)
+			if err != nil {
+				t.Fatal(err)
+			}
+			j, err := merged.Index(maps[pi][out])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := merged.NodeSignature(j), p.NodeSignature(i); got != want {
+				t.Fatalf("part %d %q: merged signature %s != solo %s", pi, out, got, want)
+			}
+		}
+	}
+}
+
+func TestSchemaSignatureStable(t *testing.T) {
+	s1 := twoDim(t)
+	s2 := twoDim(t) // distinct pointer, same shape
+	if model.SchemaSignature(s1) != model.SchemaSignature(s2) {
+		t.Fatal("equal-shaped schemas must sign identically")
+	}
+	s3, err := model.NewSchema([]*model.Dimension{
+		model.FixedFanout("A", 3, 10),
+		model.FixedFanout("B", 4, 10),
+	}, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.SchemaSignature(s1) == model.SchemaSignature(s3) {
+		t.Fatal("different hierarchies must sign differently")
+	}
+}

@@ -82,8 +82,15 @@ type Trace struct {
 	PinReasons []string  `json:"pin_reasons,omitempty"`
 	// Sampled marks a healthy fast trace retained by probabilistic
 	// sampling rather than pinning.
-	Sampled  bool      `json:"sampled,omitempty"`
-	Attempts []Attempt `json:"attempts,omitempty"`
+	Sampled bool `json:"sampled,omitempty"`
+	// ServedFrom marks a query answered without executing: "cache"
+	// (serve result-cache hit) or "shared" (fanned out from a merged
+	// scan-sharing run). Such traces have no engine attempts.
+	ServedFrom string `json:"served_from,omitempty"`
+	// SourceTraceID links back to the trace of the run that actually
+	// computed the tables this query was served from.
+	SourceTraceID string    `json:"source_trace_id,omitempty"`
+	Attempts      []Attempt `json:"attempts,omitempty"`
 }
 
 // Summary is the list-view projection of a trace (no span trees), the
@@ -101,6 +108,7 @@ type Summary struct {
 	Pinned     bool      `json:"pinned,omitempty"`
 	PinReasons []string  `json:"pin_reasons,omitempty"`
 	Sampled    bool      `json:"sampled,omitempty"`
+	ServedFrom string    `json:"served_from,omitempty"`
 	Path       string    `json:"path"`
 }
 
@@ -398,6 +406,7 @@ func summarize(t *Trace) Summary {
 		Pinned:     t.Pinned,
 		PinReasons: append([]string(nil), t.PinReasons...),
 		Sampled:    t.Sampled,
+		ServedFrom: t.ServedFrom,
 		Path:       TracePath(t.ID),
 	}
 }

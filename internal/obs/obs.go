@@ -123,6 +123,32 @@ const (
 	// drain deadline lapsed before they finished.
 	MServeDrainCanceled = "serve_drain_canceled"
 
+	// MServeCacheHits counts queries answered from the serve result
+	// cache without executing (they bypass admission slots entirely).
+	MServeCacheHits = "serve_cache_hits"
+	// MServeCacheMisses counts cache lookups that found no valid entry
+	// (including entries invalidated by a changed input file).
+	MServeCacheMisses = "serve_cache_misses"
+	// MServeCacheEvictions counts entries evicted by the LRU/byte-budget
+	// policy (invalidations are counted separately).
+	MServeCacheEvictions = "serve_cache_evictions"
+	// MServeCacheInvalidations counts entries dropped because their
+	// collection's file fingerprint changed.
+	MServeCacheInvalidations = "serve_cache_invalidations"
+	// MShareBatches counts merged scan-sharing runs: one per batch of
+	// concurrently admitted compatible queries executed as a single
+	// fact-table pass.
+	MShareBatches = "scan_share_batches"
+	// MShareBatchedQueries counts queries answered by a scan-sharing
+	// batch they did not lead (followers fanned out from a merged run,
+	// including join-in-flight duplicates).
+	MShareBatchedQueries = "scan_share_batched_queries"
+
+	// GServeCacheEntries is the current number of cached result sets.
+	GServeCacheEntries = "serve_cache_entries"
+	// GServeCacheBytes is the estimated byte footprint of cached tables.
+	GServeCacheBytes = "serve_cache_bytes"
+
 	// GServeActive is the number of admitted queries currently running.
 	GServeActive = "serve_active_queries"
 	// GServeQueueDepth is the current admission-queue depth.

@@ -27,6 +27,12 @@ const (
 	OutcomeCanceled = "canceled" // context canceled or deadline exceeded
 	OutcomeBudget   = "budget"   // resource guardrail rejection
 	OutcomeError    = "error"    // compile/planning/IO failure
+	// OutcomeCacheHit marks a query answered from the serve layer's
+	// result cache without executing. It is deliberately distinct from
+	// OutcomeOK: cache hits scan nothing and finalize nothing, so
+	// folding them into measured statistics would skew per-node
+	// cardinalities toward zero (Store.Observe only folds OutcomeOK).
+	OutcomeCacheHit = "cache_hit"
 )
 
 // NodeProfile is one measure node's estimate-vs-actual profile within
@@ -64,7 +70,14 @@ type Record struct {
 	SortKey      string    `json:"sort_key,omitempty"`
 	Outcome      string    `json:"outcome"`
 	Error        string    `json:"error,omitempty"`
-	DurationUs   int64     `json:"duration_us"`
+	// ServedFrom records how the answer was produced without running
+	// the full engine: "cache" (result-cache hit) or "shared" (fanned
+	// out from a merged scan-sharing run). Empty for ordinary runs.
+	ServedFrom string `json:"served_from,omitempty"`
+	// SourceTraceID links a cache hit or shared fan-out back to the
+	// trace of the run that actually computed the tables.
+	SourceTraceID string `json:"source_trace_id,omitempty"`
+	DurationUs    int64  `json:"duration_us"`
 	// Phases maps span names (sort, scan, optimize, ...) to their
 	// summed durations in microseconds for this query.
 	Phases         map[string]int64 `json:"phases_us,omitempty"`

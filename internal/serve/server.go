@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"awra/aw"
+	"awra/internal/model"
 	"awra/internal/obs"
 	"awra/internal/obs/flight"
 	"awra/internal/wfdsl"
@@ -97,6 +98,15 @@ type Config struct {
 	ReadBatchSize int
 	// SkipCorruptRows enables degraded reads for all queries.
 	SkipCorruptRows bool
+	// Cache tunes the result cache: finalized measure tables keyed by
+	// (collection fingerprint × workflow fingerprint), LRU + byte
+	// budget, invalidated when the collection file changes. On by
+	// default; hits bypass admission entirely.
+	Cache CacheConfig
+	// Share tunes the scan-sharing batcher: compatible queries arriving
+	// within Share.Window are merged onto one fact-table pass. Off by
+	// default (Window = 0).
+	Share ShareConfig
 	// DrainTimeout bounds how long Drain waits for in-flight queries
 	// before canceling them; 0 defaults to 10s.
 	DrainTimeout time.Duration
@@ -108,13 +118,15 @@ type Config struct {
 // Server is one running query service. Create with New, mount
 // Handler() (or use ListenAndServe), stop with Drain.
 type Server struct {
-	cfg   Config
-	rec   *obs.Recorder
-	gate  *Gate
-	ctl   *Controller
-	hist  *aw.History
-	state atomic.Int32
-	seq   atomic.Int64
+	cfg    Config
+	rec    *obs.Recorder
+	gate   *Gate
+	ctl    *Controller
+	hist   *aw.History
+	cache  *resultCache
+	sharer *sharer
+	state  atomic.Int32
+	seq    atomic.Int64
 
 	mu       sync.Mutex
 	inflight map[int64]context.CancelFunc
@@ -140,6 +152,8 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg, rec: rec, inflight: make(map[int64]context.CancelFunc)}
 	s.gate = NewGate(cfg.Gate, rec)
 	s.ctl = NewController(cfg.Overload, s.gate, rec)
+	s.cache = newResultCache(cfg.Cache, rec)
+	s.sharer = newSharer(cfg.Share, rec)
 	if cfg.HistoryDir != "" {
 		h, err := aw.OpenHistory(cfg.HistoryDir)
 		if err != nil {
@@ -162,6 +176,7 @@ func New(cfg Config) (*Server, error) {
 	mux.HandleFunc("/debug/aw/traces", s.handleTraces)
 	mux.HandleFunc("/debug/aw/traces/", s.handleTraceByID)
 	mux.HandleFunc("/debug/aw/slow", s.handleSlow)
+	mux.HandleFunc("/debug/aw/cache", s.handleCache)
 	s.mux = mux
 	return s, nil
 }
@@ -177,6 +192,10 @@ func (s *Server) Controller() *Controller { return s.ctl }
 
 // Gate returns the admission gate.
 func (s *Server) Gate() *Gate { return s.gate }
+
+// CacheSnapshot returns the result cache's current state — the same
+// payload /debug/aw/cache serves.
+func (s *Server) CacheSnapshot() CacheSnapshot { return s.cache.Snapshot() }
 
 // QueryRequest is the POST /query payload.
 type QueryRequest struct {
@@ -209,14 +228,21 @@ type QueryResponse struct {
 	// response — success or error — carries it (and echoes a W3C
 	// traceparent header), so any outcome can be correlated after the
 	// fact.
-	TraceID    string               `json:"trace_id,omitempty"`
-	Outcome    string               `json:"outcome"` // ok | error
-	Error      string               `json:"error,omitempty"`
-	Engine     string               `json:"engine,omitempty"`
-	DurationUs int64                `json:"duration_us"`
-	Attempts   int                  `json:"attempts"`
-	Degraded   bool                 `json:"degraded,omitempty"`
-	Measures   map[string][]ValueAt `json:"measures,omitempty"`
+	TraceID    string `json:"trace_id,omitempty"`
+	Outcome    string `json:"outcome"` // ok | error
+	Error      string `json:"error,omitempty"`
+	Engine     string `json:"engine,omitempty"`
+	DurationUs int64  `json:"duration_us"`
+	Attempts   int    `json:"attempts"`
+	Degraded   bool   `json:"degraded,omitempty"`
+	// ServedFrom marks an answer produced without a dedicated engine
+	// run: "cache" (result-cache hit, zero attempts) or "shared"
+	// (fanned out from a merged scan-sharing run).
+	ServedFrom string `json:"served_from,omitempty"`
+	// SourceTraceID is the flight trace of the run that actually
+	// computed the tables, when ServedFrom is set.
+	SourceTraceID string               `json:"source_trace_id,omitempty"`
+	Measures      map[string][]ValueAt `json:"measures,omitempty"`
 }
 
 // ValueAt is one result row: a formatted region and its value.
@@ -374,10 +400,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if tenant == "" {
 		tenant = "default"
 	}
+	t0 := time.Now()
+
+	// Result cache, consulted BEFORE admission: a hit costs no engine
+	// work, so it must not occupy an execution slot — under overload,
+	// cache hits keep flowing while the gate sheds real work.
+	ck := cacheKey(factPath, parsed.Compiled.Fingerprint(), s.cfg.SkipCorruptRows)
+	if e, ok := s.cache.Get(ck, factPath); ok {
+		s.serveFromCache(w, req, reqID, traceID, factPath, parsed, e, t0)
+		return
+	}
 
 	// Admission: the only wait in the request path, bounded by the
 	// gate's queue depth and wait allowance.
-	t0 := time.Now()
 	release, err := s.gate.Admit(r.Context(), tenant)
 	if waited := time.Since(t0); waited > time.Millisecond {
 		s.rec.Histogram(obs.HServeWaitUs).Observe(waited.Microseconds())
@@ -433,24 +468,74 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	defer func() { s.untrack(qid); cancel() }()
 
 	in := aw.FromFile(factPath)
+	// Fingerprint the collection file before running: Put revalidates
+	// against it, so a file that changes mid-run never populates the
+	// cache with tables describing a state that no longer exists.
+	// A fingerprint error just disables population for this request.
+	preFP, _ := fileFingerprint(factPath)
+
+	// runWorkflow executes one compiled workflow (the request's own, or
+	// a merged batch) under this request's options and retry policy.
+	runWorkflow := func(c *aw.Compiled) (aw.Results, *obs.Recorder, int, error) {
+		var (
+			res        aw.Results
+			attemptRec *obs.Recorder
+		)
+		attempts, runErr := s.cfg.Retry.Do(qctx, s.rec, func(attempt int) error {
+			// A fresh recorder per attempt: only the final attempt's
+			// metrics are merged (see mergeAttempt), so a retried attempt
+			// that re-skipped the same corrupt rows is not double-counted.
+			attemptRec = obs.New()
+			o := opts
+			o.Recorder = attemptRec
+			var err error
+			res, err = aw.RunCompiled(qctx, c, in, o)
+			return err
+		})
+		return res, attemptRec, attempts, runErr
+	}
+
 	var (
-		res        aw.Results
-		attemptRec *obs.Recorder
+		res         aw.Results
+		attemptRec  *obs.Recorder
+		attempts    int
+		runErr      error
+		engineName  string
+		servedFrom  string
+		sourceTrace string
 	)
-	attempts, runErr := s.cfg.Retry.Do(qctx, s.rec, func(attempt int) error {
-		// A fresh recorder per attempt: only the final attempt's
-		// metrics are merged (see mergeAttempt), so a retried attempt
-		// that re-skipped the same corrupt rows is not double-counted.
-		attemptRec = obs.New()
-		o := opts
-		o.Recorder = attemptRec
-		var err error
-		res, err = aw.RunCompiled(qctx, parsed.Compiled, in, o)
-		return err
-	})
+	shared := false
+	if s.sharer != nil {
+		// Scan sharing: queries over the same file, schema shape, and
+		// result-affecting options arriving within the hold window run
+		// as ONE merged workflow — one fact-table pass for the batch.
+		groupKey := fmt.Sprintf("%s|%s|skip=%v|eng=%s",
+			factPath, model.SchemaSignature(parsed.Schema), s.cfg.SkipCorruptRows, engine)
+		var out shareOutcome
+		out, shared = s.sharer.submit(qctx, groupKey, parsed.Compiled, traceID,
+			func(merged *aw.Compiled) (aw.Results, string, int, error) {
+				mres, mrec, matt, err := runWorkflow(merged)
+				attemptRec = mrec // runner == leader: single-goroutine capture
+				return mres, resolvedEngine(mrec, engine), matt, err
+			})
+		if shared {
+			res, runErr = out.res, out.err
+			engineName, attempts = out.engine, out.attempts
+			if !out.leader {
+				servedFrom, sourceTrace = "shared", out.leaderTraceID
+			}
+		}
+	}
+	if !shared {
+		res, attemptRec, attempts, runErr = runWorkflow(parsed.Compiled)
+		engineName = resolvedEngine(attemptRec, engine)
+	}
 
 	latency := time.Since(t0)
-	liveCells := s.mergeAttempt(attemptRec)
+	var liveCells int64
+	if attemptRec != nil {
+		liveCells = s.mergeAttempt(attemptRec)
+	}
 	s.ctl.Observe(latency, liveCells)
 	// The slow-query threshold tracks the service's recent latency
 	// distribution: 2× the overload window's p95 (0 until the window
@@ -462,25 +547,52 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	s.rec.Histogram(obs.HServeLatencyUs, "outcome", outcome).Observe(latency.Microseconds())
 
+	if servedFrom == "shared" {
+		// The merged run logged ONE history record and flight trace
+		// under the leader's identity; followers synthesize theirs so
+		// the one-record-per-request invariant holds, linked to the
+		// leader's trace, with no per-node profile (no work happened
+		// here — stats must not see zero-cardinality nodes).
+		s.recordServed(req, reqID, traceID, factPath, parsed, "shared", sourceTrace, engineName, latency, runErr)
+	}
+	if runErr == nil {
+		// Populate the cache for every batch member's own key (and for
+		// solo runs): only final, successful results, and only if the
+		// collection file still fingerprints as it did pre-run.
+		srcTrace := traceID
+		if sourceTrace != "" {
+			srcTrace = sourceTrace
+		}
+		s.cache.Put(ck, factPath, preFP, res, srcTrace, engineName)
+	}
+
 	resp := QueryResponse{
-		RequestID:  reqID,
-		TraceID:    traceID,
-		Outcome:    outcome,
-		Engine:     resolvedEngine(attemptRec, engine),
-		DurationUs: latency.Microseconds(),
-		Attempts:   attempts,
-		Degraded:   degraded,
+		RequestID:     reqID,
+		TraceID:       traceID,
+		Outcome:       outcome,
+		Engine:        engineName,
+		DurationUs:    latency.Microseconds(),
+		Attempts:      attempts,
+		Degraded:      degraded,
+		ServedFrom:    servedFrom,
+		SourceTraceID: sourceTrace,
 	}
 	if runErr != nil {
 		resp.Error = runErr.Error()
 		writeJSON(w, s.statusFor(runErr), resp)
 		return
 	}
+	resp.Measures = topkMeasures(res, req)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// topkMeasures maps full result tables to the response's top-K rows.
+func topkMeasures(res aw.Results, req QueryRequest) map[string][]ValueAt {
 	limit := req.Limit
 	if limit <= 0 {
 		limit = 50
 	}
-	resp.Measures = make(map[string][]ValueAt)
+	out := make(map[string][]ValueAt)
 	for name, table := range res {
 		if req.Measure != "" && name != req.Measure {
 			continue
@@ -490,9 +602,92 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		for i, row := range rows {
 			vals[i] = ValueAt{Region: row.Label, Value: row.Value}
 		}
-		resp.Measures[name] = vals
+		out[name] = vals
+	}
+	return out
+}
+
+// serveFromCache answers a query from a cache entry: no admission, no
+// engine, zero attempts. It still leaves the full observability trail —
+// a history record (outcome cache_hit, which measured statistics
+// ignore), a flight trace linking to the computing run, and its own
+// latency histogram bucket.
+func (s *Server) serveFromCache(w http.ResponseWriter, req QueryRequest, reqID, traceID, factPath string, parsed *wfdsl.Parsed, e *cacheEntry, t0 time.Time) {
+	latency := time.Since(t0)
+	s.rec.Histogram(obs.HServeLatencyUs, "outcome", "cache_hit").Observe(latency.Microseconds())
+	s.recordServed(req, reqID, traceID, factPath, parsed, "cache", e.traceID, e.engine, latency, nil)
+	resp := QueryResponse{
+		RequestID:     reqID,
+		TraceID:       traceID,
+		Outcome:       "ok",
+		Engine:        e.engine,
+		DurationUs:    latency.Microseconds(),
+		Attempts:      0,
+		ServedFrom:    "cache",
+		SourceTraceID: e.traceID,
+		Measures:      topkMeasures(e.res, req),
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// recordServed writes the history record and flight trace for a query
+// answered without its own engine run (cache hit or shared fan-out).
+// The record carries no per-node profile: the measured-statistics
+// store folds only OutcomeOK records, so zero-work answers can never
+// skew per-node cardinalities.
+func (s *Server) recordServed(req QueryRequest, reqID, traceID, factPath string, parsed *wfdsl.Parsed, servedFrom, sourceTrace, engine string, latency time.Duration, runErr error) {
+	outcome := aw.OutcomeCacheHit
+	errMsg := ""
+	if servedFrom == "shared" {
+		outcome, errMsg = servedOutcome(runErr)
+	}
+	label := strings.Join(parsed.Compiled.Outputs(), ",")
+	rec := &aw.HistoryRecord{
+		Time:          time.Now(),
+		RequestID:     reqID,
+		TraceID:       traceID,
+		Label:         label,
+		QueryFP:       parsed.Compiled.Fingerprint(),
+		CollectionFP:  aw.CollectionFingerprint(aw.FromFile(factPath)),
+		Engine:        servedFrom,
+		Outcome:       outcome,
+		Error:         errMsg,
+		ServedFrom:    servedFrom,
+		SourceTraceID: sourceTrace,
+		DurationUs:    latency.Microseconds(),
+	}
+	_ = s.hist.Append(rec)
+	flight.Default.Commit(&flight.Trace{
+		ID:            traceID,
+		RequestID:     reqID,
+		Label:         label,
+		Engine:        engine,
+		Outcome:       outcome,
+		Error:         errMsg,
+		DurationUs:    latency.Microseconds(),
+		ServedFrom:    servedFrom,
+		SourceTraceID: sourceTrace,
+	})
+}
+
+// servedOutcome classifies a shared run's error for a follower's
+// synthesized history record, mirroring aw's own outcome mapping.
+func servedOutcome(err error) (string, string) {
+	switch {
+	case err == nil:
+		return aw.OutcomeOK, ""
+	case errors.Is(err, aw.ErrCanceled), errors.Is(err, aw.ErrDeadlineExceeded):
+		return aw.OutcomeCanceled, err.Error()
+	case errors.Is(err, aw.ErrBudgetExceeded):
+		return aw.OutcomeBudget, err.Error()
+	default:
+		return aw.OutcomeError, err.Error()
+	}
+}
+
+// handleCache serves the result cache's state at /debug/aw/cache.
+func (s *Server) handleCache(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.cache.Snapshot())
 }
 
 // statusFor maps a final query error onto the HTTP status ladder:

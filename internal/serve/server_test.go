@@ -25,10 +25,10 @@ basic Count  gran(t=Hour, U=IP) agg=count
 rollup Busy  gran(t=Hour) src=Count agg=count where "m0 > 1"
 `
 
-// writeNetFact writes n synthetic records of the paper's Table 1
-// schema (t, U, T, P — the same shape wfdsl's "schema net" declares).
-func writeNetFact(t *testing.T, n int, seed int64) string {
-	t.Helper()
+// netRecords generates n deterministic synthetic records of the
+// paper's Table 1 schema (t, U, T, P — the same shape wfdsl's
+// "schema net" declares).
+func netRecords(n int, seed int64) []aw.Record {
 	rng := rand.New(rand.NewSource(seed))
 	recs := make([]aw.Record, n)
 	for i := range recs {
@@ -39,18 +39,23 @@ func writeNetFact(t *testing.T, n int, seed int64) string {
 			int64(rng.Intn(1024)),
 		}, Ms: []float64{}}
 	}
+	return recs
+}
+
+// writeNetFact writes n synthetic records to a fresh fact file.
+func writeNetFact(t *testing.T, n int, seed int64) string {
+	t.Helper()
 	fact := filepath.Join(t.TempDir(), "fact.rec")
-	if err := aw.WriteRecords(fact, 4, 0, recs); err != nil {
+	if err := aw.WriteRecords(fact, 4, 0, netRecords(n, seed)); err != nil {
 		t.Fatal(err)
 	}
 	return fact
 }
 
-// newTestServer builds a server over one small collection with fast
-// defaults; mutate cfg before New via the optional tweak.
-func newTestServer(t *testing.T, tweak func(*Config)) (*Server, *httptest.Server) {
+// newServerOverFact builds a server over an existing fact file with
+// fast defaults; mutate cfg before New via the optional tweak.
+func newServerOverFact(t *testing.T, fact string, tweak func(*Config)) (*Server, *httptest.Server) {
 	t.Helper()
-	fact := writeNetFact(t, 2000, 11)
 	cfg := Config{
 		Collections:   map[string]string{"net": fact},
 		HistoryDir:    filepath.Join(t.TempDir(), "history"),
@@ -73,6 +78,12 @@ func newTestServer(t *testing.T, tweak func(*Config)) (*Server, *httptest.Server
 		_ = s.Drain()
 	})
 	return s, ts
+}
+
+// newTestServer is newServerOverFact over a fresh 2000-record fact.
+func newTestServer(t *testing.T, tweak func(*Config)) (*Server, *httptest.Server) {
+	t.Helper()
+	return newServerOverFact(t, writeNetFact(t, 2000, 11), tweak)
 }
 
 // swapFaultFS installs a process-global fault-injecting filesystem and
@@ -289,6 +300,9 @@ func TestServeDegradedUnderOverload(t *testing.T) {
 	s, ts := newTestServer(t, func(c *Config) {
 		c.Overload = OverloadConfig{HighP95: time.Nanosecond, Window: 4, Cooldown: 1000}
 		c.MemoryBudget = 1 << 30
+		// The second (identical) query must actually execute to observe
+		// the degraded ladder — a cache hit would bypass it.
+		c.Cache.Disabled = true
 	})
 	// Any completed request trips the nanosecond p95 threshold.
 	if status, _, _ := postQuery(t, ts.URL, QueryRequest{Workflow: testWorkflow, Collection: "net"}); status != 200 {
